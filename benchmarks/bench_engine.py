@@ -1,0 +1,54 @@
+"""Bench: raw throughput of the core engines.
+
+Measures the pieces the exhibit benches build on: the Monte-Carlo word
+simulator for each profiler, the exact ground-truth computation, and the
+batch decoder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.atrisk import compute_ground_truth
+from repro.ecc.hamming import random_sec_code
+from repro.memory.error_model import sample_word_profile
+from repro.profiling import PROFILER_REGISTRY
+from repro.profiling.runner import simulate_word
+
+
+@pytest.fixture(scope="module")
+def word_setup():
+    rng = np.random.default_rng(2021)
+    code = random_sec_code(64, rng)
+    profile = sample_word_profile(code, 4, 0.5, rng)
+    return code, profile
+
+
+@pytest.mark.parametrize("profiler_name", sorted(PROFILER_REGISTRY))
+def test_simulate_word_128_rounds(benchmark, word_setup, profiler_name):
+    code, profile = word_setup
+    profiler_cls = PROFILER_REGISTRY[profiler_name]
+
+    def run():
+        return simulate_word(profiler_cls(code, seed=1), profile, 128, word_seed=1)
+
+    result = benchmark(run)
+    assert result.num_rounds == 128
+
+
+def test_ground_truth_computation(benchmark, word_setup):
+    code, profile = word_setup
+    truth = benchmark(compute_ground_truth, code, profile)
+    assert truth.direct_at_risk <= set(profile.positions)
+
+
+def test_batch_decode_throughput(benchmark, word_setup):
+    code, _ = word_setup
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 2, (512, code.k), dtype=np.uint8)
+    codewords = code.encode(data)
+    flips = rng.integers(0, code.n, size=512)
+    for row, position in enumerate(flips):
+        codewords[row, position] ^= 1
+
+    decoded = benchmark(code.decode_batch, codewords)
+    assert (decoded == data).all()

@@ -1,0 +1,19 @@
+"""Bench: Fig 2 — expected wasted storage vs. RBER per repair granularity.
+
+Regenerates the paper's motivation figure (closed form).  The key rows:
+bit-granularity repair wastes nothing; 1024-bit granularity exceeds 99%
+waste near RBER 6.8e-3.
+"""
+
+from conftest import save_exhibit
+
+from repro.experiments import fig2
+
+
+def test_fig2_wasted_storage(benchmark, results_dir):
+    result = benchmark(fig2.run)
+    # Paper claims: bit-granularity never wastes; 1024-bit peaks >99%.
+    assert all(v == 0.0 for v in result.series[1])
+    _, peak = result.peak_waste(1024)
+    assert peak > 0.99
+    save_exhibit(results_dir, "fig02_wasted_storage", fig2.render(result))

@@ -1,0 +1,22 @@
+"""Bench: Fig 6 — direct-error coverage vs. profiling rounds.
+
+Reduces the shared BENCH sweep.  Paper claims checked: HARP reaches full
+coverage everywhere and dominates both baselines round-for-round.
+"""
+
+from conftest import save_exhibit
+
+from repro.experiments import fig6
+
+
+def test_fig6_direct_coverage(benchmark, bench_sweep, results_dir):
+    result = benchmark(fig6.from_sweep, bench_sweep)
+    config = bench_sweep.config
+    for error_count in config.error_counts:
+        for probability in config.probabilities:
+            assert result.final_coverage(error_count, probability, "HARP-U") == 1.0
+            for baseline in ("Naive", "BEEP"):
+                harp = result.curves[(error_count, probability, "HARP-U")]
+                other = result.curves[(error_count, probability, baseline)]
+                assert all(h >= o - 1e-9 for h, o in zip(harp, other))
+    save_exhibit(results_dir, "fig06_direct_coverage", fig6.render(result))

@@ -1,0 +1,21 @@
+"""Bench: Fig 7 — rounds spent bootstrapping (first direct error found).
+
+Paper claims checked: HARP identifies its first error no later than the
+baselines (median), and is never censored at p = 100%.
+"""
+
+from conftest import save_exhibit
+
+from repro.experiments import fig7
+
+
+def test_fig7_bootstrapping(benchmark, bench_sweep, results_dir):
+    result = benchmark(fig7.from_sweep, bench_sweep)
+    config = bench_sweep.config
+    for error_count in config.error_counts:
+        for probability in config.probabilities:
+            harp = result.median(error_count, probability, "HARP-U")
+            assert harp <= result.median(error_count, probability, "Naive")
+            assert harp <= result.median(error_count, probability, "BEEP")
+        assert result.censored_fraction(error_count, 1.0, "HARP-U") == 0.0
+    save_exhibit(results_dir, "fig07_bootstrapping", fig7.render(result))

@@ -1,0 +1,24 @@
+"""Bench: Fig 8 — missed indirect-risk bits per ECC word vs. rounds.
+
+Paper claims checked: HARP-U identifies essentially no indirect bits;
+HARP-A's precomputation leaves no more missed bits than HARP-U; the
+missed count is non-increasing for every profiler.
+"""
+
+from conftest import save_exhibit
+
+from repro.experiments import fig8
+
+
+def test_fig8_indirect_coverage(benchmark, bench_sweep, results_dir):
+    result = benchmark(fig8.from_sweep, bench_sweep)
+    config = bench_sweep.config
+    for error_count in config.error_counts:
+        for probability in config.probabilities:
+            harp_u = result.curves[(error_count, probability, "HARP-U")]
+            harp_a = result.curves[(error_count, probability, "HARP-A")]
+            assert harp_u[-1] >= harp_u[0] * 0.8  # HARP-U: near-flat
+            assert harp_a[-1] <= harp_u[-1] + 1e-9  # HARP-A dominates
+    for curve in result.curves.values():
+        assert list(curve) == sorted(curve, reverse=True)
+    save_exhibit(results_dir, "fig08_indirect_coverage", fig8.render(result))

@@ -1,0 +1,25 @@
+"""Bench: Fig 9 — secondary-ECC capability required after active profiling.
+
+Paper claims checked: HARP words are bounded at one simultaneous
+post-correction error after the full active phase (9a), and HARP reaches
+the capability-1 bound no later than Naive wherever Naive reaches it (9b).
+"""
+
+from conftest import save_exhibit
+
+from repro.experiments import fig9
+
+
+def test_fig9_secondary_ecc(benchmark, bench_sweep, results_dir):
+    result = benchmark(fig9.from_sweep, bench_sweep)
+    config = bench_sweep.config
+    for error_count in config.error_counts:
+        for probability in config.probabilities:
+            for name in ("HARP-U", "HARP-A"):
+                histogram = result.histograms[(error_count, probability, name)]
+                assert sum(histogram.counts[2:]) == 0
+            harp = result.rounds_to_bound[(error_count, probability, "HARP-U", 1)]
+            naive = result.rounds_to_bound[(error_count, probability, "Naive", 1)]
+            if naive is not None:
+                assert harp is not None and harp <= naive
+    save_exhibit(results_dir, "fig09_secondary_ecc", fig9.render(result))

@@ -1,0 +1,42 @@
+"""Bench: Fig 10 — data-retention case-study BER before/after secondary ECC.
+
+The timed body runs a single-probability slice of the case study; the
+paper-shape assertions and the saved exhibit use the full BENCH-scale
+result from the shared session fixture.
+
+Paper claims checked: HARP's post-secondary BER reaches exactly zero;
+HARP gets there no later than Naive; the before-secondary curves are
+non-increasing in profiling rounds.
+"""
+
+from conftest import save_exhibit
+
+from repro.experiments import fig10
+from repro.experiments.config import CaseStudyConfig
+
+TIMED_SLICE = CaseStudyConfig(
+    num_codes=2,
+    words_per_stratum=3,
+    num_rounds=128,
+    probabilities=(0.5,),
+    max_at_risk=4,
+)
+
+
+def test_fig10_case_study(benchmark, bench_case_study, results_dir):
+    timed = benchmark.pedantic(fig10.run, args=(TIMED_SLICE,), rounds=1, iterations=1)
+    assert timed.rounds_to_zero[(0.5, "HARP-U")] is not None
+
+    result = bench_case_study
+    config = result.config
+    for probability in config.probabilities:
+        harp = result.rounds_to_zero[(probability, "HARP-U")]
+        naive = result.rounds_to_zero[(probability, "Naive")]
+        assert harp is not None
+        if naive is not None:
+            assert harp <= naive
+        for rber in config.rbers:
+            assert result.after[(probability, rber, "HARP-U")][-1] == 0.0
+            series = result.before[(probability, rber, "Naive")]
+            assert list(series) == sorted(series, reverse=True)
+    save_exhibit(results_dir, "fig10_case_study", fig10.render(result))

@@ -1,0 +1,30 @@
+"""Bench: the paper's headline comparisons.
+
+* Abstract / §7.3.2: HARP reaches the capability-1 bound in 20.6-62.1% of
+  the best baseline's rounds at p = 50% (2-5 pre-correction errors).
+* §7.4: Naive needs ~3.7x HARP's rounds to reach zero BER at p = 75%.
+
+At bench scale we assert the direction (HARP strictly faster) rather than
+the exact paper fractions, which carry Monte-Carlo spread.
+"""
+
+from conftest import save_exhibit
+
+from repro.experiments import headline
+
+
+def test_headline_speedups(benchmark, bench_sweep, bench_case_study, results_dir):
+    def compute():
+        active = headline.active_speedups(bench_sweep)
+        case = headline.case_study_speedups(bench_case_study)
+        return active, case
+
+    active, case = benchmark(compute)
+    for speedup in active:
+        assert speedup.harp_rounds is not None
+        if speedup.fraction is not None:
+            assert speedup.fraction <= 1.0
+    for speedup in case:
+        if speedup.factor is not None:
+            assert speedup.factor >= 1.0
+    save_exhibit(results_dir, "headline_speedups", headline.render(active, case))

@@ -1,0 +1,20 @@
+"""Bench: Table 2 — at-risk bit amplification under on-die ECC.
+
+Closed-form columns (2^n - 1 patterns, 2^n - n - 1 uncorrectable) plus the
+measured amplification across random (71, 64) codes.
+"""
+
+from conftest import save_exhibit
+
+from repro.experiments import table2
+
+
+def test_table2_amplification(benchmark, results_dir):
+    result = benchmark(table2.run)
+    by_n = {row.pre_correction_at_risk: row for row in result.rows}
+    assert by_n[4].unique_error_patterns == 15
+    assert by_n[8].worst_case_post_correction_at_risk == 255
+    for n, row in by_n.items():
+        _, largest = result.empirical[n]
+        assert largest <= row.worst_case_post_correction_at_risk
+    save_exhibit(results_dir, "table02_amplification", table2.render(result))

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+The Figs 6-9 exhibits all reduce the same Monte-Carlo sweep, so it is
+computed once per session at BENCH scale and shared; each bench then
+measures its own reduction and saves its rendered exhibit under
+``benchmarks/results/`` for inspection (EXPERIMENTS.md quotes these).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import BENCH, CaseStudyConfig
+from repro.experiments.runner import run_sweep
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Case-study scale used by the Fig 10 bench: full RBER/probability grid,
+#: reduced Monte-Carlo samples.
+BENCH_CASE_STUDY = CaseStudyConfig(
+    num_codes=3,
+    words_per_stratum=4,
+    num_rounds=128,
+    max_at_risk=5,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_sweep():
+    """The BENCH-scale profiler sweep shared by the Fig 6-9 benches."""
+    return run_sweep(BENCH)
+
+
+@pytest.fixture(scope="session")
+def bench_case_study():
+    """The BENCH-scale Fig 10 case study (computed lazily, shared)."""
+    from repro.experiments import fig10
+
+    return fig10.run(BENCH_CASE_STUDY)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_exhibit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendered exhibit and echo it for -s runs."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""End-to-end data-retention case study on the object-level system model.
+
+Builds the full Fig 5 system — chip with on-die ECC, HARP active profiler,
+ideal bit-repair, SEC secondary ECC — and runs it through active profiling
+and normal operation at an aggressive (reduced) refresh rate, where each
+word carries several retention-weak cells.  Demonstrates the paper's §7.4
+claim in object form: with HARP's active phase complete, no read ever
+escapes the secondary ECC.
+
+Run:  python examples/data_retention_case_study.py
+"""
+
+import numpy as np
+
+from repro.controller import MemorySystem, SecondaryEcc
+from repro.ecc import random_sec_code
+from repro.memory import OnDieEccChip, sample_word_profile
+from repro.profiling import HarpUProfiler, NaiveProfiler
+
+
+def build_system(profiler_cls, seed: int, num_words: int = 16):
+    """A chip whose words model DRAM rows at a relaxed refresh rate."""
+    rng = np.random.default_rng(seed)
+    code = random_sec_code(64, rng)
+    chip = OnDieEccChip(code, num_words=num_words, rng=rng)
+    for word_index in range(num_words):
+        # Relaxed refresh: 4 retention-weak cells per word, p = 0.5.
+        chip.set_error_profile(word_index, sample_word_profile(code, 4, 0.5, rng))
+    return MemorySystem(chip, profiler_cls, secondary=SecondaryEcc(1), seed=seed)
+
+
+def main() -> None:
+    # A short active-profiling budget separates the profilers: HARP covers
+    # every direct-risk bit within it; Naive is still bootstrapping.
+    for profiler_cls, active_rounds in ((HarpUProfiler, 12), (NaiveProfiler, 12)):
+        system = build_system(profiler_cls, seed=11)
+        report = system.run_active_profiling(num_rounds=active_rounds)
+        operation = system.operate(reads_per_word=200)
+        print(f"{profiler_cls.name}:")
+        print(f"  active profiling: {report.bits_identified} bits identified "
+              f"in {report.rounds} rounds over {report.words_profiled} words")
+        print(f"  operation: {operation.reads} reads, "
+              f"{operation.reactive_corrections} reactive corrections, "
+              f"{operation.reactively_identified_bits} bits reactively identified")
+        print(f"  escapes: {operation.escaped_reads} reads with uncorrectable errors "
+              f"({operation.escaped_bit_errors} bit errors total)")
+        if operation.escaped_reads == 0:
+            print("  -> all retention errors mitigated")
+        else:
+            print("  -> residual uncorrectable errors reached the CPU")
+        print()
+
+
+if __name__ == "__main__":
+    main()

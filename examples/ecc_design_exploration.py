@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Explore how on-die ECC design choices shape the indirect-error surface.
+
+The paper (§2.5.2) notes that the parity-check column arrangement is a free
+design parameter, and cites work on "minimal aliasing" codes that choose
+arrangements to reduce miscorrections.  This example quantifies that
+freedom: across random (71, 64) SEC codes it measures
+
+* how many double-error patterns miscorrect (vs. detect), and
+* how unevenly miscorrections concentrate on individual data bits,
+
+then contrasts a (7, 4) perfect Hamming code (every double error
+miscorrects) with shortened codes (some double errors are detected).
+
+Run:  python examples/ecc_design_exploration.py
+"""
+
+import numpy as np
+
+from repro.ecc import paper_example_code, random_sec_code
+from repro.ecc.code_analysis import miscorrection_profile, syndrome_coverage
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    perfect = paper_example_code()
+    profile = miscorrection_profile(perfect, 2)
+    print(f"(7,4) perfect Hamming: {profile.miscorrecting_patterns}/{profile.total_patterns} "
+          f"double errors miscorrect (rate {profile.miscorrection_rate:.0%})")
+    print()
+
+    rows = []
+    for index in range(6):
+        code = random_sec_code(64, rng)
+        profile = miscorrection_profile(code, 2)
+        matched, total = syndrome_coverage(code)
+        counts = np.array(profile.target_counts)
+        rows.append(
+            [
+                f"code-{index}",
+                f"{matched}/{total}",
+                f"{profile.miscorrection_rate:.1%}",
+                int(counts.max()),
+                f"{counts[: code.k].sum() / max(1, counts.sum()):.0%}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "random (71,64) code",
+                "matched syndromes",
+                "2-bit miscorrection rate",
+                "worst per-bit aliasing",
+                "aliasing into data bits",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("Interpretation: every random arrangement leaves a different")
+    print("miscorrection surface — exactly why a profiler without visibility")
+    print("into the correction process (paper challenge 2) cannot predict")
+    print("which bits are at indirect risk without knowing H (HARP-A) or")
+    print("bypassing correction entirely (HARP-U).")
+
+
+if __name__ == "__main__":
+    main()

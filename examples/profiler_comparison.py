@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Compare all five profilers on the paper's main sweep (reduced scale).
+
+Reproduces the qualitative story of Figs 6-9 in one run: direct coverage,
+bootstrapping, missed indirect bits, and the secondary-ECC capability each
+profiler leaves behind.
+
+Run:  python examples/profiler_comparison.py
+"""
+
+from repro.experiments import fig6, fig7, fig8, fig9, headline
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import run_sweep
+
+
+def main() -> None:
+    config = SweepConfig(
+        num_codes=4,
+        words_per_code=6,
+        num_rounds=64,
+        error_counts=(2, 4),
+        probabilities=(0.5,),
+    )
+    print(f"sweep: {config.num_codes} codes x {config.words_per_code} words, "
+          f"{config.num_rounds} rounds, profilers {config.profilers}")
+    sweep = run_sweep(config)
+
+    print()
+    print(fig6.render(fig6.from_sweep(sweep)))
+    print()
+    print(fig7.render(fig7.from_sweep(sweep)))
+    print()
+    print(fig8.render(fig8.from_sweep(sweep)))
+    print()
+    print(fig9.render(fig9.from_sweep(sweep)))
+    print()
+    print(headline.render(active=headline.active_speedups(sweep)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Reactive profiling via ECC scrubbing (paper §2.3.2 + §6.3).
+
+Shows the division of labour HARP establishes:
+
+1. a word's lone at-risk bits are *invisible* to scrubbing — on-die ECC
+   corrects them silently;
+2. with the direct-risk bits repaired (HARP's active phase), the
+   remaining indirect errors surface one at a time and scrubbing
+   identifies each on its first occurrence;
+3. without active profiling, multi-bit words defeat the SEC secondary
+   ECC and scrub reads escape uncorrected.
+
+Run:  python examples/reactive_scrubbing.py
+"""
+
+import numpy as np
+
+from repro.analysis import compute_ground_truth
+from repro.controller import Scrubber
+from repro.ecc import random_sec_code
+from repro.memory import OnDieEccChip, sample_word_profile
+from repro.repair import ErrorProfile
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    code = random_sec_code(64, rng)
+    num_words = 8
+
+    profiles = [sample_word_profile(code, 4, 0.5, rng) for _ in range(num_words)]
+    truths = [compute_ground_truth(code, p) for p in profiles]
+
+    def build_chip(seed):
+        chip = OnDieEccChip(code, num_words=num_words, rng=np.random.default_rng(seed))
+        for index, profile in enumerate(profiles):
+            chip.set_error_profile(index, profile)
+        return chip
+
+    # Scenario A: scrubbing alone (no active profiling).
+    report_a = Scrubber(build_chip(1)).run(num_passes=50)
+    print("scrubbing alone:")
+    print(f"  identified {report_a.identified_bits} bits, "
+          f"{report_a.escaped_reads} escaped reads (uncorrectable)")
+
+    # Scenario B: HARP's active phase first — every direct-risk bit repaired.
+    store = ErrorProfile()
+    for index, truth in enumerate(truths):
+        store.mark_many(index, truth.direct_at_risk)
+    report_b = Scrubber(build_chip(1), profile=store).run(num_passes=50)
+    indirect_total = sum(len(t.indirect_at_risk) for t in truths)
+    print("scrubbing after HARP active phase:")
+    print(f"  identified {report_b.identified_bits} of {indirect_total} "
+          f"indirect-risk bits, {report_b.escaped_reads} escaped reads")
+    if report_b.clean:
+        print("  -> no read ever exceeded the secondary SEC capability")
+
+    latencies = sorted(report_b.identification_pass.values())
+    if latencies:
+        print(f"  identification latency (scrub passes): "
+              f"first={latencies[0]}, median={latencies[len(latencies) // 2]}, "
+              f"last={latencies[-1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim for offline editable installs (no `wheel` available)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Exact analysis of on-die ECC behaviour: at-risk sets, probabilities."""
+
+from repro.analysis.atrisk import (
+    GroundTruth,
+    compute_ground_truth,
+    is_charge_realizable,
+    max_simultaneous_post_errors,
+    predict_indirect_from_direct,
+    solve_charge_assignment,
+)
+from repro.analysis.bootstrap import censored_rounds, rounds_to_first_identification
+from repro.analysis.combinatorics import (
+    AmplificationRow,
+    amplification_row,
+    empirical_amplification,
+)
+from repro.analysis.probabilities import (
+    WordBerAnalyzer,
+    charged_at_risk_bits,
+    expected_residual_ber_after_secondary,
+    expected_unrepaired_ber,
+    per_bit_post_error_probabilities,
+)
+from repro.analysis.secondary_ecc import (
+    capability_trajectory,
+    required_capability,
+    rounds_to_bound_capability,
+)
+
+__all__ = [
+    "GroundTruth",
+    "compute_ground_truth",
+    "is_charge_realizable",
+    "solve_charge_assignment",
+    "max_simultaneous_post_errors",
+    "predict_indirect_from_direct",
+    "censored_rounds",
+    "rounds_to_first_identification",
+    "AmplificationRow",
+    "amplification_row",
+    "empirical_amplification",
+    "WordBerAnalyzer",
+    "charged_at_risk_bits",
+    "per_bit_post_error_probabilities",
+    "expected_unrepaired_ber",
+    "expected_residual_ber_after_secondary",
+    "capability_trajectory",
+    "required_capability",
+    "rounds_to_bound_capability",
+]

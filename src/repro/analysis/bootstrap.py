@@ -1,0 +1,40 @@
+"""Bootstrapping metrics (paper §4.2, Fig 7).
+
+A profiler that observes only post-correction errors learns nothing until
+some uncorrectable combination of pre-correction errors happens to occur —
+the paper calls escaping this blind phase *bootstrapping*.  These helpers
+extract bootstrapping statistics from per-round identification traces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["rounds_to_first_identification", "censored_rounds"]
+
+
+def rounds_to_first_identification(
+    identified_counts: Sequence[int],
+    max_rounds: int | None = None,
+) -> int:
+    """1-based round of the first identification, censored at ``max_rounds``.
+
+    Args:
+        identified_counts: cumulative identified-bit counts per round.
+        max_rounds: censoring bound; defaults to ``len(identified_counts)``.
+            The paper conservatively plots words with no identification as
+            requiring the maximum simulated round count (its Fig 7).
+    """
+    bound = len(identified_counts) if max_rounds is None else max_rounds
+    for round_index, count in enumerate(identified_counts):
+        if count > 0:
+            return round_index + 1
+    return bound
+
+
+def censored_rounds(
+    traces: Sequence[Sequence[int]],
+    max_rounds: int | None = None,
+) -> list[int]:
+    """First-identification rounds for a batch of traces (one per word)."""
+    return [rounds_to_first_identification(trace, max_rounds) for trace in traces]

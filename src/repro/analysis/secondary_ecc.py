@@ -1,0 +1,63 @@
+"""Secondary-ECC correction-capability analysis (paper §7.3.2, Fig 9).
+
+HARP's reactive phase is safe only if the memory-controller-side secondary
+ECC can correct every error pattern that can still occur after active
+profiling.  These helpers compute the required capability per word and the
+number of active rounds needed to bound it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.atrisk import GroundTruth, max_simultaneous_post_errors
+from repro.utils.stats import percentile
+
+__all__ = [
+    "required_capability",
+    "capability_trajectory",
+    "rounds_to_bound_capability",
+]
+
+
+def required_capability(ground_truth: GroundTruth, identified: frozenset[int] | set[int]) -> int:
+    """Secondary-ECC correction capability this word needs right now.
+
+    Equals the worst-case number of simultaneous post-correction errors at
+    positions the repair mechanism has *not* yet profiled.
+    """
+    missed = ground_truth.post_correction_at_risk - frozenset(identified)
+    return max_simultaneous_post_errors(ground_truth, missed)
+
+
+def capability_trajectory(
+    ground_truth: GroundTruth,
+    identified_per_round: Sequence[frozenset[int] | set[int]],
+) -> list[int]:
+    """Required capability after each profiling round."""
+    return [required_capability(ground_truth, identified) for identified in identified_per_round]
+
+
+def rounds_to_bound_capability(
+    trajectories: Sequence[Sequence[int]],
+    bound: int,
+    q: float = 99.0,
+) -> int | None:
+    """Earliest round where the q-th percentile capability is <= ``bound``.
+
+    This is the paper's Fig 9b metric ("number of profiling rounds required
+    to achieve 99th-percentile values of the maximum number of simultaneous
+    post-correction errors").  Returns a 1-based round index, or ``None``
+    when the bound is never reached within the simulated rounds.
+    """
+    if not trajectories:
+        raise ValueError("need at least one trajectory")
+    num_rounds = len(trajectories[0])
+    for trajectory in trajectories:
+        if len(trajectory) != num_rounds:
+            raise ValueError("trajectories must have equal length")
+    for round_index in range(num_rounds):
+        values = [trajectory[round_index] for trajectory in trajectories]
+        if percentile(values, q) <= bound:
+            return round_index + 1
+    return None

@@ -1,0 +1,177 @@
+"""Command-line interface: regenerate any paper exhibit from a terminal.
+
+Usage::
+
+    python -m repro fig6 --scale unit
+    python -m repro fig10 --seed 7
+    python -m repro all --scale unit
+
+Each subcommand prints the exhibit's text rendition (the same output the
+benchmark harness saves under ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Callable
+
+from repro.experiments import (
+    ext_code_length,
+    ext_dec,
+    ext_heterogeneous,
+    ext_interleaving,
+    ext_patterns,
+    ext_rank,
+    ext_scrubbing,
+    fig2,
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    headline,
+    table2,
+)
+from repro.experiments.config import BENCH, FULL, UNIT, CaseStudyConfig, SweepConfig
+from repro.experiments.runner import run_sweep
+
+__all__ = ["main", "build_parser"]
+
+SCALES: dict[str, SweepConfig] = {"unit": UNIT, "bench": BENCH, "full": FULL}
+
+#: Case-study scales matching the sweep presets.
+CASE_SCALES: dict[str, CaseStudyConfig] = {
+    "unit": CaseStudyConfig(
+        num_codes=2, words_per_stratum=3, num_rounds=64, probabilities=(0.5, 0.75), max_at_risk=4
+    ),
+    "bench": CaseStudyConfig(num_codes=3, words_per_stratum=4, num_rounds=128, max_at_risk=5),
+    "full": CaseStudyConfig(num_codes=6, words_per_stratum=10, num_rounds=128),
+}
+
+
+def _sweep_config(args: argparse.Namespace) -> SweepConfig:
+    return replace(SCALES[args.scale], seed=args.seed)
+
+
+def _case_config(args: argparse.Namespace) -> CaseStudyConfig:
+    return replace(CASE_SCALES[args.scale], seed=args.seed)
+
+
+def _run_fig2(args: argparse.Namespace) -> str:
+    return fig2.render(fig2.run())
+
+
+def _run_table2(args: argparse.Namespace) -> str:
+    return table2.render(table2.run(seed=args.seed))
+
+
+def _run_fig4(args: argparse.Namespace) -> str:
+    scale = {"unit": (3, 6), "bench": (6, 12), "full": (12, 25)}[args.scale]
+    config = fig4.Fig4Config(num_codes=scale[0], words_per_code=scale[1], seed=args.seed)
+    return fig4.render(fig4.run(config))
+
+
+def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
+    def runner(args: argparse.Namespace) -> str:
+        sweep = run_sweep(_sweep_config(args))
+        return module.render(module.from_sweep(sweep))
+
+    return runner
+
+
+def _run_fig10(args: argparse.Namespace) -> str:
+    return fig10.render(fig10.run(_case_config(args)))
+
+
+def _run_headline(args: argparse.Namespace) -> str:
+    sweep = run_sweep(_sweep_config(args))
+    case = fig10.run(_case_config(args))
+    return headline.render(
+        active=headline.active_speedups(sweep),
+        case_study=headline.case_study_speedups(case),
+    )
+
+
+def _run_ext_patterns(args: argparse.Namespace) -> str:
+    return ext_patterns.render(ext_patterns.run())
+
+
+def _run_ext_dec(args: argparse.Namespace) -> str:
+    return ext_dec.render(ext_dec.run(seed=args.seed))
+
+
+def _run_ext_code_length(args: argparse.Namespace) -> str:
+    return ext_code_length.render(ext_code_length.run())
+
+
+def _run_ext_heterogeneous(args: argparse.Namespace) -> str:
+    return ext_heterogeneous.render(ext_heterogeneous.run(seed=args.seed))
+
+
+def _run_ext_interleaving(args: argparse.Namespace) -> str:
+    return ext_interleaving.render(ext_interleaving.run(seed=args.seed))
+
+
+def _run_ext_scrubbing(args: argparse.Namespace) -> str:
+    return ext_scrubbing.render(ext_scrubbing.run(seed=args.seed))
+
+
+def _run_ext_rank(args: argparse.Namespace) -> str:
+    return ext_rank.render(ext_rank.run(seed=args.seed))
+
+
+COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
+    "fig2": ("Fig 2: wasted storage vs repair granularity", _run_fig2),
+    "table2": ("Table 2: at-risk bit amplification", _run_table2),
+    "fig4": ("Fig 4: post-correction error probabilities", _run_fig4),
+    "fig6": ("Fig 6: direct-error coverage", _sweep_exhibit(fig6)),
+    "fig7": ("Fig 7: bootstrapping rounds", _sweep_exhibit(fig7)),
+    "fig8": ("Fig 8: missed indirect-risk bits", _sweep_exhibit(fig8)),
+    "fig9": ("Fig 9: secondary-ECC capability", _sweep_exhibit(fig9)),
+    "fig10": ("Fig 10: data-retention case study", _run_fig10),
+    "headline": ("Headline speedup numbers", _run_headline),
+    "ext-patterns": ("Ablation: data patterns", _run_ext_patterns),
+    "ext-dec": ("Extension: DEC BCH on-die ECC", _run_ext_dec),
+    "ext-codelength": ("Extension: (136,128) geometry", _run_ext_code_length),
+    "ext-heterogeneous": ("Extension: normal per-bit probabilities", _run_ext_heterogeneous),
+    "ext-interleaving": ("Extension: secondary-ECC word layouts", _run_ext_interleaving),
+    "ext-scrubbing": ("Extension: scrubbing identification latency", _run_ext_scrubbing),
+    "ext-rank": ("Extension: rank-layout escape rates", _run_ext_rank),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate exhibits of the HARP (MICRO 2021) reproduction.",
+    )
+    parser.add_argument(
+        "command",
+        choices=list(COMMANDS) + ["all"],
+        help="exhibit to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=list(SCALES),
+        default="unit",
+        help="Monte-Carlo scale preset (default: unit)",
+    )
+    parser.add_argument("--seed", type=int, default=2021, help="experiment seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(COMMANDS) if args.command == "all" else [args.command]
+    for name in names:
+        description, runner = COMMANDS[name]
+        print(f"== {description} ==")
+        print(runner(args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Memory-controller-side machinery: secondary ECC and the full system."""
+
+from repro.controller.layout import (
+    SecondaryWord,
+    aligned_layout,
+    interleaved_layout,
+    required_secondary_capability,
+    split_layout,
+    worst_case_concurrent_errors,
+)
+from repro.controller.rank import MemoryRank, RankController, RankOperationReport
+from repro.controller.scrubber import ScrubReport, Scrubber
+from repro.controller.secondary_ecc import ReactiveOutcome, SecondaryEcc
+from repro.controller.system import ActiveProfilingReport, MemorySystem, OperationReport
+
+__all__ = [
+    "ReactiveOutcome",
+    "SecondaryEcc",
+    "MemorySystem",
+    "ActiveProfilingReport",
+    "OperationReport",
+    "SecondaryWord",
+    "aligned_layout",
+    "split_layout",
+    "interleaved_layout",
+    "worst_case_concurrent_errors",
+    "required_secondary_capability",
+    "Scrubber",
+    "ScrubReport",
+    "MemoryRank",
+    "RankController",
+    "RankOperationReport",
+]

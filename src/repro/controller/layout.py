@@ -1,0 +1,138 @@
+"""Secondary-ECC word layout vs. on-die ECC word geometry (paper §6.3).
+
+The secondary ECC word and the on-die ECC word need not coincide.  The
+paper discusses the design space:
+
+* **aligned** — one secondary word per on-die word (the paper's working
+  assumption): the secondary word sees at most ``t`` concurrent indirect
+  errors, where ``t`` is the on-die correction capability;
+* **split** — one on-die word divided across several secondary words
+  (e.g. across bus transfers): each secondary word covers a fragment of a
+  single on-die word and still sees at most ``t`` errors, at the cost of
+  more parity overhead and the multi-transfer reliability challenges the
+  paper cites;
+* **interleaved** — one secondary word spanning several on-die words:
+  worst case, every covered on-die word contributes ``t`` errors
+  simultaneously, so the secondary capability must scale with the
+  interleaving degree ("which could require stronger secondary ECC").
+
+This module models those layouts and computes the exact worst-case
+concurrent error count each secondary word must handle, given the ground
+truth of the covered on-die words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.atrisk import GroundTruth, max_simultaneous_post_errors
+
+__all__ = [
+    "SecondaryWord",
+    "aligned_layout",
+    "split_layout",
+    "interleaved_layout",
+    "worst_case_concurrent_errors",
+    "required_secondary_capability",
+]
+
+
+@dataclass(frozen=True)
+class SecondaryWord:
+    """One secondary-ECC word: the data bits it covers, per on-die word.
+
+    Attributes:
+        coverage: mapping from on-die word index to the set of *data* bit
+            offsets (within that on-die word) this secondary word protects.
+    """
+
+    coverage: dict[int, frozenset[int]]
+
+    def __post_init__(self) -> None:
+        for word_index, bits in self.coverage.items():
+            if word_index < 0:
+                raise ValueError("on-die word indices must be non-negative")
+            for bit in bits:
+                if bit < 0:
+                    raise ValueError("bit offsets must be non-negative")
+
+    @property
+    def total_bits(self) -> int:
+        return sum(len(bits) for bits in self.coverage.values())
+
+
+def aligned_layout(num_words: int, k: int) -> list[SecondaryWord]:
+    """One secondary word per on-die ECC word (paper's assumption)."""
+    return [
+        SecondaryWord(coverage={word: frozenset(range(k))}) for word in range(num_words)
+    ]
+
+
+def split_layout(num_words: int, k: int, ways: int) -> list[SecondaryWord]:
+    """Each on-die word divided into ``ways`` secondary words."""
+    if ways < 1 or k % ways:
+        raise ValueError(f"k={k} must divide evenly into {ways} ways")
+    fragment = k // ways
+    words = []
+    for word in range(num_words):
+        for way in range(ways):
+            bits = frozenset(range(way * fragment, (way + 1) * fragment))
+            words.append(SecondaryWord(coverage={word: bits}))
+    return words
+
+
+def interleaved_layout(num_words: int, k: int, ways: int) -> list[SecondaryWord]:
+    """Secondary words spanning ``ways`` consecutive on-die words.
+
+    Each secondary word takes a ``k / ways`` fragment from each of ``ways``
+    on-die words (e.g. two 64-bit halves of two on-die words forming one
+    128-bit secondary word).  ``num_words`` must be a multiple of ``ways``.
+    """
+    if ways < 1 or k % ways or num_words % ways:
+        raise ValueError("ways must divide both k and num_words")
+    fragment = k // ways
+    words = []
+    for group_start in range(0, num_words, ways):
+        for way in range(ways):
+            bits = frozenset(range(way * fragment, (way + 1) * fragment))
+            coverage = {
+                group_start + offset: bits for offset in range(ways)
+            }
+            words.append(SecondaryWord(coverage=coverage))
+    return words
+
+
+def worst_case_concurrent_errors(
+    secondary_word: SecondaryWord,
+    truths: dict[int, GroundTruth],
+    missed: dict[int, frozenset[int]],
+) -> int:
+    """Worst-case simultaneous unrepaired errors inside one secondary word.
+
+    Pre-correction errors in different on-die words are independent, so
+    the worst cases add across the covered on-die words; within one on-die
+    word the exact pattern enumeration of
+    :func:`~repro.analysis.atrisk.max_simultaneous_post_errors` applies,
+    restricted to the covered bit offsets.
+    """
+    total = 0
+    for word_index, covered_bits in secondary_word.coverage.items():
+        truth = truths.get(word_index)
+        if truth is None:
+            continue
+        missed_in_word = missed.get(word_index, truth.post_correction_at_risk)
+        total += max_simultaneous_post_errors(truth, missed_in_word & covered_bits)
+    return total
+
+
+def required_secondary_capability(
+    layout: list[SecondaryWord],
+    truths: dict[int, GroundTruth],
+    missed: dict[int, frozenset[int]],
+) -> int:
+    """Correction capability the secondary ECC needs for a whole layout."""
+    if not layout:
+        raise ValueError("layout must contain at least one secondary word")
+    return max(
+        worst_case_concurrent_errors(word, truths, missed) for word in layout
+    )

@@ -1,0 +1,175 @@
+"""Multi-chip memory rank (paper §6.3).
+
+A rank gangs several chips: one controller access reads the same row from
+every chip and concatenates their datawords into a block.  Each chip runs
+its own on-die ECC, so a block spans multiple on-die ECC words — and the
+controller must decide how to lay its secondary ECC words across them
+(:mod:`repro.controller.layout`).  This module is the object-level
+realization of that design space: it simulates rank reads and applies the
+secondary ECC per layout, so the capability requirements the layout
+analysis predicts can be observed as actual escapes.
+
+Coordinate convention: within one rank row, ``SecondaryWord.coverage``
+keys are *chip indices* (the on-die word a block bit belongs to is
+determined by its chip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.controller.layout import SecondaryWord
+from repro.controller.secondary_ecc import SecondaryEcc
+from repro.memory.chip import OnDieEccChip
+from repro.repair.mechanisms import IdealBitRepair
+from repro.repair.profile_store import ErrorProfile
+
+__all__ = ["MemoryRank", "RankOperationReport", "RankController"]
+
+
+class MemoryRank:
+    """Several chips addressed in lockstep.
+
+    All chips must share the ECC geometry and word count; a rank row ``r``
+    is the tuple of word ``r`` in every chip.
+    """
+
+    def __init__(self, chips: list[OnDieEccChip]) -> None:
+        if not chips:
+            raise ValueError("a rank needs at least one chip")
+        geometry = (chips[0].code.n, chips[0].code.k, chips[0].num_words)
+        for chip in chips[1:]:
+            if (chip.code.n, chip.code.k, chip.num_words) != geometry:
+                raise ValueError("all chips in a rank must share geometry")
+        self.chips = chips
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.chips)
+
+    @property
+    def num_rows(self) -> int:
+        return self.chips[0].num_words
+
+    @property
+    def k(self) -> int:
+        return self.chips[0].code.k
+
+    def write_row(self, row: int, data: np.ndarray) -> None:
+        """Write one block: ``data`` has shape ``(num_chips, k)``."""
+        arr = np.asarray(data, dtype=np.uint8)
+        if arr.shape != (self.num_chips, self.k):
+            raise ValueError(f"expected shape {(self.num_chips, self.k)}, got {arr.shape}")
+        for chip_index, chip in enumerate(self.chips):
+            chip.write(row, arr[chip_index])
+
+    def read_row(self, row: int) -> list[np.ndarray]:
+        """Read one block through every chip's on-die ECC."""
+        return [chip.read(row).data for chip in self.chips]
+
+
+@dataclass
+class RankOperationReport:
+    """Escape/identification accounting of a rank operation campaign."""
+
+    reads: int = 0
+    secondary_corrections: int = 0
+    identified_bits: int = 0
+    escaped_secondary_words: int = 0
+    escaped_bit_errors: int = 0
+    #: per secondary-word index: worst simultaneous unrepaired errors seen.
+    worst_concurrent: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return self.escaped_secondary_words == 0
+
+
+class RankController:
+    """Controller driving a rank with a secondary-word layout.
+
+    Args:
+        rank: the chips.
+        layout: secondary words over chip indices (see module docstring).
+        secondary: the secondary ECC applied per secondary word.
+        profiles: per-chip error profiles backing the repair mechanism
+            (fresh ones are created when omitted).
+    """
+
+    def __init__(
+        self,
+        rank: MemoryRank,
+        layout: list[SecondaryWord],
+        secondary: SecondaryEcc | None = None,
+        profiles: list[ErrorProfile] | None = None,
+    ) -> None:
+        if not layout:
+            raise ValueError("layout must contain at least one secondary word")
+        covered: dict[int, set[int]] = {}
+        for word in layout:
+            for chip_index, bits in word.coverage.items():
+                if chip_index >= rank.num_chips:
+                    raise ValueError(f"layout references chip {chip_index} beyond the rank")
+                overlap = covered.setdefault(chip_index, set()) & set(bits)
+                if overlap:
+                    raise ValueError(f"layout covers chip {chip_index} bits {overlap} twice")
+                covered[chip_index] |= set(bits)
+        self.rank = rank
+        self.layout = layout
+        self.secondary = secondary or SecondaryEcc(1)
+        self.profiles = (
+            profiles if profiles is not None else [ErrorProfile() for _ in rank.chips]
+        )
+        if len(self.profiles) != rank.num_chips:
+            raise ValueError("need one error profile per chip")
+        self._repairs = [IdealBitRepair(profile) for profile in self.profiles]
+
+    def operate(
+        self, reads_per_row: int, data: np.ndarray | None = None
+    ) -> RankOperationReport:
+        """Run reads over every row, applying repair + secondary ECC."""
+        block = (
+            np.ones((self.rank.num_chips, self.rank.k), dtype=np.uint8)
+            if data is None
+            else np.asarray(data, dtype=np.uint8)
+        )
+        report = RankOperationReport()
+        for row in range(self.rank.num_rows):
+            self.rank.write_row(row, block)
+            for _ in range(reads_per_row):
+                observed = self.rank.read_row(row)
+                report.reads += 1
+                unrepaired_by_chip = {}
+                for chip_index, data_read in enumerate(observed):
+                    mismatches = frozenset(
+                        int(i) for i in np.flatnonzero(data_read != block[chip_index])
+                    )
+                    unrepaired_by_chip[chip_index] = self._repairs[
+                        chip_index
+                    ].unrepaired_errors(row, mismatches)
+                for word_index, word in enumerate(self.layout):
+                    in_word = {
+                        (chip_index, bit)
+                        for chip_index, bits in word.coverage.items()
+                        for bit in unrepaired_by_chip.get(chip_index, frozenset())
+                        if bit in bits
+                    }
+                    count = len(in_word)
+                    report.worst_concurrent[word_index] = max(
+                        report.worst_concurrent.get(word_index, 0), count
+                    )
+                    if count == 0:
+                        continue
+                    reactive = self.secondary.process_read(in_word)
+                    if reactive.corrected:
+                        report.secondary_corrections += 1
+                        for chip_index, bit in reactive.corrected:
+                            if not self.profiles[chip_index].is_marked(row, bit):
+                                report.identified_bits += 1
+                            self.profiles[chip_index].mark(row, bit)
+                    if reactive.escaped:
+                        report.escaped_secondary_words += 1
+                        report.escaped_bit_errors += len(reactive.escaped)
+        return report

@@ -1,0 +1,109 @@
+"""ECC-scrubbing reactive profiler (paper §2.3.2).
+
+Reactive profiling in practice is implemented as periodic *scrubbing*: the
+controller walks all of memory on a fixed cadence, letting the secondary
+ECC observe, correct, and record errors.  This module models that process
+on top of :class:`~repro.controller.system.MemorySystem`-style components
+and measures the identification latency of indirect-risk bits — the
+quantity that determines how long the system stays exposed after active
+profiling ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.controller.secondary_ecc import SecondaryEcc
+from repro.memory.chip import OnDieEccChip
+from repro.repair.mechanisms import IdealBitRepair
+from repro.repair.profile_store import ErrorProfile
+
+__all__ = ["ScrubReport", "Scrubber"]
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of a scrubbing campaign."""
+
+    passes: int
+    reads: int
+    corrected_events: int
+    identified_bits: int
+    escaped_reads: int
+    #: 1-based scrub pass at which each newly-identified bit was found,
+    #: keyed by (word index, bit offset).
+    identification_pass: dict[tuple[int, int], int]
+
+    @property
+    def clean(self) -> bool:
+        return self.escaped_reads == 0
+
+
+class Scrubber:
+    """Periodic whole-memory scrub with reactive identification.
+
+    Args:
+        chip: the memory chip under scrub (error profiles attached).
+        profile: the repair mechanism's error profile; bits identified
+            during scrubbing are appended here, exactly like HARP's
+            reactive phase.
+        secondary: the controller-side ECC watching each scrub read.
+        data: the operational data pattern scrubbed against (defaults to
+            all ones, the true-cell worst case).
+    """
+
+    def __init__(
+        self,
+        chip: OnDieEccChip,
+        profile: ErrorProfile | None = None,
+        secondary: SecondaryEcc | None = None,
+        data: np.ndarray | None = None,
+    ) -> None:
+        self.chip = chip
+        self.profile = profile if profile is not None else ErrorProfile()
+        self.repair = IdealBitRepair(self.profile)
+        self.secondary = secondary or SecondaryEcc(1)
+        self.data = (
+            np.ones(chip.code.k, dtype=np.uint8) if data is None else np.asarray(data, dtype=np.uint8)
+        )
+
+    def run(self, num_passes: int) -> ScrubReport:
+        """Execute ``num_passes`` full scrub walks over the chip."""
+        if num_passes < 0:
+            raise ValueError("num_passes must be non-negative")
+        report = ScrubReport(
+            passes=num_passes,
+            reads=0,
+            corrected_events=0,
+            identified_bits=0,
+            escaped_reads=0,
+            identification_pass={},
+        )
+        for word_index in range(self.chip.num_words):
+            self.chip.write(word_index, self.data)
+        for scrub_pass in range(1, num_passes + 1):
+            for word_index in range(self.chip.num_words):
+                outcome = self.chip.read(word_index)
+                report.reads += 1
+                mismatches = frozenset(
+                    int(i) for i in np.flatnonzero(outcome.data != self.data)
+                )
+                unrepaired = self.repair.unrepaired_errors(word_index, mismatches)
+                if not unrepaired:
+                    continue
+                reactive = self.secondary.process_read(unrepaired)
+                if reactive.corrected:
+                    report.corrected_events += 1
+                    known = self.profile.bits_for(word_index)
+                    for bit in reactive.corrected - known:
+                        report.identified_bits += 1
+                        report.identification_pass[(word_index, bit)] = scrub_pass
+                    self.profile.mark_many(word_index, reactive.corrected)
+                    # Scrubbing rewrites the corrected word, restoring the
+                    # intended data before moving on.
+                    self.chip.write(word_index, self.data)
+                if reactive.escaped:
+                    report.escaped_reads += 1
+        return report

@@ -1,0 +1,55 @@
+"""Memory-controller-side secondary ECC for reactive profiling (paper §6.3).
+
+During reactive profiling the secondary ECC watches every read.  Errors at
+unrepaired positions form the pattern it must handle:
+
+* within its correction capability — corrected *and identified*: the bits
+  are recorded in the error profile so the repair mechanism covers them
+  from then on;
+* beyond its capability — the read escapes with uncorrected errors, the
+  failure HARP's active-phase guarantee exists to prevent.
+
+The model is deliberately conservative: an over-capability pattern is
+counted as escaping in full, without crediting partial or lucky
+corrections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReactiveOutcome", "SecondaryEcc"]
+
+
+@dataclass(frozen=True)
+class ReactiveOutcome:
+    """Result of the secondary ECC processing one word's read."""
+
+    corrected: frozenset[int]
+    escaped: frozenset[int]
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrected and not self.escaped
+
+
+class SecondaryEcc:
+    """A ``t``-error-correcting code at on-die-ECC-word granularity.
+
+    The paper requires the secondary correction capability to be at least
+    the on-die ECC's (§6.3): a SEC on-die code can inject at most one
+    indirect error at a time, so ``capability=1`` suffices once active
+    profiling has covered all direct-risk bits.
+    """
+
+    def __init__(self, correction_capability: int = 1) -> None:
+        if correction_capability < 0:
+            raise ValueError("correction capability must be non-negative")
+        self.correction_capability = correction_capability
+
+    def process_read(self, unrepaired_errors: frozenset[int] | set[int]) -> ReactiveOutcome:
+        """Classify one read's unrepaired post-correction errors."""
+        errors = frozenset(unrepaired_errors)
+        if len(errors) <= self.correction_capability:
+            return ReactiveOutcome(corrected=errors, escaped=frozenset())
+        return ReactiveOutcome(corrected=frozenset(), escaped=errors)

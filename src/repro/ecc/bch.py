@@ -1,0 +1,91 @@
+"""Double-error-correcting (DEC) BCH codes in systematic form.
+
+The paper's analysis assumes SEC on-die ECC but notes (footnote 9) that it
+generalizes to stronger block codes such as DEC BCH.  This module builds
+systematic DEC BCH codes so the profiling framework can be exercised with an
+on-die correction capability of ``N = 2`` — and hence up to two concurrent
+indirect errors, requiring a stronger secondary ECC (paper §6.3.2).
+
+Construction: the primitive narrow-sense BCH code of length ``2^m - 1`` with
+designed distance 5 has parity-check matrix rows ``alpha^j`` and
+``alpha^{3j}`` expanded to bits.  We row-reduce that matrix, move its pivot
+positions to the parity end of the word (coordinate permutation preserves
+distance), convert to ``[P | I]`` form, and shorten to the requested
+dataword length (shortening also preserves distance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc import gf2
+from repro.ecc.gf2m import GF2m, field
+from repro.ecc.linear_code import SystematicCode
+from repro.utils.bits import int_to_bits
+
+__all__ = ["bch_dec_code", "bch_field_degree_for"]
+
+
+def bch_field_degree_for(k: int) -> int:
+    """Smallest field degree m such that a DEC BCH code has >= k data bits.
+
+    The primitive DEC BCH code of length ``2^m - 1`` has ``2m`` parity bits
+    (for m >= 4), leaving ``2^m - 1 - 2m`` data bits.
+
+    >>> bch_field_degree_for(16)
+    5
+    >>> bch_field_degree_for(64)
+    7
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    m = 4
+    while (1 << m) - 1 - 2 * m < k:
+        m += 1
+    return m
+
+
+def _raw_parity_check_matrix(fld: GF2m) -> np.ndarray:
+    """The ``(2m, 2^m - 1)`` binary matrix with columns [alpha^j; alpha^3j]."""
+    m = fld.m
+    n = fld.order
+    matrix = np.zeros((2 * m, n), dtype=np.uint8)
+    for j in range(n):
+        matrix[:m, j] = int_to_bits(fld.alpha_power(j), m)
+        matrix[m:, j] = int_to_bits(fld.alpha_power(3 * j), m)
+    return matrix
+
+
+def bch_dec_code(k: int, m: int | None = None) -> SystematicCode:
+    """A systematic double-error-correcting BCH code with ``k`` data bits.
+
+    Args:
+        k: dataword length (the code is shortened to exactly this length).
+        m: optional field degree override; defaults to the smallest field
+            that fits ``k`` data bits.
+
+    Returns:
+        A :class:`SystematicCode` with ``t = 2``.
+    """
+    if m is None:
+        m = bch_field_degree_for(k)
+    fld = field(m)
+    raw = _raw_parity_check_matrix(fld)
+    reduced, pivots = gf2.row_reduce(raw)
+    num_parity = len(pivots)
+    max_k = fld.order - num_parity
+    if k > max_k:
+        raise ValueError(f"m={m} supports at most {max_k} data bits, requested {k}")
+    non_pivots = [c for c in range(fld.order) if c not in pivots]
+    # Reorder coordinates: data (non-pivot) columns first, pivot columns
+    # last.  In the reduced matrix the pivot columns form an identity, so
+    # the permuted matrix is already [P_full | I].
+    rows_with_pivots = reduced[:num_parity, :]
+    parity_full = rows_with_pivots[:, non_pivots]
+    # Shorten: keep the first k data coordinates (drop the rest).
+    parity = np.ascontiguousarray(parity_full[:, :k])
+    return SystematicCode(
+        parity,
+        correction_capability=2,
+        name=f"({k + num_parity},{k})BCH-DEC",
+    )

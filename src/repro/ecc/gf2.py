@@ -1,0 +1,177 @@
+"""Dense linear algebra over GF(2).
+
+Matrices are two-dimensional ``numpy`` arrays of dtype ``uint8`` containing
+0/1 entries; vectors are one-dimensional.  All arithmetic is modulo 2.
+
+This module is the mathematical core of the repository: the on-die ECC
+encoder/decoder (:mod:`repro.ecc.linear_code`), the ground-truth at-risk-set
+computation (:mod:`repro.analysis.atrisk`), and BEEP's data-pattern crafting
+all reduce to GF(2) matrix operations implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "identity",
+    "zeros",
+    "matmul",
+    "matvec",
+    "add",
+    "row_reduce",
+    "rank",
+    "solve",
+    "is_consistent",
+    "nullspace",
+    "is_bit_matrix",
+]
+
+
+def is_bit_matrix(matrix: np.ndarray) -> bool:
+    """True if ``matrix`` contains only 0/1 entries."""
+    arr = np.asarray(matrix)
+    return bool(np.all((arr == 0) | (arr == 1)))
+
+
+def _validated(matrix: np.ndarray, ndim: int) -> np.ndarray:
+    arr = np.asarray(matrix, dtype=np.uint8)
+    if arr.ndim != ndim:
+        raise ValueError(f"expected a {ndim}-dimensional array, got shape {arr.shape}")
+    return arr
+
+
+def identity(n: int) -> np.ndarray:
+    """The n-by-n identity matrix over GF(2)."""
+    return np.eye(n, dtype=np.uint8)
+
+
+def zeros(rows: int, cols: int) -> np.ndarray:
+    """A rows-by-cols zero matrix."""
+    return np.zeros((rows, cols), dtype=np.uint8)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product modulo 2."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    # Accumulate in a wide dtype to avoid uint8 overflow, then reduce mod 2.
+    return (a.astype(np.int64) @ b.astype(np.int64) % 2).astype(np.uint8)
+
+
+def matvec(a: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Matrix-vector product modulo 2."""
+    return matmul(_validated(a, 2), np.asarray(v, dtype=np.uint8).reshape(-1, 1)).reshape(-1)
+
+
+def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise sum modulo 2 (XOR)."""
+    return np.bitwise_xor(np.asarray(a, dtype=np.uint8), np.asarray(b, dtype=np.uint8))
+
+
+def _pack_rows(matrix: np.ndarray) -> list[int]:
+    """Pack each row into a Python integer (bit i = column i)."""
+    packed = []
+    for row in matrix:
+        value = 0
+        for col in np.flatnonzero(row):
+            value |= 1 << int(col)
+        packed.append(value)
+    return packed
+
+
+def _unpack_rows(packed: list[int], cols: int) -> np.ndarray:
+    """Inverse of :func:`_pack_rows`."""
+    matrix = np.zeros((len(packed), cols), dtype=np.uint8)
+    for row_index, value in enumerate(packed):
+        while value:
+            low = value & -value
+            matrix[row_index, low.bit_length() - 1] = 1
+            value ^= low
+    return matrix
+
+
+def row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns ``(rref, pivot_columns)``.  ``matrix`` is not modified.
+
+    Rows are packed into Python integers so the elimination inner loop is
+    whole-row XOR — the matrices in this codebase are short and wide
+    (parity-check shaped), which this representation suits well.
+    """
+    arr = _validated(matrix, 2)
+    rows, cols = arr.shape
+    work = _pack_rows(arr)
+    pivot_columns: list[int] = []
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        mask = 1 << col
+        source = next((r for r in range(pivot_row, rows) if work[r] & mask), None)
+        if source is None:
+            continue
+        work[pivot_row], work[source] = work[source], work[pivot_row]
+        pivot_value = work[pivot_row]
+        for row in range(rows):
+            if row != pivot_row and work[row] & mask:
+                work[row] ^= pivot_value
+        pivot_columns.append(col)
+        pivot_row += 1
+    return _unpack_rows(work, cols), pivot_columns
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank of a matrix over GF(2)."""
+    _, pivots = row_reduce(matrix)
+    return len(pivots)
+
+
+def _reduced_augmented(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, list[int], int]:
+    a = _validated(a, 2)
+    b = np.asarray(b, dtype=np.uint8).reshape(-1)
+    if b.shape[0] != a.shape[0]:
+        raise ValueError(f"shape mismatch: A has {a.shape[0]} rows, b has {b.shape[0]} entries")
+    augmented = np.concatenate([a, b.reshape(-1, 1)], axis=1)
+    reduced, pivots = row_reduce(augmented)
+    return reduced, pivots, a.shape[1]
+
+
+def is_consistent(a: np.ndarray, b: np.ndarray) -> bool:
+    """True if the linear system ``A x = b`` has at least one solution."""
+    _, pivots, num_cols = _reduced_augmented(a, b)
+    return num_cols not in pivots
+
+
+def solve(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    """One solution of ``A x = b`` over GF(2), or ``None`` if inconsistent.
+
+    Free variables are set to zero, so the returned solution is the unique
+    one whose support lies in the pivot columns.
+    """
+    reduced, pivots, num_cols = _reduced_augmented(a, b)
+    if num_cols in pivots:
+        return None
+    solution = np.zeros(num_cols, dtype=np.uint8)
+    for row_index, col in enumerate(pivots):
+        solution[col] = reduced[row_index, num_cols]
+    return solution
+
+
+def nullspace(matrix: np.ndarray) -> np.ndarray:
+    """A basis of the right nullspace, one basis vector per row.
+
+    Returns a ``(dim, cols)`` array; ``dim`` may be zero.
+    """
+    a = _validated(matrix, 2)
+    reduced, pivots = row_reduce(a)
+    cols = a.shape[1]
+    free_columns = [c for c in range(cols) if c not in pivots]
+    basis = np.zeros((len(free_columns), cols), dtype=np.uint8)
+    for basis_index, free_col in enumerate(free_columns):
+        basis[basis_index, free_col] = 1
+        for row_index, pivot_col in enumerate(pivots):
+            if reduced[row_index, free_col]:
+                basis[basis_index, pivot_col] = 1
+    return basis

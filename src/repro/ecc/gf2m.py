@@ -1,0 +1,136 @@
+"""Finite extension fields GF(2^m) via exp/log tables.
+
+Field elements are represented as integers in ``[0, 2^m)`` whose bits are
+the coefficients of a polynomial over GF(2) reduced modulo a fixed primitive
+polynomial.  The generator ``alpha`` is the class of ``x``, so
+``alpha ** i == exp_table[i]``.
+
+This substrate exists to construct BCH parity-check matrices
+(:mod:`repro.ecc.bch`) — the stronger on-die ECC the paper names as the
+natural generalization of its analysis (its footnote 9).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = ["GF2m", "PRIMITIVE_POLYNOMIALS"]
+
+#: Primitive polynomials over GF(2), indexed by degree m.  Value encodes the
+#: polynomial bitmask including the leading term, e.g. x^4 + x + 1 -> 0b10011.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+}
+
+
+class GF2m:
+    """Arithmetic in GF(2^m) for 2 <= m <= 12.
+
+    >>> field = GF2m(4)
+    >>> field.multiply(0b0010, 0b0010)  # alpha * alpha == alpha^2
+    4
+    >>> field.power(field.alpha, field.order)  # alpha^(2^m - 1) == 1
+    1
+    """
+
+    def __init__(self, m: int) -> None:
+        if m not in PRIMITIVE_POLYNOMIALS:
+            raise ValueError(f"unsupported field degree m={m}")
+        self.m = m
+        self.size = 1 << m
+        #: multiplicative group order, 2^m - 1
+        self.order = self.size - 1
+        self.primitive_polynomial = PRIMITIVE_POLYNOMIALS[m]
+        self.alpha = 0b10
+        self._exp, self._log = self._build_tables()
+
+    def _build_tables(self) -> tuple[list[int], list[int]]:
+        exp = [0] * (2 * self.order)
+        log = [0] * self.size
+        value = 1
+        for i in range(self.order):
+            exp[i] = value
+            log[value] = i
+            value <<= 1
+            if value & self.size:
+                value ^= self.primitive_polynomial
+        if value != 1:
+            raise AssertionError(
+                f"polynomial {self.primitive_polynomial:#b} is not primitive for m={self.m}"
+            )
+        # Duplicate the table so exp lookups never need an explicit modulo.
+        for i in range(self.order, 2 * self.order):
+            exp[i] = exp[i - self.order]
+        return exp, log
+
+    def _check(self, value: int) -> int:
+        if not 0 <= value < self.size:
+            raise ValueError(f"{value} is not an element of GF(2^{self.m})")
+        return value
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR of coefficient vectors)."""
+        return self._check(a) ^ self._check(b)
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog tables."""
+        if self._check(a) == 0 or self._check(b) == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        if self._check(a) == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        return self._exp[self.order - self._log[a]]
+
+    def divide(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        return self.multiply(a, self.inverse(b))
+
+    def power(self, a: int, exponent: int) -> int:
+        """``a`` raised to an arbitrary (possibly negative) integer power."""
+        if self._check(a) == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 cannot be raised to a non-positive power")
+            return 0
+        reduced = (self._log[a] * exponent) % self.order
+        return self._exp[reduced]
+
+    def alpha_power(self, exponent: int) -> int:
+        """``alpha ** exponent`` (exponent taken modulo the group order)."""
+        return self._exp[exponent % self.order]
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha; raises on zero."""
+        if self._check(a) == 0:
+            raise ValueError("0 has no discrete logarithm")
+        return self._log[a]
+
+    def trace(self, a: int) -> int:
+        """Field trace Tr(a) = a + a^2 + ... + a^(2^(m-1)), always 0 or 1."""
+        total = 0
+        value = self._check(a)
+        for _ in range(self.m):
+            total ^= value
+            value = self.multiply(value, value)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GF2m({self.m})"
+
+
+@lru_cache(maxsize=None)
+def field(m: int) -> GF2m:
+    """Memoized field constructor (table construction is O(2^m))."""
+    return GF2m(m)

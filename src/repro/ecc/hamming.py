@@ -1,0 +1,152 @@
+"""Single-error-correcting (SEC) Hamming code construction.
+
+The paper evaluates randomly-generated systematic SEC Hamming codes in the
+(71, 64) and (136, 128) configurations used by real DRAM on-die ECC
+(its §7.1.2).  A systematic SEC code over ``p`` parity bits is fully
+determined by choosing, for each data bit, a distinct parity-check column of
+Hamming weight at least two (weight-one columns are reserved for the parity
+bits themselves, and all columns must be distinct and nonzero for single
+error correction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.linear_code import SystematicCode
+from repro.utils.bits import int_to_bits
+
+__all__ = [
+    "parity_bits_for",
+    "random_sec_code",
+    "canonical_sec_code",
+    "paper_example_code",
+    "minimal_aliasing_code",
+    "SEC_71_64",
+    "SEC_136_128",
+]
+
+#: Common DRAM on-die ECC geometries: dataword length -> (n, k) label.
+SEC_71_64 = 64
+SEC_136_128 = 128
+
+
+def parity_bits_for(k: int) -> int:
+    """Minimum number of parity bits for a SEC code with ``k`` data bits.
+
+    Solves the Hamming bound ``2**p - p - 1 >= k``.
+
+    >>> parity_bits_for(64)
+    7
+    >>> parity_bits_for(128)
+    8
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    p = 2
+    while (1 << p) - p - 1 < k:
+        p += 1
+    return p
+
+
+def _eligible_columns(p: int) -> list[int]:
+    """All nonzero ``p``-bit values of weight >= 2, in increasing order."""
+    return [v for v in range(1, 1 << p) if bin(v).count("1") >= 2]
+
+
+def random_sec_code(k: int, rng: np.random.Generator, p: int | None = None) -> SystematicCode:
+    """A uniformly-random systematic SEC Hamming code with ``k`` data bits.
+
+    Column arrangement is a free design parameter (paper §2.5.2); this
+    samples the data columns uniformly without replacement from all
+    weight->=2 nonzero ``p``-bit vectors, mirroring the randomly-generated
+    parity-check matrices of the paper's Monte-Carlo methodology.
+    """
+    num_parity = parity_bits_for(k) if p is None else p
+    candidates = _eligible_columns(num_parity)
+    if len(candidates) < k:
+        raise ValueError(
+            f"{num_parity} parity bits admit only {len(candidates)} data columns, need {k}"
+        )
+    chosen = rng.choice(len(candidates), size=k, replace=False)
+    parity = np.zeros((num_parity, k), dtype=np.uint8)
+    for data_bit, index in enumerate(chosen):
+        parity[:, data_bit] = int_to_bits(candidates[int(index)], num_parity)
+    return SystematicCode(parity, correction_capability=1, name=f"({k + num_parity},{k})SEC")
+
+
+def canonical_sec_code(k: int, p: int | None = None) -> SystematicCode:
+    """The deterministic SEC code using the lowest eligible columns in order.
+
+    Useful for reproducible documentation examples and as a fixed reference
+    code in tests.
+    """
+    num_parity = parity_bits_for(k) if p is None else p
+    candidates = _eligible_columns(num_parity)
+    if len(candidates) < k:
+        raise ValueError(
+            f"{num_parity} parity bits admit only {len(candidates)} data columns, need {k}"
+        )
+    parity = np.zeros((num_parity, k), dtype=np.uint8)
+    for data_bit in range(k):
+        parity[:, data_bit] = int_to_bits(candidates[data_bit], num_parity)
+    return SystematicCode(parity, correction_capability=1, name=f"({k + num_parity},{k})SEC-canonical")
+
+
+def minimal_aliasing_code(
+    k: int,
+    rng: np.random.Generator,
+    trials: int = 16,
+    miscorrection_weight: int = 2,
+) -> SystematicCode:
+    """Search for a column arrangement with few data-bit miscorrections.
+
+    The paper's §2.5.2 notes that "some column arrangements can lead to
+    more miscorrections than others" (citing Pae et al. [142]).  This
+    randomized search scores ``trials`` random systematic SEC codes by how
+    many weight-``miscorrection_weight`` error patterns miscorrect into
+    *data* positions — the aliasing that creates controller-visible
+    indirect errors — and returns the best.
+
+    This is a design-space tool, not a profiler component: HARP works with
+    any arrangement, but a minimal-aliasing code shrinks the indirect
+    at-risk set the reactive phase must cover.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    # Imported here to avoid a circular import (code_analysis uses
+    # SystematicCode from linear_code, not this module, but keeps the
+    # dependency edges one-directional at module load).
+    from repro.ecc.code_analysis import miscorrection_profile
+
+    best_code: SystematicCode | None = None
+    best_score: int | None = None
+    for _ in range(trials):
+        candidate = random_sec_code(k, rng)
+        profile = miscorrection_profile(candidate, miscorrection_weight)
+        score = sum(profile.target_counts[: candidate.k])
+        if best_score is None or score < best_score:
+            best_code, best_score = candidate, score
+    assert best_code is not None
+    return SystematicCode(
+        best_code.parity_submatrix,
+        correction_capability=1,
+        name=f"({best_code.n},{best_code.k})SEC-minimal-aliasing",
+    )
+
+
+def paper_example_code() -> SystematicCode:
+    """The (7, 4) SEC Hamming code from Equation 1 of the paper.
+
+    The paper lists ``H = [[1,1,1,0,1,0,0], [1,1,0,1,0,1,0], [1,0,1,1,0,0,1]]``
+    whose left 4 columns form the parity submatrix.
+    """
+    parity = np.array(
+        [
+            [1, 1, 1, 0],
+            [1, 1, 0, 1],
+            [1, 0, 1, 1],
+        ],
+        dtype=np.uint8,
+    )
+    return SystematicCode(parity, correction_capability=1, name="(7,4)SEC-paper")

@@ -1,0 +1,119 @@
+"""Polynomials over GF(2), represented as integer bitmasks.
+
+Bit ``i`` of the integer is the coefficient of ``x**i``.  These routines
+support the BCH substrate: generator polynomials are products of minimal
+polynomials of powers of the field generator.
+"""
+
+from __future__ import annotations
+
+from repro.ecc.gf2m import GF2m
+
+__all__ = [
+    "degree",
+    "poly_mul",
+    "poly_mod",
+    "poly_divmod",
+    "poly_gcd",
+    "poly_eval_gf2m",
+    "minimal_polynomial",
+    "bch_generator_polynomial",
+]
+
+
+def degree(poly: int) -> int:
+    """Degree of a polynomial bitmask; the zero polynomial has degree -1."""
+    return poly.bit_length() - 1
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Product of two GF(2) polynomials (carry-less multiplication)."""
+    result = 0
+    shift = 0
+    while b:
+        if b & 1:
+            result ^= a << shift
+        b >>= 1
+        shift += 1
+    return result
+
+
+def poly_divmod(dividend: int, divisor: int) -> tuple[int, int]:
+    """Quotient and remainder of GF(2) polynomial division."""
+    if divisor == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    quotient = 0
+    remainder = dividend
+    divisor_degree = degree(divisor)
+    while degree(remainder) >= divisor_degree:
+        shift = degree(remainder) - divisor_degree
+        quotient ^= 1 << shift
+        remainder ^= divisor << shift
+    return quotient, remainder
+
+
+def poly_mod(dividend: int, divisor: int) -> int:
+    """Remainder of GF(2) polynomial division."""
+    return poly_divmod(dividend, divisor)[1]
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two GF(2) polynomials."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def poly_eval_gf2m(poly: int, point: int, fld: GF2m) -> int:
+    """Evaluate a GF(2)-coefficient polynomial at a GF(2^m) point (Horner)."""
+    result = 0
+    for bit_index in range(degree(poly), -1, -1):
+        result = fld.multiply(result, point)
+        if (poly >> bit_index) & 1:
+            result ^= 1
+    return result
+
+
+def minimal_polynomial(element: int, fld: GF2m) -> int:
+    """Minimal polynomial over GF(2) of a GF(2^m) element.
+
+    Computed as the product of ``(x - c)`` over the conjugacy class
+    ``{element, element^2, element^4, ...}``.  Coefficients necessarily land
+    in GF(2).
+    """
+    conjugates = []
+    current = element
+    while current not in conjugates:
+        conjugates.append(current)
+        current = fld.multiply(current, current)
+    # Multiply out prod (x + c) with coefficients in GF(2^m); result must
+    # collapse to 0/1 coefficients.
+    coefficients = [1]  # constant polynomial 1, low-order first
+    for conjugate in conjugates:
+        next_coefficients = [0] * (len(coefficients) + 1)
+        for power, coefficient in enumerate(coefficients):
+            next_coefficients[power + 1] ^= coefficient  # * x
+            next_coefficients[power] ^= fld.multiply(coefficient, conjugate)
+        coefficients = next_coefficients
+    mask = 0
+    for power, coefficient in enumerate(coefficients):
+        if coefficient not in (0, 1):
+            raise AssertionError("minimal polynomial has non-binary coefficient")
+        if coefficient:
+            mask |= 1 << power
+    return mask
+
+
+def bch_generator_polynomial(fld: GF2m, designed_t: int) -> int:
+    """Generator polynomial of the primitive BCH code correcting ``t`` errors.
+
+    LCM of the minimal polynomials of ``alpha, alpha^3, ..., alpha^(2t-1)``.
+    """
+    if designed_t < 1:
+        raise ValueError("designed correction capability must be >= 1")
+    generator = 1
+    for i in range(1, 2 * designed_t, 2):
+        minimal = minimal_polynomial(fld.alpha_power(i), fld)
+        gcd = poly_gcd(generator, minimal)
+        generator = poly_mul(generator, poly_divmod(minimal, gcd)[0])
+    return generator

@@ -1,0 +1,52 @@
+"""Degenerate and toy codes used as substrates in tests and baselines.
+
+``NoEccCode`` models a memory chip *without* on-die ECC — the baseline world
+the paper contrasts against (its §4: "without on-die ECC, an at-risk bit is
+identified when the bit fails").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.linear_code import SystematicCode
+
+__all__ = ["NoEccCode", "single_parity_code", "repetition_extension_code"]
+
+
+class NoEccCode(SystematicCode):
+    """The identity code: no parity bits, no correction, ``n == k``.
+
+    Every decode returns the stored bits untouched, so post-correction
+    errors equal pre-correction errors — the memory-without-on-die-ECC
+    reference point.
+    """
+
+    def __init__(self, k: int) -> None:
+        super().__init__(
+            np.zeros((0, k), dtype=np.uint8),
+            correction_capability=0,
+            name=f"({k},{k})no-ecc",
+        )
+
+
+def single_parity_code(k: int) -> SystematicCode:
+    """Single-parity-check code: detects (never corrects) odd-weight errors.
+
+    Correction capability is zero, so the decoder flags nonzero syndromes as
+    detected-uncorrectable and leaves data untouched.
+    """
+    parity = np.ones((1, k), dtype=np.uint8)
+    return SystematicCode(parity, correction_capability=0, name=f"({k + 1},{k})parity")
+
+
+def repetition_extension_code(copies: int) -> SystematicCode:
+    """A 1-data-bit code storing ``copies - 1`` extra copies of the bit.
+
+    With ``copies = 3`` this is the (3, 1) repetition code, correcting one
+    error.  Used as the smallest nontrivial SEC substrate in property tests.
+    """
+    if copies < 3:
+        raise ValueError("a repetition code needs at least 3 copies to correct an error")
+    parity = np.ones((copies - 1, 1), dtype=np.uint8)
+    return SystematicCode(parity, correction_capability=1, name=f"({copies},1)repetition")

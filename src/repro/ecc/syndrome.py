@@ -1,0 +1,109 @@
+"""Error-pattern semantics of syndrome decoding.
+
+These helpers answer the question at the heart of the paper's analysis
+(its §3.2): *given that a set of codeword bits flips, which post-correction
+data bits are in error?*  A post-correction error at data position ``i`` is
+
+    E_i = R_i  XOR  (decoder flips position i)
+
+which splits into a *direct* error (``R_i = 1`` and the decoder does not fix
+it) or an *indirect* error / miscorrection (``R_i = 0`` but the syndrome
+aliases column ``i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.ecc.linear_code import SystematicCode
+
+__all__ = ["DecodeOutcomeKind", "PatternOutcome", "analyze_error_pattern", "syndrome_of_pattern"]
+
+
+class DecodeOutcomeKind(Enum):
+    """Classification of how the decoder handled a pre-correction pattern."""
+
+    NO_ERROR = "no_error"
+    CORRECTED = "corrected"
+    MISCORRECTED = "miscorrected"
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+    UNDETECTED = "undetected"
+
+
+@dataclass(frozen=True)
+class PatternOutcome:
+    """Post-correction consequences of a pre-correction error pattern.
+
+    Attributes:
+        pre_correction: the injected codeword error positions.
+        flipped: positions the decoder flipped (its correction attempt).
+        post_errors: codeword positions still (or newly) erroneous after
+            decoding: the symmetric difference of ``pre_correction`` and
+            ``flipped``.
+        data_errors: ``post_errors`` restricted to data positions — what the
+            memory controller observes.
+        direct_errors: data errors that were raw bit errors (uncorrected).
+        indirect_errors: data errors introduced by the decoder
+            (miscorrections).
+        kind: outcome classification.
+    """
+
+    pre_correction: frozenset[int]
+    flipped: frozenset[int]
+    post_errors: frozenset[int]
+    data_errors: frozenset[int]
+    direct_errors: frozenset[int]
+    indirect_errors: frozenset[int]
+    kind: DecodeOutcomeKind
+
+
+def syndrome_of_pattern(code: SystematicCode, positions: frozenset[int] | set[int]) -> int:
+    """Syndrome (as an integer) produced by flipping the given positions."""
+    syndrome = 0
+    for position in positions:
+        syndrome ^= code.column_int(position)
+    return syndrome
+
+
+def analyze_error_pattern(
+    code: SystematicCode, positions: frozenset[int] | set[int]
+) -> PatternOutcome:
+    """Compute the exact post-correction outcome of a pre-correction pattern.
+
+    This is pure linear algebra — no Monte-Carlo — and is used both by the
+    ground-truth at-risk computation and by HARP-A's miscorrection
+    precomputation.
+    """
+    pre = frozenset(int(p) for p in positions)
+    for position in pre:
+        if not 0 <= position < code.n:
+            raise IndexError(f"position {position} out of range [0, {code.n})")
+    syndrome = syndrome_of_pattern(code, pre)
+    correction = code.correction_for_syndrome(syndrome)
+    flipped: frozenset[int] = frozenset() if correction is None else frozenset(correction)
+    if not pre:
+        kind = DecodeOutcomeKind.NO_ERROR
+    elif syndrome == 0:
+        # Nonzero pattern in the code's nullspace: silently passes through.
+        kind = DecodeOutcomeKind.UNDETECTED
+    elif correction is None:
+        kind = DecodeOutcomeKind.DETECTED_UNCORRECTABLE
+    elif flipped == pre:
+        kind = DecodeOutcomeKind.CORRECTED
+    else:
+        kind = DecodeOutcomeKind.MISCORRECTED
+    post = pre ^ flipped
+    data_positions = set(code.data_positions)
+    data_errors = frozenset(p for p in post if p in data_positions)
+    direct = frozenset(p for p in data_errors if p in pre)
+    indirect = data_errors - direct
+    return PatternOutcome(
+        pre_correction=pre,
+        flipped=flipped,
+        post_errors=frozenset(post),
+        data_errors=data_errors,
+        direct_errors=direct,
+        indirect_errors=indirect,
+        kind=kind,
+    )

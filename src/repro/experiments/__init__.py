@@ -1,0 +1,54 @@
+"""Experiment harness: one module per paper exhibit plus shared plumbing."""
+
+from repro.experiments import (
+    ext_code_length,
+    ext_dec,
+    ext_heterogeneous,
+    ext_interleaving,
+    ext_patterns,
+    ext_rank,
+    ext_scrubbing,
+    fig2,
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    headline,
+    table2,
+)
+from repro.experiments.config import BENCH, FULL, UNIT, CaseStudyConfig, SweepConfig, scaled
+from repro.experiments.runner import SweepResult, WordMetrics, run_sweep
+from repro.experiments.store import merge_sweeps, sweep_from_json, sweep_to_json
+
+__all__ = [
+    "ext_code_length",
+    "ext_dec",
+    "ext_heterogeneous",
+    "ext_interleaving",
+    "ext_patterns",
+    "ext_rank",
+    "ext_scrubbing",
+    "fig2",
+    "table2",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "headline",
+    "SweepConfig",
+    "CaseStudyConfig",
+    "UNIT",
+    "BENCH",
+    "FULL",
+    "scaled",
+    "run_sweep",
+    "SweepResult",
+    "WordMetrics",
+    "merge_sweeps",
+    "sweep_to_json",
+    "sweep_from_json",
+]

@@ -1,0 +1,103 @@
+"""Experiment configurations and Monte-Carlo scale presets.
+
+The paper's full evaluation burned ~14 CPU-years in C++ (its §A.8); the
+library exposes the same experiments with a configurable scale.  Presets:
+
+* ``UNIT`` — seconds; used by the integration test-suite.
+* ``BENCH`` — tens of seconds; used by the benchmark harness to print each
+  exhibit's rows.
+* ``FULL`` — minutes-to-hours; closest to the paper's statistical power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["SweepConfig", "CaseStudyConfig", "UNIT", "BENCH", "FULL", "scaled"]
+
+#: Profilers evaluated in the paper's coverage figures (Figs 6-9).
+DEFAULT_PROFILERS = ("Naive", "BEEP", "HARP-U", "HARP-A", "HARP-A+BEEP")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Configuration of the Fig 6-9 profiler sweep.
+
+    Attributes mirror the paper's §7.1.2 methodology: random (71, 64) SEC
+    Hamming codes, 2-5 injected pre-correction at-risk bits per word,
+    per-bit error probabilities 25-100%, 128 rounds of the random data
+    pattern (with per-round inversion).
+    """
+
+    k: int = 64
+    num_codes: int = 8
+    words_per_code: int = 12
+    num_rounds: int = 128
+    error_counts: tuple[int, ...] = (2, 3, 4, 5)
+    probabilities: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    profilers: tuple[str, ...] = field(default=DEFAULT_PROFILERS)
+    pattern: str = "random"
+    seed: int = 2021
+
+    def __post_init__(self) -> None:
+        if self.num_codes < 1 or self.words_per_code < 1 or self.num_rounds < 1:
+            raise ValueError("scale parameters must be positive")
+        for count in self.error_counts:
+            if count < 1:
+                raise ValueError("error counts must be positive")
+        for probability in self.probabilities:
+            if not 0.0 < probability <= 1.0:
+                raise ValueError("per-bit probabilities must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CaseStudyConfig:
+    """Configuration of the Fig 10 data-retention case study."""
+
+    k: int = 64
+    num_codes: int = 4
+    words_per_stratum: int = 8
+    num_rounds: int = 128
+    rbers: tuple[float, ...] = (1e-4, 1e-6, 1e-8)
+    probabilities: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    profilers: tuple[str, ...] = ("Naive", "BEEP", "HARP-U", "HARP-A")
+    #: Strata of at-risk-bit counts to simulate; words with 0 or 1 at-risk
+    #: bits contribute zero post-correction BER under SEC and are handled
+    #: analytically.
+    max_at_risk: int = 6
+    pattern: str = "random"
+    seed: int = 2021
+
+    def __post_init__(self) -> None:
+        for rber in self.rbers:
+            if not 0.0 < rber < 1.0:
+                raise ValueError("RBER must be in (0, 1)")
+        if self.max_at_risk < 2:
+            raise ValueError("max_at_risk must be >= 2")
+
+
+#: Tiny scale for tests.
+UNIT = SweepConfig(
+    num_codes=2,
+    words_per_code=4,
+    num_rounds=32,
+    error_counts=(2, 4),
+    probabilities=(0.5, 1.0),
+)
+
+#: Benchmark scale: full parameter grid, reduced Monte-Carlo samples.
+BENCH = SweepConfig(num_codes=5, words_per_code=8, num_rounds=128)
+
+#: Closest to the paper (still far below its 14 CPU-years).
+FULL = SweepConfig(num_codes=30, words_per_code=40, num_rounds=128)
+
+
+def scaled(config: SweepConfig, factor: float) -> SweepConfig:
+    """Scale the Monte-Carlo sample counts of a config by ``factor``."""
+    if factor <= 0:
+        raise ValueError("scale factor must be positive")
+    return replace(
+        config,
+        num_codes=max(1, round(config.num_codes * factor)),
+        words_per_code=max(1, round(config.words_per_code * factor)),
+    )

@@ -1,0 +1,93 @@
+"""Extension: secondary-ECC word layout study (paper §6.3).
+
+Quantifies the design space the paper sketches: with HARP's active phase
+complete (all direct-risk bits repaired), how much correction capability
+does the secondary ECC need under aligned, split, and interleaved layouts?
+Expected: aligned and split layouts are bounded by the on-die capability
+(1 for SEC); interleaving ``w`` on-die words into one secondary word
+multiplies the bound by up to ``w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.atrisk import compute_ground_truth
+from repro.controller.layout import (
+    aligned_layout,
+    interleaved_layout,
+    required_secondary_capability,
+    split_layout,
+)
+from repro.ecc.hamming import random_sec_code
+from repro.memory.error_model import sample_word_profile
+from repro.utils.rng import derive_rng
+from repro.utils.tables import format_table
+
+__all__ = ["InterleavingResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class InterleavingResult:
+    """Required secondary capability per layout, after active profiling."""
+
+    num_words: int
+    at_risk_per_word: int
+    #: layout label -> (worst capability after HARP active phase,
+    #:                  worst capability with no profiling at all)
+    rows: dict[str, tuple[int, int]]
+
+
+def run(
+    num_words: int = 16,
+    at_risk_per_word: int = 5,
+    interleave_ways: int = 2,
+    seed: int = 2021,
+) -> InterleavingResult:
+    """Compute layout capability requirements over one simulated chip."""
+    rng = derive_rng(seed, "ext-interleaving")
+    code = random_sec_code(64, rng)
+    truths = {}
+    after_harp_missed = {}
+    unprofiled_missed = {}
+    for word_index in range(num_words):
+        profile = sample_word_profile(code, at_risk_per_word, 0.5, rng)
+        truth = compute_ground_truth(code, profile)
+        truths[word_index] = truth
+        # HARP active phase complete: every direct-risk bit is repaired.
+        after_harp_missed[word_index] = truth.post_correction_at_risk - truth.direct_at_risk
+        unprofiled_missed[word_index] = truth.post_correction_at_risk
+    layouts = {
+        "aligned (1 secondary word / on-die word)": aligned_layout(num_words, code.k),
+        "split x2 (2 secondary words / on-die word)": split_layout(num_words, code.k, 2),
+        f"interleaved x{interleave_ways} (1 secondary word / "
+        f"{interleave_ways} on-die words)": interleaved_layout(
+            num_words, code.k, interleave_ways
+        ),
+    }
+    rows = {
+        label: (
+            required_secondary_capability(layout, truths, after_harp_missed),
+            required_secondary_capability(layout, truths, unprofiled_missed),
+        )
+        for label, layout in layouts.items()
+    }
+    return InterleavingResult(
+        num_words=num_words, at_risk_per_word=at_risk_per_word, rows=rows
+    )
+
+
+def render(result: InterleavingResult) -> str:
+    headers = [
+        "layout",
+        "capability needed after HARP active phase",
+        "capability needed with no profiling",
+    ]
+    body = [
+        [label, after_harp, unprofiled]
+        for label, (after_harp, unprofiled) in result.rows.items()
+    ]
+    return (
+        f"Layout extension (§6.3): {result.num_words} on-die words, "
+        f"{result.at_risk_per_word} at-risk bits each\n" + format_table(headers, body)
+    )

@@ -1,0 +1,179 @@
+"""Fig 10: DRAM data-retention case study — system BER vs. active rounds.
+
+A bit-repair mechanism perfectly repairs every profiled bit; the secondary
+SEC ECC reactively covers what active profiling left.  The exhibit plots
+the expected data bit error rate before (left panel) and after (right
+panel) the secondary ECC, as a function of active profiling rounds, for
+several raw bit error rates.
+
+Methodology (DESIGN.md §4.5): the number of at-risk bits per word is
+binomial in the at-risk rate ``q = RBER / p`` (an at-risk bit errs with
+probability ``p``, so the observable raw BER is ``q * p``).  Words with 0
+or 1 at-risk bits contribute zero post-correction BER under SEC, so we
+simulate strata of 2..max_at_risk at-risk bits and weight each stratum by
+its binomial probability — this is what lets RBER = 1e-8 be measured
+without 10^8 words.  BER is evaluated under the all-charged (0xFF)
+operating pattern, the true-cell worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+from repro.analysis.probabilities import WordBerAnalyzer
+from repro.ecc.hamming import random_sec_code
+from repro.experiments.config import CaseStudyConfig
+from repro.experiments.reporting import log_round_ticks, percent, profiler_order
+from repro.memory.error_model import sample_word_profile
+from repro.profiling import PROFILER_REGISTRY
+from repro.profiling.runner import simulate_word
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.tables import format_series
+
+__all__ = ["Fig10Result", "run", "render", "binomial_weight"]
+
+
+def binomial_weight(n: int, count: int, rate: float) -> float:
+    """P[Binomial(n, rate) == count]."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be within [0, 1]")
+    return comb(n, count) * rate**count * (1.0 - rate) ** (n - count)
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """BER trajectories and rounds-to-zero per case-study cell."""
+
+    config: CaseStudyConfig
+    ticks: tuple[int, ...]
+    #: (probability, rber, profiler) -> BER at each tick, before secondary.
+    before: dict[tuple[float, float, str], tuple[float, ...]]
+    #: (probability, rber, profiler) -> BER at each tick, after secondary.
+    after: dict[tuple[float, float, str], tuple[float, ...]]
+    #: (probability, profiler) -> first round with zero post-secondary BER
+    #: across *all* simulated words, or None if not reached.  RBER only
+    #: scales the curves, so this is RBER-independent.
+    rounds_to_zero: dict[tuple[float, str], int | None]
+
+
+def _word_trajectories(
+    config: CaseStudyConfig, probability: float
+) -> tuple[dict[tuple[int, str], list[list[float]]], dict[tuple[int, str], list[list[float]]], dict[str, list[int | None]]]:
+    """Simulate all strata for one per-bit probability.
+
+    Returns per-(stratum count, profiler) lists of per-word BER-at-tick
+    trajectories (before, after) and per-profiler lists of per-word
+    rounds-to-zero values.
+    """
+    ticks = log_round_ticks(config.num_rounds)
+    before: dict[tuple[int, str], list[list[float]]] = {}
+    after: dict[tuple[int, str], list[list[float]]] = {}
+    to_zero: dict[str, list[int | None]] = {name: [] for name in config.profilers}
+    charged = None
+    for code_index in range(config.num_codes):
+        code_rng = derive_rng(config.seed, "fig10-code", code_index)
+        code = random_sec_code(config.k, code_rng)
+        if charged is None:
+            charged = np.ones(code.k, dtype=np.uint8)
+        for count in range(2, config.max_at_risk + 1):
+            for word_index in range(config.words_per_stratum):
+                word_rng = derive_rng(
+                    config.seed, "fig10-word", probability, code_index, count, word_index
+                )
+                profile = sample_word_profile(code, count, probability, word_rng)
+                analyzer = WordBerAnalyzer(code, profile, charged)
+                word_seed = derive_seed(
+                    config.seed, "fig10-draws", probability, code_index, count, word_index
+                )
+                for name in config.profilers:
+                    profiler = PROFILER_REGISTRY[name](code, seed=word_seed, pattern=config.pattern)
+                    run_result = simulate_word(profiler, profile, config.num_rounds, word_seed)
+                    trace = run_result.identified_per_round
+                    before.setdefault((count, name), []).append(
+                        [analyzer.unrepaired_ber(trace[tick - 1]) for tick in ticks]
+                    )
+                    after.setdefault((count, name), []).append(
+                        [analyzer.residual_ber_after_secondary(trace[tick - 1]) for tick in ticks]
+                    )
+                    to_zero[name].append(_first_zero_round(analyzer, trace))
+    return before, after, to_zero
+
+
+def _first_zero_round(analyzer: WordBerAnalyzer, trace: list[frozenset[int]]) -> int | None:
+    """First 1-based round with zero post-secondary BER (monotone search).
+
+    The identified set only grows, so the residual BER is non-increasing;
+    evaluation happens only at rounds where the set changes.
+    """
+    previous: frozenset[int] | None = None
+    residual = None
+    for round_index, identified in enumerate(trace):
+        if previous is None or identified != previous:
+            residual = analyzer.residual_ber_after_secondary(identified)
+            previous = identified
+        if residual == 0.0:
+            return round_index + 1
+    return None
+
+
+def run(config: CaseStudyConfig = CaseStudyConfig()) -> Fig10Result:
+    """Execute the case study over the full (probability, RBER) grid."""
+    ticks = tuple(log_round_ticks(config.num_rounds))
+    n_codeword = None
+    before: dict[tuple[float, float, str], tuple[float, ...]] = {}
+    after: dict[tuple[float, float, str], tuple[float, ...]] = {}
+    rounds_to_zero: dict[tuple[float, str], int | None] = {}
+    for probability in config.probabilities:
+        stratum_before, stratum_after, to_zero = _word_trajectories(config, probability)
+        if n_codeword is None:
+            sample_code = random_sec_code(config.k, derive_rng(config.seed, "fig10-code", 0))
+            n_codeword = sample_code.n
+        for name in config.profilers:
+            values = to_zero[name]
+            rounds_to_zero[(probability, name)] = (
+                None if any(v is None for v in values) else max(values)  # type: ignore[type-var]
+            )
+        for rber in config.rbers:
+            rate = rber / probability
+            for name in config.profilers:
+                weighted_before = np.zeros(len(ticks))
+                weighted_after = np.zeros(len(ticks))
+                for count in range(2, config.max_at_risk + 1):
+                    weight = binomial_weight(n_codeword, count, rate)
+                    mean_before = np.mean(stratum_before[(count, name)], axis=0)
+                    mean_after = np.mean(stratum_after[(count, name)], axis=0)
+                    weighted_before += weight * mean_before
+                    weighted_after += weight * mean_after
+                before[(probability, rber, name)] = tuple(float(v) for v in weighted_before)
+                after[(probability, rber, name)] = tuple(float(v) for v in weighted_after)
+    return Fig10Result(
+        config=config,
+        ticks=ticks,
+        before=before,
+        after=after,
+        rounds_to_zero=rounds_to_zero,
+    )
+
+
+def render(result: Fig10Result) -> str:
+    """Text rendition: before/after panels per (probability, RBER)."""
+    panels = []
+    config = result.config
+    for probability in config.probabilities:
+        for rber in config.rbers:
+            for label, table in (("before", result.before), ("after", result.after)):
+                series = {
+                    name: list(table[(probability, rber, name)])
+                    for name in profiler_order(config.profilers)
+                }
+                title = (
+                    f"Fig 10 ({label} secondary ECC): per-bit P={percent(probability)}, "
+                    f"RBER={rber:.0e} — expected data BER"
+                )
+                panels.append(
+                    format_series(title, series, x_values=list(result.ticks), x_label="round")
+                )
+    return "\n\n".join(panels)

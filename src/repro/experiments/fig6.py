@@ -1,0 +1,87 @@
+"""Fig 6: coverage of bits at risk of direct errors vs. profiling rounds.
+
+Consumes a :class:`~repro.experiments.runner.SweepResult` and pools direct
+coverage across all simulated words: at each round, identified direct-risk
+(word, bit) pairs over total direct-risk pairs.  The paper plots Naive,
+BEEP and HARP-U (HARP-A's direct coverage is identical to HARP-U's,
+footnote 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import log_round_ticks, percent, profiler_order
+from repro.experiments.runner import SweepResult
+from repro.utils.tables import format_series
+
+__all__ = ["Fig6Result", "from_sweep", "render", "coverage_curve"]
+
+FIG6_PROFILERS = ("Naive", "BEEP", "HARP-U")
+
+
+def coverage_curve(sweep: SweepResult, error_count: int, probability: float, profiler: str) -> list[float]:
+    """Pooled direct-coverage trajectory of one sweep cell."""
+    cell = sweep.cell(error_count, probability, profiler)
+    num_rounds = len(cell.words[0].direct_identified)
+    curve = []
+    for round_index in range(num_rounds):
+        identified = sum(word.direct_identified[round_index] for word in cell.words)
+        total = sum(word.direct_total for word in cell.words)
+        curve.append(identified / total if total else 1.0)
+    return curve
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Direct-coverage curves keyed by (error count, probability, profiler)."""
+
+    error_counts: tuple[int, ...]
+    probabilities: tuple[float, ...]
+    profilers: tuple[str, ...]
+    num_rounds: int
+    curves: dict[tuple[int, float, str], tuple[float, ...]]
+
+    def final_coverage(self, error_count: int, probability: float, profiler: str) -> float:
+        return self.curves[(error_count, probability, profiler)][-1]
+
+
+def from_sweep(sweep: SweepResult, profilers: tuple[str, ...] = FIG6_PROFILERS) -> Fig6Result:
+    """Reduce a sweep to the Fig 6 curves."""
+    config = sweep.config
+    selected = tuple(name for name in profilers if name in config.profilers)
+    curves = {
+        (error_count, probability, name): tuple(
+            coverage_curve(sweep, error_count, probability, name)
+        )
+        for error_count in config.error_counts
+        for probability in config.probabilities
+        for name in selected
+    }
+    return Fig6Result(
+        error_counts=tuple(config.error_counts),
+        probabilities=tuple(config.probabilities),
+        profilers=selected,
+        num_rounds=config.num_rounds,
+        curves=curves,
+    )
+
+
+def render(result: Fig6Result) -> str:
+    """Text rendition: one panel per (probability, error count)."""
+    ticks = log_round_ticks(result.num_rounds)
+    panels = []
+    for probability in result.probabilities:
+        for error_count in result.error_counts:
+            series = {
+                name: [
+                    result.curves[(error_count, probability, name)][tick - 1] for tick in ticks
+                ]
+                for name in profiler_order(result.profilers)
+            }
+            title = (
+                f"Fig 6 panel: per-bit pre-correction P={percent(probability)}, "
+                f"{error_count} pre-correction errors — direct-error coverage"
+            )
+            panels.append(format_series(title, series, x_values=ticks, x_label="round"))
+    return "\n\n".join(panels)

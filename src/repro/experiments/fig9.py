@@ -1,0 +1,124 @@
+"""Fig 9: secondary-ECC correction capability required after active profiling.
+
+Fig 9a — the distribution (histogram) over ECC words of the maximum number
+of simultaneous post-correction errors still possible after the full active
+phase.  HARP configurations are bounded at 1 (the on-die SEC correction
+capability); Naive and BEEP leave multi-bit tails.
+
+Fig 9b — how many active rounds are needed before the 99th-percentile word
+is bounded by each capability value; the paper's headline speedups
+(20.6-62.1% of Naive's rounds at p=0.5) come from the capability-1 column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import percent, profiler_order
+from repro.experiments.runner import SweepResult
+from repro.utils.stats import Histogram
+from repro.utils.tables import format_table
+
+__all__ = ["Fig9Result", "from_sweep", "render", "rounds_to_capability"]
+
+FIG9_PROFILERS = ("Naive", "BEEP", "HARP-U", "HARP-A")
+MAX_CAPABILITY_BIN = 6
+
+
+def rounds_to_capability(
+    sweep: SweepResult,
+    error_count: int,
+    probability: float,
+    profiler: str,
+    bound: int,
+    q: float = 99.0,
+) -> int | None:
+    """Fig 9b metric: earliest round where the q-th percentile word's
+    required capability is <= ``bound`` (1-based), or None if never."""
+    from repro.utils.stats import percentile
+
+    cell = sweep.cell(error_count, probability, profiler)
+    num_rounds = len(cell.words[0].capability)
+    for round_index in range(num_rounds):
+        values = [word.capability[round_index] for word in cell.words]
+        if percentile(values, q) <= bound:
+            return round_index + 1
+    return None
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Capability histograms (9a) and rounds-to-bound tables (9b)."""
+
+    error_counts: tuple[int, ...]
+    probabilities: tuple[float, ...]
+    profilers: tuple[str, ...]
+    num_rounds: int
+    #: (n, p, profiler) -> histogram of final required capability (9a).
+    histograms: dict[tuple[int, float, str], Histogram]
+    #: (n, p, profiler, bound) -> rounds needed, or None (9b).
+    rounds_to_bound: dict[tuple[int, float, str, int], int | None]
+
+
+def from_sweep(sweep: SweepResult, profilers: tuple[str, ...] = FIG9_PROFILERS) -> Fig9Result:
+    """Reduce a sweep to both Fig 9 exhibits."""
+    config = sweep.config
+    selected = tuple(name for name in profilers if name in config.profilers)
+    histograms: dict[tuple[int, float, str], Histogram] = {}
+    rounds_to_bound: dict[tuple[int, float, str, int], int | None] = {}
+    for error_count in config.error_counts:
+        for probability in config.probabilities:
+            for name in selected:
+                cell = sweep.cell(error_count, probability, name)
+                final = [word.capability[-1] for word in cell.words]
+                histograms[(error_count, probability, name)] = Histogram.from_values(
+                    final, MAX_CAPABILITY_BIN + 1
+                )
+                for bound in range(1, MAX_CAPABILITY_BIN + 1):
+                    rounds_to_bound[(error_count, probability, name, bound)] = (
+                        rounds_to_capability(sweep, error_count, probability, name, bound)
+                    )
+    return Fig9Result(
+        error_counts=tuple(config.error_counts),
+        probabilities=tuple(config.probabilities),
+        profilers=selected,
+        num_rounds=config.num_rounds,
+        histograms=histograms,
+        rounds_to_bound=rounds_to_bound,
+    )
+
+
+def render(result: Fig9Result) -> str:
+    """Text rendition of both panels."""
+    sections = []
+
+    headers_a = ["profiler", "n", "P", *[f"cap={i}" for i in range(MAX_CAPABILITY_BIN + 1)]]
+    rows_a = []
+    for name in profiler_order(result.profilers):
+        for error_count in result.error_counts:
+            for probability in result.probabilities:
+                histogram = result.histograms[(error_count, probability, name)]
+                rows_a.append(
+                    [name, error_count, percent(probability)]
+                    + [f"{fraction:.2f}" for fraction in histogram.normalized()]
+                )
+    sections.append(
+        "Fig 9a: distribution of max simultaneous post-correction errors "
+        f"after {result.num_rounds} rounds\n" + format_table(headers_a, rows_a)
+    )
+
+    headers_b = ["profiler", "n", "P", *[f"<= {i}" for i in range(1, MAX_CAPABILITY_BIN + 1)]]
+    rows_b = []
+    for name in profiler_order(result.profilers):
+        for error_count in result.error_counts:
+            for probability in result.probabilities:
+                row: list[object] = [name, error_count, percent(probability)]
+                for bound in range(1, MAX_CAPABILITY_BIN + 1):
+                    value = result.rounds_to_bound[(error_count, probability, name, bound)]
+                    row.append(">%d" % result.num_rounds if value is None else value)
+                rows_b.append(row)
+    sections.append(
+        "Fig 9b: rounds until 99th-percentile required capability <= bound\n"
+        + format_table(headers_b, rows_b)
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,137 @@
+"""The paper's headline numbers, derived from the sweep and case study.
+
+1. Active-phase speedup (abstract, §7.3.2): at a per-bit probability of
+   50%, HARP bounds the required secondary capability to 1 in
+   20.6% / 36.4% / 52.9% / 62.1% of the rounds the best baseline needs for
+   2 / 3 / 4 / 5 pre-correction errors.
+2. Case-study speedup (§7.4): at a per-bit probability of 75%, Naive needs
+   3.7x the rounds HARP needs to reach a zero post-secondary BER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig9 import rounds_to_capability
+from repro.experiments.fig10 import Fig10Result
+from repro.experiments.runner import SweepResult
+from repro.utils.tables import format_table
+
+__all__ = ["ActiveSpeedup", "CaseStudySpeedup", "active_speedups", "case_study_speedups", "render"]
+
+PAPER_ACTIVE_FRACTIONS = {2: 0.206, 3: 0.364, 4: 0.529, 5: 0.621}
+PAPER_CASE_STUDY_FACTOR = 3.7
+
+
+@dataclass(frozen=True)
+class ActiveSpeedup:
+    """HARP's rounds-to-capability-1 as a fraction of the best baseline's."""
+
+    error_count: int
+    harp_rounds: int | None
+    baseline_rounds: int | None
+    baseline_name: str
+
+    @property
+    def fraction(self) -> float | None:
+        """HARP rounds / baseline rounds; lower is better (paper: 0.21-0.62)."""
+        if self.harp_rounds is None or self.baseline_rounds is None:
+            return None
+        return self.harp_rounds / self.baseline_rounds
+
+
+@dataclass(frozen=True)
+class CaseStudySpeedup:
+    """Naive's rounds-to-zero-BER as a multiple of HARP's."""
+
+    probability: float
+    harp_rounds: int | None
+    naive_rounds: int | None
+
+    @property
+    def factor(self) -> float | None:
+        """Naive rounds / HARP rounds; paper reports 3.7x at p=0.75."""
+        if self.harp_rounds is None or self.naive_rounds is None:
+            return None
+        return self.naive_rounds / self.harp_rounds
+
+
+def active_speedups(
+    sweep: SweepResult,
+    probability: float = 0.5,
+    harp: str = "HARP-U",
+    baselines: tuple[str, ...] = ("Naive", "BEEP"),
+) -> list[ActiveSpeedup]:
+    """Compute the abstract's 2/3/4/5-error speedup row from a sweep."""
+    results = []
+    config = sweep.config
+    available = [name for name in baselines if name in config.profilers]
+    for error_count in config.error_counts:
+        harp_rounds = rounds_to_capability(sweep, error_count, probability, harp, bound=1)
+        best_name = ""
+        best_rounds: int | None = None
+        for name in available:
+            rounds = rounds_to_capability(sweep, error_count, probability, name, bound=1)
+            if rounds is not None and (best_rounds is None or rounds < best_rounds):
+                best_rounds, best_name = rounds, name
+        results.append(
+            ActiveSpeedup(
+                error_count=error_count,
+                harp_rounds=harp_rounds,
+                baseline_rounds=best_rounds,
+                baseline_name=best_name or "(none reached bound)",
+            )
+        )
+    return results
+
+
+def case_study_speedups(result: Fig10Result, harp: str = "HARP-U") -> list[CaseStudySpeedup]:
+    """Compute the §7.4 Naive-vs-HARP factor for every probability."""
+    speedups = []
+    for probability in result.config.probabilities:
+        speedups.append(
+            CaseStudySpeedup(
+                probability=probability,
+                harp_rounds=result.rounds_to_zero.get((probability, harp)),
+                naive_rounds=result.rounds_to_zero.get((probability, "Naive")),
+            )
+        )
+    return speedups
+
+
+def render(
+    active: list[ActiveSpeedup] | None = None,
+    case_study: list[CaseStudySpeedup] | None = None,
+) -> str:
+    """Text rendition of the headline comparison against the paper."""
+    sections = []
+    if active is not None:
+        headers = ["pre-corr errors", "HARP rounds", "baseline", "baseline rounds", "fraction", "paper"]
+        rows = []
+        for speedup in active:
+            rows.append(
+                [
+                    speedup.error_count,
+                    "n/a" if speedup.harp_rounds is None else speedup.harp_rounds,
+                    speedup.baseline_name,
+                    "n/a" if speedup.baseline_rounds is None else speedup.baseline_rounds,
+                    "n/a" if speedup.fraction is None else f"{speedup.fraction:.1%}",
+                    f"{PAPER_ACTIVE_FRACTIONS.get(speedup.error_count, float('nan')):.1%}",
+                ]
+            )
+        sections.append("Headline: HARP rounds to capability<=1 vs best baseline (p=50%)\n" + format_table(headers, rows))
+    if case_study is not None:
+        headers = ["per-bit P", "HARP rounds", "Naive rounds", "factor", "paper @75%"]
+        rows = []
+        for speedup in case_study:
+            rows.append(
+                [
+                    f"{speedup.probability:.0%}",
+                    "n/a" if speedup.harp_rounds is None else speedup.harp_rounds,
+                    "n/a" if speedup.naive_rounds is None else speedup.naive_rounds,
+                    "n/a" if speedup.factor is None else f"{speedup.factor:.1f}x",
+                    f"{PAPER_CASE_STUDY_FACTOR}x",
+                ]
+            )
+        sections.append("Headline: rounds to zero post-secondary BER\n" + format_table(headers, rows))
+    return "\n\n".join(sections)

@@ -1,0 +1,36 @@
+"""Shared rendering helpers for experiment reports."""
+
+from __future__ import annotations
+
+__all__ = ["log_round_ticks", "percent", "profiler_order"]
+
+#: Render profilers in the paper's customary order.
+PROFILER_ORDER = ("Naive", "BEEP", "HARP-U", "HARP-A", "HARP-A+BEEP")
+
+
+def log_round_ticks(num_rounds: int) -> list[int]:
+    """Powers-of-two round ticks 1, 2, 4, ... up to ``num_rounds``.
+
+    Matches the log-scale x-axes of the paper's Figs 6, 8, and 10.
+    """
+    if num_rounds < 1:
+        raise ValueError("num_rounds must be positive")
+    ticks = []
+    tick = 1
+    while tick <= num_rounds:
+        ticks.append(tick)
+        tick *= 2
+    if ticks[-1] != num_rounds:
+        ticks.append(num_rounds)
+    return ticks
+
+
+def percent(value: float) -> str:
+    """Format a probability as the paper's percentage labels."""
+    return f"{round(value * 100)}%"
+
+
+def profiler_order(names: tuple[str, ...] | list[str]) -> list[str]:
+    """Sort profiler names into the paper's presentation order."""
+    ranking = {name: index for index, name in enumerate(PROFILER_ORDER)}
+    return sorted(names, key=lambda name: ranking.get(name, len(ranking)))

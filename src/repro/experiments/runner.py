@@ -1,0 +1,162 @@
+"""Shared Monte-Carlo sweep engine for the profiler-coverage exhibits.
+
+Runs every (pre-correction error count, per-bit probability, profiler) cell
+of a :class:`~repro.experiments.config.SweepConfig` and reduces each
+simulated word to the compact :class:`WordMetrics` record that Figs 6-9
+consume.  Ground truth is computed once per word and shared by all
+profilers; failure draws are shared through the word seed (see
+:mod:`repro.profiling.runner`), reproducing the paper's same-errors
+fairness guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.atrisk import GroundTruth, compute_ground_truth, max_simultaneous_post_errors
+from repro.ecc.hamming import random_sec_code
+from repro.ecc.linear_code import SystematicCode
+from repro.memory.error_model import WordErrorProfile, sample_word_profile
+from repro.profiling import PROFILER_REGISTRY
+from repro.profiling.runner import WordRunResult, simulate_word
+from repro.utils.rng import derive_rng, derive_seed
+
+__all__ = ["WordMetrics", "SweepCell", "SweepResult", "run_sweep", "metrics_for_run"]
+
+
+@dataclass(frozen=True)
+class WordMetrics:
+    """Per-round metrics of one (profiler, word) simulation.
+
+    All lists have one entry per profiling round (cumulative state *after*
+    that round).
+    """
+
+    direct_total: int
+    direct_identified: tuple[int, ...]
+    indirect_total: int
+    indirect_missed: tuple[int, ...]
+    post_total: int
+    post_identified: tuple[int, ...]
+    #: Required secondary-ECC capability per round (Fig 9 metric).
+    capability: tuple[int, ...]
+    #: 1-based round of first direct-risk identification, censored to the
+    #: simulated round count when no direct bit was ever identified (Fig 7).
+    first_direct_round: int
+
+
+@dataclass
+class SweepCell:
+    """All word metrics of one (error count, probability, profiler) cell."""
+
+    error_count: int
+    probability: float
+    profiler: str
+    words: list[WordMetrics]
+
+
+@dataclass
+class SweepResult:
+    """Results of a full sweep, keyed by (error_count, probability, profiler)."""
+
+    config: object
+    cells: dict[tuple[int, float, str], SweepCell]
+
+    def cell(self, error_count: int, probability: float, profiler: str) -> SweepCell:
+        return self.cells[(error_count, probability, profiler)]
+
+
+def metrics_for_run(
+    run: WordRunResult,
+    ground_truth: GroundTruth,
+    num_rounds: int,
+) -> WordMetrics:
+    """Reduce a simulation trace to the compact per-word metrics record.
+
+    The required-capability metric is recomputed only at rounds where the
+    identified set actually grows (identification is monotonic), keeping
+    the reduction linear in practice.
+    """
+    direct = ground_truth.direct_at_risk
+    indirect = ground_truth.indirect_at_risk
+    post = ground_truth.post_correction_at_risk
+
+    direct_identified: list[int] = []
+    indirect_missed: list[int] = []
+    post_identified: list[int] = []
+    capability: list[int] = []
+    first_direct = num_rounds
+    previous: frozenset[int] | None = None
+    previous_capability = 0
+    for round_index, identified in enumerate(run.identified_per_round):
+        if previous is None or identified != previous:
+            missed = post - identified
+            previous_capability = max_simultaneous_post_errors(ground_truth, missed)
+            previous = identified
+        direct_hits = len(identified & direct)
+        direct_identified.append(direct_hits)
+        indirect_missed.append(len(indirect - identified))
+        post_identified.append(len(identified & post))
+        capability.append(previous_capability)
+        if direct_hits and first_direct == num_rounds:
+            # Record the first round with a direct identification; a first
+            # hit exactly at the censoring bound is indistinguishable from
+            # (and recorded as) the censored value, matching the paper's
+            # conservative Fig 7 plotting.
+            first_direct = round_index + 1
+    return WordMetrics(
+        direct_total=len(direct),
+        direct_identified=tuple(direct_identified),
+        indirect_total=len(indirect),
+        indirect_missed=tuple(indirect_missed),
+        post_total=len(post),
+        post_identified=tuple(post_identified),
+        capability=tuple(capability),
+        first_direct_round=first_direct,
+    )
+
+
+def _make_words(
+    config,
+    error_count: int,
+    probability: float,
+) -> list[tuple[SystematicCode, WordErrorProfile, GroundTruth, int]]:
+    """Sample the (code, profile, ground truth, seed) tuples of one cell.
+
+    Word sampling depends only on (seed, error count) so that every
+    probability level and every profiler sees the exact same codes and
+    at-risk positions — the probability only rescales the failure draws.
+    """
+    words = []
+    for code_index in range(config.num_codes):
+        code_rng = derive_rng(config.seed, "code", config.k, code_index)
+        code = random_sec_code(config.k, code_rng)
+        for word_index in range(config.words_per_code):
+            word_rng = derive_rng(config.seed, "word", error_count, code_index, word_index)
+            profile = sample_word_profile(code, error_count, probability, word_rng)
+            ground_truth = compute_ground_truth(code, profile)
+            word_seed = derive_seed(config.seed, "draws", error_count, code_index, word_index)
+            words.append((code, profile, ground_truth, word_seed))
+    return words
+
+
+def run_sweep(config) -> SweepResult:
+    """Execute the full (error count x probability x profiler) grid."""
+    cells: dict[tuple[int, float, str], SweepCell] = {}
+    for error_count in config.error_counts:
+        for probability in config.probabilities:
+            words = _make_words(config, error_count, probability)
+            for profiler_name in config.profilers:
+                profiler_cls = PROFILER_REGISTRY[profiler_name]
+                metrics: list[WordMetrics] = []
+                for code, profile, ground_truth, word_seed in words:
+                    profiler = profiler_cls(code, seed=word_seed, pattern=config.pattern)
+                    run = simulate_word(profiler, profile, config.num_rounds, word_seed)
+                    metrics.append(metrics_for_run(run, ground_truth, config.num_rounds))
+                cells[(error_count, probability, profiler_name)] = SweepCell(
+                    error_count=error_count,
+                    probability=probability,
+                    profiler=profiler_name,
+                    words=metrics,
+                )
+    return SweepResult(config=config, cells=cells)

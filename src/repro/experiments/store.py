@@ -1,0 +1,115 @@
+"""Serialization of sweep results (artifact-workflow support).
+
+The paper's artifact parallelizes Monte-Carlo jobs across machines and
+aggregates raw output files afterwards (§A.7).  This module provides the
+equivalent for the Python reproduction: :class:`SweepResult` objects
+round-trip through JSON, and results from independently-run shards (e.g.
+different seeds or disjoint cells) merge into one result for the
+reduction layer.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.runner import SweepCell, SweepResult, WordMetrics
+
+__all__ = ["sweep_to_json", "sweep_from_json", "merge_sweeps"]
+
+
+def _metrics_to_dict(metrics: WordMetrics) -> dict:
+    return {
+        "direct_total": metrics.direct_total,
+        "direct_identified": list(metrics.direct_identified),
+        "indirect_total": metrics.indirect_total,
+        "indirect_missed": list(metrics.indirect_missed),
+        "post_total": metrics.post_total,
+        "post_identified": list(metrics.post_identified),
+        "capability": list(metrics.capability),
+        "first_direct_round": metrics.first_direct_round,
+    }
+
+
+def _metrics_from_dict(payload: dict) -> WordMetrics:
+    return WordMetrics(
+        direct_total=int(payload["direct_total"]),
+        direct_identified=tuple(payload["direct_identified"]),
+        indirect_total=int(payload["indirect_total"]),
+        indirect_missed=tuple(payload["indirect_missed"]),
+        post_total=int(payload["post_total"]),
+        post_identified=tuple(payload["post_identified"]),
+        capability=tuple(payload["capability"]),
+        first_direct_round=int(payload["first_direct_round"]),
+    )
+
+
+def sweep_to_json(sweep: SweepResult) -> str:
+    """Serialize a sweep's cells (not its config object) to JSON."""
+    cells = []
+    for (error_count, probability, profiler), cell in sorted(sweep.cells.items()):
+        cells.append(
+            {
+                "error_count": error_count,
+                "probability": probability,
+                "profiler": profiler,
+                "words": [_metrics_to_dict(m) for m in cell.words],
+            }
+        )
+    return json.dumps({"format": "repro-sweep-v1", "cells": cells})
+
+
+def sweep_from_json(document: str) -> SweepResult:
+    """Inverse of :func:`sweep_to_json` (config is not recoverable)."""
+    payload = json.loads(document)
+    if payload.get("format") != "repro-sweep-v1":
+        raise ValueError("not a repro sweep document")
+    cells: dict[tuple[int, float, str], SweepCell] = {}
+    for entry in payload["cells"]:
+        key = (int(entry["error_count"]), float(entry["probability"]), str(entry["profiler"]))
+        cells[key] = SweepCell(
+            error_count=key[0],
+            probability=key[1],
+            profiler=key[2],
+            words=[_metrics_from_dict(m) for m in entry["words"]],
+        )
+    return SweepResult(config=None, cells=cells)
+
+
+def merge_sweeps(shards: list[SweepResult]) -> SweepResult:
+    """Merge independently-run shards into one result.
+
+    Cells present in several shards concatenate their word lists (the
+    paper's "aggregate the raw data, regardless of how the ECC codes are
+    partitioned"); the merged result keeps the first shard's config.
+    """
+    if not shards:
+        raise ValueError("need at least one shard")
+    merged: dict[tuple[int, float, str], SweepCell] = {}
+    for shard in shards:
+        for key, cell in shard.cells.items():
+            if key in merged:
+                existing = merged[key]
+                _check_compatible(existing, cell)
+                merged[key] = SweepCell(
+                    error_count=cell.error_count,
+                    probability=cell.probability,
+                    profiler=cell.profiler,
+                    words=existing.words + cell.words,
+                )
+            else:
+                merged[key] = SweepCell(
+                    error_count=cell.error_count,
+                    probability=cell.probability,
+                    profiler=cell.profiler,
+                    words=list(cell.words),
+                )
+    return SweepResult(config=shards[0].config, cells=merged)
+
+
+def _check_compatible(a: SweepCell, b: SweepCell) -> None:
+    if a.words and b.words:
+        if len(a.words[0].capability) != len(b.words[0].capability):
+            raise ValueError(
+                "cannot merge shards with different round counts "
+                f"({len(a.words[0].capability)} vs {len(b.words[0].capability)})"
+            )

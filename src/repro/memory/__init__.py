@@ -1,0 +1,51 @@
+"""Simulated main-memory substrate: cells, arrays, error models, chips."""
+
+from repro.memory.address import AddressMap, LogicalAddress, PhysicalAddress
+from repro.memory.array import MemoryArray
+from repro.memory.batch_engine import BatchInjectionEngine, BatchObservation
+from repro.memory.cells import CellOrientation, all_true_cells, alternating_cells
+from repro.memory.chip import OnDieEccChip, ReadOutcome
+from repro.memory.error_model import (
+    RetentionErrorModel,
+    WordErrorProfile,
+    normal_probability_profile,
+    sample_profile_by_rate,
+    sample_word_profile,
+)
+from repro.memory.patterns import (
+    PATTERN_NAMES,
+    ChargedPattern,
+    CheckeredPattern,
+    DataPattern,
+    FixedPattern,
+    RandomPattern,
+    ZeroPattern,
+    make_pattern,
+)
+
+__all__ = [
+    "AddressMap",
+    "LogicalAddress",
+    "PhysicalAddress",
+    "MemoryArray",
+    "BatchInjectionEngine",
+    "BatchObservation",
+    "CellOrientation",
+    "all_true_cells",
+    "alternating_cells",
+    "OnDieEccChip",
+    "ReadOutcome",
+    "RetentionErrorModel",
+    "WordErrorProfile",
+    "normal_probability_profile",
+    "sample_profile_by_rate",
+    "sample_word_profile",
+    "DataPattern",
+    "ChargedPattern",
+    "CheckeredPattern",
+    "RandomPattern",
+    "FixedPattern",
+    "ZeroPattern",
+    "make_pattern",
+    "PATTERN_NAMES",
+]

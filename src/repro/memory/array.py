@@ -1,0 +1,51 @@
+"""Raw bit storage backing a simulated memory chip."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MemoryArray"]
+
+
+class MemoryArray:
+    """A fixed-geometry array of raw storage bits.
+
+    The array stores one codeword per row; it knows nothing about ECC or
+    errors — it is the "error-prone data store" box of the paper's Fig 1,
+    with error injection layered on top by :class:`repro.memory.chip.OnDieEccChip`.
+    """
+
+    def __init__(self, num_words: int, bits_per_word: int) -> None:
+        if num_words < 0 or bits_per_word <= 0:
+            raise ValueError("array geometry must be positive")
+        self.num_words = num_words
+        self.bits_per_word = bits_per_word
+        self._storage = np.zeros((num_words, bits_per_word), dtype=np.uint8)
+
+    def _check_index(self, word_index: int) -> int:
+        if not 0 <= word_index < self.num_words:
+            raise IndexError(f"word index {word_index} out of range [0, {self.num_words})")
+        return word_index
+
+    def write(self, word_index: int, bits: np.ndarray) -> None:
+        """Store a full word of raw bits."""
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.shape != (self.bits_per_word,):
+            raise ValueError(f"expected {(self.bits_per_word,)} bits, got shape {arr.shape}")
+        self._storage[self._check_index(word_index)] = arr
+
+    def read(self, word_index: int) -> np.ndarray:
+        """Read a full word of raw bits (a copy)."""
+        return self._storage[self._check_index(word_index)].copy()
+
+    def flip(self, word_index: int, positions: tuple[int, ...] | list[int]) -> None:
+        """Flip stored bits in place (error injection hook)."""
+        row = self._storage[self._check_index(word_index)]
+        for position in positions:
+            if not 0 <= position < self.bits_per_word:
+                raise IndexError(f"bit position {position} out of range")
+            row[position] ^= 1
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_words * self.bits_per_word

@@ -1,0 +1,125 @@
+"""Memory test data patterns (paper §7.1.2).
+
+The paper evaluates three patterns written by the profiler each round:
+
+* ``random`` — a uniform-random dataword, inverted every other round, with a
+  fresh base pattern every two rounds (so each base and its inverse are both
+  tested before moving on);
+* ``charged`` (0xFF) — all ones, the worst case for true cells;
+* ``checkered`` (0xAA) — alternating bits, inverted every round.
+
+A pattern is a pure function of ``(round_index, k)`` plus a seed, so any
+round's pattern can be queried out of order (the vectorized Monte-Carlo
+runner materializes all rounds at once).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.bits import invert_bits
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "DataPattern",
+    "ChargedPattern",
+    "ZeroPattern",
+    "CheckeredPattern",
+    "RandomPattern",
+    "FixedPattern",
+    "make_pattern",
+    "PATTERN_NAMES",
+]
+
+
+class DataPattern(ABC):
+    """A deterministic per-round dataword schedule."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def data_for_round(self, round_index: int, k: int) -> np.ndarray:
+        """The ``(k,)`` dataword the profiler writes in the given round."""
+
+    def rounds(self, num_rounds: int, k: int) -> np.ndarray:
+        """Materialize all rounds at once as a ``(num_rounds, k)`` array."""
+        return np.stack([self.data_for_round(r, k) for r in range(num_rounds)])
+
+
+class ChargedPattern(DataPattern):
+    """All ones every round (0xFF): every true cell holds charge."""
+
+    name = "charged"
+
+    def data_for_round(self, round_index: int, k: int) -> np.ndarray:
+        return np.ones(k, dtype=np.uint8)
+
+
+class ZeroPattern(DataPattern):
+    """All zeros every round (0x00): no true cell holds charge."""
+
+    name = "zero"
+
+    def data_for_round(self, round_index: int, k: int) -> np.ndarray:
+        return np.zeros(k, dtype=np.uint8)
+
+
+class CheckeredPattern(DataPattern):
+    """Alternating 0/1 bits (0xAA), inverted on odd rounds."""
+
+    name = "checkered"
+
+    def data_for_round(self, round_index: int, k: int) -> np.ndarray:
+        base = (np.arange(k) % 2).astype(np.uint8)
+        return invert_bits(base) if round_index % 2 else base
+
+
+class RandomPattern(DataPattern):
+    """Fresh uniform-random base every two rounds; odd rounds invert.
+
+    This is the paper's default pattern ("performs on par or better than the
+    static charged and checkered patterns", §7.1.2).
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+
+    def data_for_round(self, round_index: int, k: int) -> np.ndarray:
+        block = round_index // 2
+        rng = derive_rng(self._seed, "random-pattern", block)
+        base = rng.integers(0, 2, size=k, dtype=np.uint8)
+        return invert_bits(base) if round_index % 2 else base
+
+
+class FixedPattern(DataPattern):
+    """A caller-supplied constant dataword (used by tests and BEEP)."""
+
+    name = "fixed"
+
+    def __init__(self, data: np.ndarray) -> None:
+        self._data = np.asarray(data, dtype=np.uint8).copy()
+
+    def data_for_round(self, round_index: int, k: int) -> np.ndarray:
+        if self._data.shape[0] != k:
+            raise ValueError(f"fixed pattern length {self._data.shape[0]} != k={k}")
+        return self._data.copy()
+
+
+PATTERN_NAMES = ("random", "charged", "checkered", "zero")
+
+
+def make_pattern(name: str, seed: int = 0) -> DataPattern:
+    """Factory over the pattern registry used by experiment configs."""
+    if name == "random":
+        return RandomPattern(seed)
+    if name == "charged":
+        return ChargedPattern()
+    if name == "checkered":
+        return CheckeredPattern()
+    if name == "zero":
+        return ZeroPattern()
+    raise ValueError(f"unknown data pattern {name!r}; expected one of {PATTERN_NAMES}")

@@ -1,0 +1,43 @@
+"""Error-profiling algorithms: Naive, BEEP, HARP-U, HARP-A, HARP-A+BEEP."""
+
+from repro.profiling.base import Profiler, ReadMode
+from repro.profiling.beep import BeepProfiler
+from repro.profiling.combined import HarpABeepProfiler
+from repro.profiling.coverage import (
+    aggregate_coverage,
+    aggregate_mean,
+    coverage_trajectory,
+    missed_indirect_trajectory,
+)
+from repro.profiling.harp import HarpAProfiler, HarpUProfiler
+from repro.profiling.naive import NaiveProfiler
+from repro.profiling.oracle import OracleProfiler
+from repro.profiling.runner import WordRunResult, post_correction_data_errors, simulate_word
+
+__all__ = [
+    "Profiler",
+    "ReadMode",
+    "NaiveProfiler",
+    "BeepProfiler",
+    "HarpUProfiler",
+    "HarpAProfiler",
+    "HarpABeepProfiler",
+    "OracleProfiler",
+    "WordRunResult",
+    "simulate_word",
+    "post_correction_data_errors",
+    "coverage_trajectory",
+    "missed_indirect_trajectory",
+    "aggregate_coverage",
+    "aggregate_mean",
+    "PROFILER_REGISTRY",
+]
+
+#: Registry used by experiment configs to instantiate profilers by name.
+PROFILER_REGISTRY = {
+    "Naive": NaiveProfiler,
+    "BEEP": BeepProfiler,
+    "HARP-U": HarpUProfiler,
+    "HARP-A": HarpAProfiler,
+    "HARP-A+BEEP": HarpABeepProfiler,
+}

@@ -1,0 +1,100 @@
+"""Profiler abstractions (paper §2.3, §6).
+
+A profiler runs rounds of write-then-read testing against one ECC word.
+Each round it chooses a dataword to program; the harness writes it through
+on-die ECC, samples pre-correction errors, and hands the profiler back the
+positions where the data it reads differs from what it wrote.  Two read
+paths exist (paper §5.2):
+
+* the **normal** path returns post-correction data — mismatches are
+  post-correction errors (direct or indirect);
+* the **bypass** path returns raw data bits — mismatches are exactly the
+  pre-correction errors within the data portion.
+
+Profilers accumulate an *identified* set of at-risk data positions, split
+into an observation channel and (for HARP-A) a prediction channel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.ecc.linear_code import SystematicCode
+from repro.memory.patterns import DataPattern, make_pattern
+
+__all__ = ["Profiler", "ReadMode"]
+
+
+class ReadMode:
+    """Read-path selectors (string enum kept trivial for speed)."""
+
+    NORMAL = "normal"
+    BYPASS = "bypass"
+
+
+class Profiler(ABC):
+    """Base class for round-based error profilers.
+
+    Args:
+        code: the on-die ECC code of the chip under test.  Knowledge of the
+            *geometry* (k, n) is required by every profiler; whether the
+            parity-check matrix contents may be used distinguishes
+            ECC-aware profilers (BEEP, HARP-A) from unaware ones.
+        seed: seed for the profiler's own pattern randomness.
+        pattern: name of the standard data pattern schedule ("random",
+            "charged", "checkered").
+    """
+
+    #: Human-readable profiler name used in reports.
+    name: str = "abstract"
+    #: Whether pattern choice depends on past observations.  Non-adaptive
+    #: profilers can be simulated on the vectorized fast path.
+    adaptive: bool = False
+
+    def __init__(self, code: SystematicCode, seed: int, pattern: str = "random") -> None:
+        self.code = code
+        self.seed = int(seed)
+        self._pattern: DataPattern = make_pattern(pattern, seed)
+        self._observed: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Per-round interface driven by the harness
+    # ------------------------------------------------------------------
+
+    def read_mode_for(self, round_index: int) -> str:
+        """Which read path this profiler uses in the given round."""
+        return ReadMode.NORMAL
+
+    def pattern_for_round(self, round_index: int) -> np.ndarray:
+        """The dataword to program this round."""
+        return self._pattern.data_for_round(round_index, self.code.k)
+
+    @abstractmethod
+    def observe(
+        self,
+        round_index: int,
+        written: np.ndarray,
+        mismatches: frozenset[int],
+    ) -> None:
+        """Record the mismatching data positions of this round's read-back."""
+
+    # ------------------------------------------------------------------
+    # Identification state
+    # ------------------------------------------------------------------
+
+    @property
+    def identified_observed(self) -> frozenset[int]:
+        """Data positions identified from read-back observations."""
+        return frozenset(self._observed)
+
+    @property
+    def identified_predicted(self) -> frozenset[int]:
+        """Data positions identified by precomputation (HARP-A only)."""
+        return frozenset()
+
+    @property
+    def identified(self) -> frozenset[int]:
+        """Everything this profiler would hand to the repair mechanism."""
+        return self.identified_observed | self.identified_predicted

@@ -1,0 +1,82 @@
+"""Coverage aggregation across simulated ECC words (paper §7.1.2).
+
+Coverage is "the proportion of all at-risk bits that are identified",
+aggregated over every simulated ECC word: at each round, the number of
+(word, bit) pairs identified so far divided by the total number of at-risk
+(word, bit) pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.atrisk import GroundTruth
+from repro.profiling.runner import WordRunResult
+
+__all__ = [
+    "coverage_trajectory",
+    "missed_indirect_trajectory",
+    "aggregate_coverage",
+    "aggregate_mean",
+]
+
+
+def coverage_trajectory(
+    result: WordRunResult,
+    target_bits: frozenset[int],
+    use_observed_channel: bool = False,
+) -> list[tuple[int, int]]:
+    """Per-round (identified, total) pairs for one word against a target set.
+
+    Args:
+        result: the word's simulation trace.
+        target_bits: the ground-truth at-risk set to measure against (e.g.
+            direct-risk bits for Fig 6, indirect-risk bits for Fig 8).
+        use_observed_channel: measure only observation-based identification
+            (the paper's direct-coverage convention, footnote 5).
+    """
+    trace = result.observed_per_round if use_observed_channel else result.identified_per_round
+    total = len(target_bits)
+    return [(len(identified & target_bits), total) for identified in trace]
+
+
+def missed_indirect_trajectory(result: WordRunResult, ground_truth: GroundTruth) -> list[int]:
+    """Per-round count of indirect-risk bits not yet identified (Fig 8)."""
+    indirect = ground_truth.indirect_at_risk
+    return [len(indirect - identified) for identified in result.identified_per_round]
+
+
+def aggregate_coverage(per_word: Sequence[Sequence[tuple[int, int]]]) -> list[float]:
+    """Pooled coverage per round across words.
+
+    Each element of ``per_word`` is a word's (identified, total) trajectory;
+    rounds are pooled as sum(identified) / sum(total).  Words whose target
+    set is empty contribute nothing (consistent with the paper's pooling
+    over all at-risk bits of all simulated words).
+    """
+    if not per_word:
+        return []
+    num_rounds = len(per_word[0])
+    for trajectory in per_word:
+        if len(trajectory) != num_rounds:
+            raise ValueError("trajectories must have equal length")
+    coverage: list[float] = []
+    for round_index in range(num_rounds):
+        identified = sum(trajectory[round_index][0] for trajectory in per_word)
+        total = sum(trajectory[round_index][1] for trajectory in per_word)
+        coverage.append(identified / total if total else 1.0)
+    return coverage
+
+
+def aggregate_mean(per_word: Sequence[Sequence[float]]) -> list[float]:
+    """Mean per round across words of an arbitrary per-word metric."""
+    if not per_word:
+        return []
+    num_rounds = len(per_word[0])
+    for trajectory in per_word:
+        if len(trajectory) != num_rounds:
+            raise ValueError("trajectories must have equal length")
+    return [
+        sum(trajectory[round_index] for trajectory in per_word) / len(per_word)
+        for round_index in range(num_rounds)
+    ]

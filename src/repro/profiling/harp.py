@@ -1,0 +1,69 @@
+"""HARP active-phase profilers (paper §6).
+
+HARP-U reads through the on-die ECC *bypass* path, so every mismatch it
+observes is a raw pre-correction error in the data bits — profiling becomes
+equivalent to profiling a chip without on-die ECC, which defeats all three
+challenges of the paper's §4 for direct errors.
+
+HARP-A additionally knows the on-die ECC parity-check matrix and, after
+every new direct-error identification, precomputes which data positions
+combinations of the identified bits can miscorrect onto (paper §6.3.1).
+The prediction cannot cover miscorrections caused by at-risk *parity* bits,
+which the bypass path does not expose — the reactive phase (secondary ECC)
+picks those up at runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.atrisk import predict_indirect_from_direct
+from repro.ecc.linear_code import SystematicCode
+from repro.profiling.base import Profiler, ReadMode
+
+__all__ = ["HarpUProfiler", "HarpAProfiler"]
+
+
+class HarpUProfiler(Profiler):
+    """HARP-Unaware: bypass reads, standard patterns, no H knowledge."""
+
+    name = "HARP-U"
+    adaptive = False
+
+    def read_mode_for(self, round_index: int) -> str:
+        return ReadMode.BYPASS
+
+    def observe(
+        self,
+        round_index: int,
+        written: np.ndarray,
+        mismatches: frozenset[int],
+    ) -> None:
+        self._observed.update(mismatches)
+
+
+class HarpAProfiler(HarpUProfiler):
+    """HARP-Aware: HARP-U plus miscorrection precomputation from H."""
+
+    name = "HARP-A"
+    adaptive = False
+
+    def __init__(self, code: SystematicCode, seed: int, pattern: str = "random") -> None:
+        super().__init__(code, seed, pattern)
+        self._predicted: frozenset[int] = frozenset()
+
+    def observe(
+        self,
+        round_index: int,
+        written: np.ndarray,
+        mismatches: frozenset[int],
+    ) -> None:
+        before = len(self._observed)
+        self._observed.update(mismatches)
+        if len(self._observed) != before:
+            # The direct-risk set grew: refresh the precomputed indirect set.
+            self._predicted = predict_indirect_from_direct(self.code, self._observed)
+
+    @property
+    def identified_predicted(self) -> frozenset[int]:
+        return self._predicted

@@ -1,0 +1,162 @@
+"""Per-word profiling simulation (the paper's Monte-Carlo inner loop).
+
+For one ECC word — a code, an at-risk profile, and an error seed — this
+module simulates ``R`` rounds of a profiler and records the cumulative
+identified set after every round.
+
+Fairness (paper §7.1.2: "each profiler is evaluated with the exact same set
+of ECC words, pre-correction error patterns, and data patterns"): the
+Bernoulli randomness is a pre-drawn uniform matrix ``U[round, at_risk_bit]``
+derived from the word seed alone, so two profilers testing the same word
+see identical draws; an at-risk bit fails in a round iff it is charged by
+that profiler's pattern *and* its draw clears the per-bit probability.
+Pattern-independent draws make the comparison deterministic and unbiased.
+
+Decode semantics use the integer-syndrome shortcut: a round with failed
+positions ``T`` has syndrome ``xor of H-columns over T``; the correction
+lookup then yields the post-correction error set in O(|T|) — no dense
+matrix decode in the hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecc.linear_code import SystematicCode
+from repro.memory.cells import CellOrientation
+from repro.memory.error_model import WordErrorProfile
+from repro.profiling.base import Profiler, ReadMode
+from repro.utils.rng import derive_rng
+
+__all__ = ["WordRunResult", "simulate_word", "post_correction_data_errors"]
+
+
+def post_correction_data_errors(code: SystematicCode, failed: tuple[int, ...]) -> frozenset[int]:
+    """Exact post-correction data-error positions for a failure pattern."""
+    if not failed:
+        return frozenset()
+    syndrome = 0
+    for position in failed:
+        syndrome ^= code.column_int(position)
+    correction = code.correction_for_syndrome(syndrome)
+    post = set(failed)
+    if correction:
+        post ^= set(correction)
+    return frozenset(p for p in post if p < code.k)
+
+
+@dataclass
+class WordRunResult:
+    """Per-round identification trace of one (profiler, word) simulation.
+
+    Attributes:
+        identified_per_round: cumulative identified set (observation and
+            prediction channels merged) after each round — what the repair
+            mechanism would know.
+        observed_per_round: cumulative observation-channel set after each
+            round (used for the paper's direct-coverage metric, which
+            footnote 5 defines identically for HARP-U and HARP-A).
+        failures_per_round: the pre-correction failure pattern of each
+            round (simulation ground truth, for analysis).
+    """
+
+    identified_per_round: list[frozenset[int]]
+    observed_per_round: list[frozenset[int]]
+    failures_per_round: list[tuple[int, ...]]
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.identified_per_round)
+
+    def final_identified(self) -> frozenset[int]:
+        return self.identified_per_round[-1] if self.identified_per_round else frozenset()
+
+
+def _failure_draws(
+    profile: WordErrorProfile, num_rounds: int, word_seed: int
+) -> np.ndarray:
+    """Pre-drawn uniform variates, shape (num_rounds, at-risk count)."""
+    rng = derive_rng(word_seed, "failure-draws")
+    return rng.random((num_rounds, profile.count))
+
+
+def simulate_word(
+    profiler: Profiler,
+    profile: WordErrorProfile,
+    num_rounds: int,
+    word_seed: int,
+    orientation: CellOrientation | None = None,
+) -> WordRunResult:
+    """Run a profiler against one ECC word for ``num_rounds`` rounds.
+
+    Non-adaptive profilers (pattern schedule independent of observations)
+    take a vectorized fast path: all patterns are encoded in one batch and
+    all failure draws resolved in one array operation.  Adaptive profilers
+    (BEEP and hybrids) interleave pattern crafting with observations and
+    run sequentially.  Both paths produce bit-identical traces for
+    non-adaptive profilers because the draws are pattern-independent.
+
+    Args:
+        orientation: cell orientation; ``None`` (the paper's model) means
+            all true cells, where a stored 1 is the charged/vulnerable
+            state.  With anti cells a stored 0 is vulnerable instead.
+    """
+    code = profiler.code
+    if profile.positions and max(profile.positions) >= code.n:
+        raise IndexError("profile position out of codeword range")
+    draws = _failure_draws(profile, num_rounds, word_seed)
+    probabilities = np.asarray(profile.probabilities, dtype=float)
+    positions = np.asarray(profile.positions, dtype=np.intp)
+
+    def charge_of(codeword_bits: np.ndarray) -> np.ndarray:
+        """Charged mask restricted to the at-risk positions."""
+        if orientation is None:
+            return codeword_bits[..., positions].astype(bool)
+        return orientation.charged_mask(codeword_bits)[..., positions].astype(bool)
+
+    identified_trace: list[frozenset[int]] = []
+    observed_trace: list[frozenset[int]] = []
+    failure_trace: list[tuple[int, ...]] = []
+
+    if profiler.adaptive:
+        written_rounds = None
+    else:
+        written_rounds = np.stack(
+            [profiler.pattern_for_round(r) for r in range(num_rounds)]
+        )
+        if profile.count:
+            codewords = code.encode(written_rounds)
+            failed_matrix = charge_of(codewords) & (draws < probabilities)
+        else:
+            failed_matrix = np.zeros((num_rounds, 0), dtype=bool)
+
+    for round_index in range(num_rounds):
+        if written_rounds is None:
+            written = profiler.pattern_for_round(round_index)
+            if profile.count:
+                codeword = code.encode(written)
+                failed_mask = charge_of(codeword) & (draws[round_index] < probabilities)
+            else:
+                failed_mask = np.zeros(0, dtype=bool)
+        else:
+            written = written_rounds[round_index]
+            failed_mask = failed_matrix[round_index]
+        failed = tuple(int(p) for p in positions[failed_mask]) if failed_mask.any() else ()
+        failure_trace.append(failed)
+
+        if profiler.read_mode_for(round_index) == ReadMode.BYPASS:
+            # Raw data bits: mismatches are exactly the failed data positions.
+            mismatches = frozenset(p for p in failed if p < code.k)
+        else:
+            mismatches = post_correction_data_errors(code, failed)
+        profiler.observe(round_index, written, mismatches)
+        identified_trace.append(profiler.identified)
+        observed_trace.append(profiler.identified_observed)
+
+    return WordRunResult(
+        identified_per_round=identified_trace,
+        observed_per_round=observed_trace,
+        failures_per_round=failure_trace,
+    )

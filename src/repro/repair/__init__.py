@@ -1,0 +1,29 @@
+"""Repair mechanisms, error profiles, and wasted-storage analysis."""
+
+from repro.repair.mechanisms import (
+    REPAIR_GRANULARITY_SURVEY,
+    BlockGranularityRepair,
+    IdealBitRepair,
+    RepairMechanism,
+    RepairStats,
+)
+from repro.repair.profile_store import ErrorProfile
+from repro.repair.wasted_storage import (
+    PAPER_GRANULARITIES,
+    expected_wasted_ratio,
+    monte_carlo_wasted_ratio,
+    wasted_ratio_curve,
+)
+
+__all__ = [
+    "ErrorProfile",
+    "RepairMechanism",
+    "IdealBitRepair",
+    "BlockGranularityRepair",
+    "RepairStats",
+    "REPAIR_GRANULARITY_SURVEY",
+    "expected_wasted_ratio",
+    "monte_carlo_wasted_ratio",
+    "wasted_ratio_curve",
+    "PAPER_GRANULARITIES",
+]

@@ -1,0 +1,125 @@
+"""Repair mechanisms at several granularities (paper §2.2, Table 1).
+
+The paper's case study assumes an *ideal* bit-granularity repair mechanism:
+every profiled bit is perfectly repaired (e.g. remapped to a spare), so
+errors at profiled positions never reach the CPU.  Coarser mechanisms
+(row sparing, page retirement) repair whole blocks and therefore waste
+capacity on non-erroneous bits — quantified by
+:mod:`repro.repair.wasted_storage`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.repair.profile_store import ErrorProfile
+
+__all__ = [
+    "RepairMechanism",
+    "IdealBitRepair",
+    "BlockGranularityRepair",
+    "RepairStats",
+    "REPAIR_GRANULARITY_SURVEY",
+]
+
+#: Paper Table 1: profiling granularity (bits) of prevalent repair schemes.
+REPAIR_GRANULARITY_SURVEY = {
+    "system page (RAPID, RIO, page retirement)": 32 * 1024,
+    "DRAM external row (PPR, Agnos, RAIDR, DIVA)": 8 * 1024,
+    "DRAM internal row/col (row/col sparing, Solar)": 1024,
+    "cache block (FREE-p, CiDRA)": 512,
+    "processor word (ArchShield)": 64,
+    "byte (DRM)": 8,
+    "single bit (ECP, SECRET, REMAP, SFaultMap, HOTH, FLOWER, SAFER, Bit-fix)": 1,
+}
+
+
+@dataclass(frozen=True)
+class RepairStats:
+    """Capacity accounting of a repair mechanism instance."""
+
+    repaired_blocks: int
+    repaired_bits: int
+    profiled_bits: int
+
+    @property
+    def wasted_bits(self) -> int:
+        """Non-at-risk bits sacrificed by block-granularity repair."""
+        return self.repaired_bits - self.profiled_bits
+
+
+class RepairMechanism(ABC):
+    """Filters post-correction errors according to a repair policy."""
+
+    def __init__(self, profile: ErrorProfile) -> None:
+        self.profile = profile
+
+    @abstractmethod
+    def is_repaired(self, word_index: int, bit_offset: int) -> bool:
+        """Whether reads of this bit are served from repair resources."""
+
+    def unrepaired_errors(
+        self, word_index: int, error_positions: frozenset[int] | set[int]
+    ) -> frozenset[int]:
+        """Errors that survive repair and reach the rest of the system."""
+        return frozenset(
+            position
+            for position in error_positions
+            if not self.is_repaired(word_index, position)
+        )
+
+    @abstractmethod
+    def stats(self, bits_per_word: int) -> RepairStats:
+        """Capacity accounting for the current profile."""
+
+
+class IdealBitRepair(RepairMechanism):
+    """The paper's ideal repair: every profiled bit, exactly, is repaired."""
+
+    def is_repaired(self, word_index: int, bit_offset: int) -> bool:
+        return self.profile.is_marked(word_index, bit_offset)
+
+    def stats(self, bits_per_word: int) -> RepairStats:
+        profiled = self.profile.total_bits
+        return RepairStats(
+            repaired_blocks=profiled,
+            repaired_bits=profiled,
+            profiled_bits=profiled,
+        )
+
+
+class BlockGranularityRepair(RepairMechanism):
+    """Repair whole aligned blocks of ``granularity`` bits within a word.
+
+    Models coarse mechanisms (byte / word / row-segment sparing): one
+    profiled bit retires its entire block, wasting the block's remaining
+    capacity.
+    """
+
+    def __init__(self, profile: ErrorProfile, granularity: int) -> None:
+        super().__init__(profile)
+        if granularity < 1:
+            raise ValueError("granularity must be >= 1")
+        self.granularity = granularity
+
+    def _block_of(self, bit_offset: int) -> int:
+        return bit_offset // self.granularity
+
+    def is_repaired(self, word_index: int, bit_offset: int) -> bool:
+        target_block = self._block_of(bit_offset)
+        return any(
+            self._block_of(marked) == target_block
+            for marked in self.profile.bits_for(word_index)
+        )
+
+    def stats(self, bits_per_word: int) -> RepairStats:
+        repaired_blocks = 0
+        for word_index in self.profile.words:
+            blocks = {self._block_of(offset) for offset in self.profile.bits_for(word_index)}
+            repaired_blocks += len(blocks)
+        return RepairStats(
+            repaired_blocks=repaired_blocks,
+            repaired_bits=repaired_blocks * self.granularity,
+            profiled_bits=self.profile.total_bits,
+        )

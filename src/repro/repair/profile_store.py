@@ -1,0 +1,62 @@
+"""The error profile: the repair mechanism's list of at-risk bits (Fig 1).
+
+Stored at logical (controller-visible) bit granularity, keyed by ECC word.
+Supports the serialization round-trip a persistent profile would need
+(profiles survive across boots in a real system).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+__all__ = ["ErrorProfile"]
+
+
+class ErrorProfile:
+    """A set of at-risk logical bit locations, grouped per ECC word."""
+
+    def __init__(self) -> None:
+        self._bits: dict[int, set[int]] = defaultdict(set)
+
+    def mark(self, word_index: int, bit_offset: int) -> None:
+        """Record one at-risk data bit."""
+        if word_index < 0 or bit_offset < 0:
+            raise ValueError("addresses must be non-negative")
+        self._bits[word_index].add(bit_offset)
+
+    def mark_many(self, word_index: int, bit_offsets: frozenset[int] | set[int]) -> None:
+        """Record several at-risk bits of one word."""
+        for bit_offset in bit_offsets:
+            self.mark(word_index, bit_offset)
+
+    def bits_for(self, word_index: int) -> frozenset[int]:
+        """At-risk bit offsets recorded for a word."""
+        return frozenset(self._bits.get(word_index, ()))
+
+    def is_marked(self, word_index: int, bit_offset: int) -> bool:
+        return bit_offset in self._bits.get(word_index, ())
+
+    @property
+    def total_bits(self) -> int:
+        """Total number of profiled at-risk bits."""
+        return sum(len(bits) for bits in self._bits.values())
+
+    @property
+    def words(self) -> list[int]:
+        """Word indices with at least one profiled bit, sorted."""
+        return sorted(index for index, bits in self._bits.items() if bits)
+
+    def to_json(self) -> str:
+        """Serialize to a stable JSON document."""
+        payload = {str(index): sorted(bits) for index, bits in self._bits.items() if bits}
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ErrorProfile":
+        """Inverse of :meth:`to_json`."""
+        profile = cls()
+        for key, offsets in json.loads(document).items():
+            for offset in offsets:
+                profile.mark(int(key), int(offset))
+        return profile

@@ -1,0 +1,93 @@
+"""Small statistics helpers used by the analysis and experiment layers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["percentile", "empirical_cdf", "Histogram", "SummaryStats", "summarize"]
+
+
+def percentile(values: Sequence[float] | np.ndarray, q: float) -> float:
+    """Return the ``q``-th percentile (0..100) of ``values``.
+
+    Uses the "lower" interpolation so that reported percentiles are always
+    values that actually occurred, matching how the paper reports
+    99th-percentile profiling rounds.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    return float(np.percentile(arr, q, method="lower"))
+
+
+def empirical_cdf(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Return the empirical CDF of ``values`` as sorted (value, F) pairs."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return []
+    n = arr.size
+    return [(float(v), float(i + 1) / n) for i, v in enumerate(arr)]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A fixed-bin histogram over non-negative integer observations.
+
+    Used for exhibits such as Fig 9a (histogram of the maximum number of
+    simultaneous post-correction errors).
+    """
+
+    counts: tuple[int, ...]
+
+    @classmethod
+    def from_values(cls, values: Iterable[int], num_bins: int) -> "Histogram":
+        counts = [0] * num_bins
+        for value in values:
+            if value < 0:
+                raise ValueError("histogram values must be non-negative")
+            bin_index = min(int(value), num_bins - 1)
+            counts[bin_index] += 1
+        return cls(counts=tuple(counts))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def normalized(self) -> tuple[float, ...]:
+        """Counts as fractions of the total (all zeros if empty)."""
+        total = self.total
+        if total == 0:
+            return tuple(0.0 for _ in self.counts)
+        return tuple(c / total for c in self.counts)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    median: float
+    maximum: float
+    p99: float
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` over a non-empty sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+        p99=percentile(arr, 99),
+    )

@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results.
+
+The paper's artifact renders matplotlib figures; offline we render the same
+data as aligned text tables and series so the benchmark harness can print
+the rows each exhibit reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or 0 < abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))).rstrip(),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object] | None = None,
+    x_label: str = "x",
+) -> str:
+    """Render named series (e.g. coverage-vs-round curves) as a text table."""
+    names = list(series)
+    if not names:
+        return f"{title}\n(empty)"
+    length = len(series[names[0]])
+    for name in names:
+        if len(series[name]) != length:
+            raise ValueError(f"series {name!r} has mismatched length")
+    xs: Sequence[object] = x_values if x_values is not None else list(range(length))
+    if len(xs) != length:
+        raise ValueError("x_values length does not match series length")
+    headers = [x_label] + names
+    rows = [[xs[i]] + [series[name][i] for name in names] for i in range(length)]
+    return f"{title}\n" + format_table(headers, rows)

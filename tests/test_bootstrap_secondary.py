@@ -1,0 +1,79 @@
+"""Unit tests for bootstrapping metrics and secondary-ECC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.atrisk import compute_ground_truth
+from repro.analysis.bootstrap import censored_rounds, rounds_to_first_identification
+from repro.analysis.secondary_ecc import (
+    capability_trajectory,
+    required_capability,
+    rounds_to_bound_capability,
+)
+from repro.ecc.hamming import random_sec_code
+
+
+class TestBootstrap:
+    def test_first_identification(self):
+        assert rounds_to_first_identification([0, 0, 2, 3]) == 3
+
+    def test_never_identified_is_censored(self):
+        assert rounds_to_first_identification([0, 0, 0]) == 3
+        assert rounds_to_first_identification([0, 0, 0], max_rounds=128) == 128
+
+    def test_immediate_identification(self):
+        assert rounds_to_first_identification([1, 1]) == 1
+
+    def test_censored_rounds_batch(self):
+        traces = [[0, 1], [0, 0], [2, 2]]
+        assert censored_rounds(traces) == [2, 2, 1]
+
+
+class TestRequiredCapability:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        code = random_sec_code(64, np.random.default_rng(71))
+        truth = compute_ground_truth(code, (3, 9, 27, 45))
+        return code, truth
+
+    def test_zero_when_all_identified(self, setup):
+        _, truth = setup
+        assert required_capability(truth, truth.post_correction_at_risk) == 0
+
+    def test_full_risk_when_nothing_identified(self, setup):
+        _, truth = setup
+        assert required_capability(truth, frozenset()) >= 4
+
+    def test_direct_coverage_bounds_capability_at_one(self, setup):
+        """The HARP guarantee, via the analysis API."""
+        _, truth = setup
+        assert required_capability(truth, truth.direct_at_risk) <= 1
+
+    def test_trajectory(self, setup):
+        _, truth = setup
+        identified = [frozenset(), truth.direct_at_risk, truth.post_correction_at_risk]
+        trajectory = capability_trajectory(truth, identified)
+        assert trajectory[0] >= trajectory[1] >= trajectory[2]
+        assert trajectory[2] == 0
+
+
+class TestRoundsToBound:
+    def test_finds_first_bounding_round(self):
+        trajectories = [[3, 2, 1, 1], [3, 3, 1, 0]]
+        assert rounds_to_bound_capability(trajectories, bound=1) == 3
+        assert rounds_to_bound_capability(trajectories, bound=3) == 1
+
+    def test_none_when_never_bounded(self):
+        assert rounds_to_bound_capability([[2, 2]], bound=1) is None
+
+    def test_percentile_semantics(self):
+        """Lower percentiles tolerate outlier words; q=100 does not."""
+        trajectories = [[0, 0], [5, 5], [0, 0]]
+        assert rounds_to_bound_capability(trajectories, bound=0, q=50.0) == 1
+        assert rounds_to_bound_capability(trajectories, bound=0, q=100.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounds_to_bound_capability([], bound=1)
+        with pytest.raises(ValueError):
+            rounds_to_bound_capability([[1], [1, 2]], bound=1)

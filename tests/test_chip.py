@@ -1,0 +1,101 @@
+"""Unit tests for the on-die-ECC memory chip model."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.hamming import random_sec_code
+from repro.memory.chip import OnDieEccChip
+from repro.memory.error_model import WordErrorProfile
+
+
+@pytest.fixture
+def code():
+    return random_sec_code(64, np.random.default_rng(41))
+
+
+def make_chip(code, seed=0):
+    return OnDieEccChip(code, num_words=4, rng=np.random.default_rng(seed))
+
+
+class TestBasicOperation:
+    def test_clean_read_returns_written_data(self, code):
+        chip = make_chip(code)
+        data = np.ones(code.k, dtype=np.uint8)
+        chip.write(1, data)
+        outcome = chip.read(1)
+        assert (outcome.data == data).all()
+        assert outcome.injected_positions == ()
+
+    def test_write_validates_shape(self, code):
+        chip = make_chip(code)
+        with pytest.raises(ValueError):
+            chip.write(0, np.ones(code.k + 1, dtype=np.uint8))
+
+    def test_profile_bounds_checked(self, code):
+        chip = make_chip(code)
+        with pytest.raises(IndexError):
+            chip.set_error_profile(0, WordErrorProfile((code.n,), (0.5,)))
+
+    def test_default_profile_is_empty(self, code):
+        chip = make_chip(code)
+        assert chip.error_profile(3).count == 0
+
+
+class TestErrorInjectionAndCorrection:
+    def test_single_at_risk_bit_is_always_corrected(self, code):
+        """On-die ECC hides single-bit errors from the normal read path."""
+        chip = make_chip(code)
+        chip.set_error_profile(0, WordErrorProfile((5,), (1.0,)))
+        data = np.ones(code.k, dtype=np.uint8)
+        chip.write(0, data)
+        outcome = chip.read(0)
+        assert outcome.injected_positions == (5,)
+        assert outcome.corrected_positions == (5,)
+        assert (outcome.data == data).all()
+
+    def test_bypass_read_exposes_raw_error(self, code):
+        """The decode-bypass path shows the pre-correction data error."""
+        chip = make_chip(code)
+        chip.set_error_profile(0, WordErrorProfile((5,), (1.0,)))
+        data = np.ones(code.k, dtype=np.uint8)
+        chip.write(0, data)
+        outcome = chip.read_raw(0)
+        assert outcome.corrected_positions == ()
+        assert outcome.data[5] == 0  # the raw flipped bit is visible
+        assert (np.flatnonzero(outcome.data != data) == [5]).all()
+
+    def test_bypass_read_never_returns_parity(self, code):
+        chip = make_chip(code)
+        chip.write(0, np.ones(code.k, dtype=np.uint8))
+        assert chip.read_raw(0).data.shape == (code.k,)
+
+    def test_discharged_at_risk_cell_cannot_fail(self, code):
+        """True cell storing 0 holds no charge: no error, even at p=1."""
+        chip = make_chip(code)
+        chip.set_error_profile(0, WordErrorProfile((5,), (1.0,)))
+        data = np.ones(code.k, dtype=np.uint8)
+        data[5] = 0
+        chip.write(0, data)
+        outcome = chip.read(0)
+        assert outcome.injected_positions == ()
+        assert (outcome.data == data).all()
+
+    def test_multi_bit_errors_can_escape_or_miscorrect(self, code):
+        """Two simultaneous raw errors defeat SEC correction."""
+        chip = make_chip(code)
+        chip.set_error_profile(0, WordErrorProfile((5, 9), (1.0, 1.0)))
+        data = np.ones(code.k, dtype=np.uint8)
+        chip.write(0, data)
+        outcome = chip.read(0)
+        mismatches = set(np.flatnonzero(outcome.data != data).tolist())
+        assert {5, 9} <= mismatches or len(mismatches) >= 2
+
+    def test_parity_at_risk_bit_invisible_on_clean_data_path(self, code):
+        """A failing parity cell alone is corrected; reads stay clean."""
+        chip = make_chip(code)
+        parity_position = code.k + 2
+        chip.set_error_profile(0, WordErrorProfile((parity_position,), (1.0,)))
+        data = np.ones(code.k, dtype=np.uint8)
+        chip.write(0, data)
+        for _ in range(3):
+            assert (chip.read(0).data == data).all()

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args([name])
+            assert args.command == name
+            assert args.scale == "unit"
+
+    def test_all_command(self):
+        args = build_parser().parse_args(["all", "--scale", "unit", "--seed", "3"])
+        assert args.command == "all"
+        assert args.seed == 3
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--scale", "galactic"])
+
+
+class TestExecution:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        output = capsys.readouterr().out
+        assert "wasted storage" in output
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_fig6_unit_scale(self, capsys):
+        assert main(["fig6", "--scale", "unit"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig 6 panel" in output
+        assert "HARP-U" in output
+
+    def test_seed_changes_nothing_for_closed_form(self, capsys):
+        main(["fig2", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig2", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_deterministic_given_seed(self, capsys):
+        main(["table2", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["table2", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_ext_interleaving(self, capsys):
+        assert main(["ext-interleaving"]) == 0
+        assert "Layout extension" in capsys.readouterr().out
+
+    def test_ext_dec(self, capsys):
+        assert main(["ext-dec"]) == 0
+        assert "DEC extension" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Unit tests for structural code analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.bch import bch_dec_code
+from repro.ecc.code_analysis import (
+    minimum_distance,
+    miscorrection_profile,
+    syndrome_coverage,
+    weight_distribution,
+)
+from repro.ecc.hamming import paper_example_code, random_sec_code
+from repro.ecc.simple import single_parity_code
+
+
+class TestMinimumDistance:
+    def test_hamming_7_4(self):
+        assert minimum_distance(paper_example_code()) == 3
+
+    def test_parity_code(self):
+        assert minimum_distance(single_parity_code(4)) == 2
+
+    def test_bch_15_7(self):
+        assert minimum_distance(bch_dec_code(7, m=4)) == 5
+
+    def test_large_code_uses_column_search(self):
+        code = random_sec_code(64, np.random.default_rng(1))
+        assert minimum_distance(code, max_weight=4) >= 3
+
+    def test_large_code_bound_exceeded(self):
+        code = random_sec_code(64, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            minimum_distance(code, max_weight=2)  # d >= 3 for any SEC code
+
+
+class TestWeightDistribution:
+    def test_hamming_7_4_enumerator(self):
+        # Classic (7,4) Hamming: 1 + 7z^3 + 7z^4 + z^7.
+        distribution = weight_distribution(paper_example_code())
+        assert distribution == {0: 1, 3: 7, 4: 7, 7: 1}
+
+    def test_total_is_2_to_k(self):
+        code = paper_example_code()
+        assert sum(weight_distribution(code).values()) == 2**code.k
+
+    def test_large_k_rejected(self):
+        code = random_sec_code(64, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            weight_distribution(code)
+
+
+class TestMiscorrectionProfile:
+    def test_single_errors_never_miscorrect(self):
+        code = paper_example_code()
+        profile = miscorrection_profile(code, 1)
+        assert profile.miscorrecting_patterns == 0
+
+    def test_double_errors_on_perfect_hamming_always_miscorrect(self):
+        """(7,4) is a perfect code: every double error aliases somewhere."""
+        code = paper_example_code()
+        profile = miscorrection_profile(code, 2)
+        assert profile.total_patterns == 21
+        assert profile.miscorrecting_patterns == 21
+        assert profile.miscorrection_rate == 1.0
+
+    def test_shortened_code_miscorrects_less(self):
+        """A (71,64) code has unmatched syndromes, so some double errors
+        are detected instead of miscorrected."""
+        code = random_sec_code(64, np.random.default_rng(2))
+        profile = miscorrection_profile(code, 2)
+        assert 0 < profile.miscorrecting_patterns < profile.total_patterns
+
+    def test_target_counts_align_with_totals(self):
+        code = paper_example_code()
+        profile = miscorrection_profile(code, 2)
+        assert sum(profile.target_counts) == profile.miscorrecting_patterns
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            miscorrection_profile(paper_example_code(), 0)
+
+
+class TestSyndromeCoverage:
+    def test_perfect_code_covers_all(self):
+        assert syndrome_coverage(paper_example_code()) == (7, 7)
+
+    def test_71_64_covers_71_of_127(self):
+        code = random_sec_code(64, np.random.default_rng(3))
+        assert syndrome_coverage(code) == (71, 127)

@@ -1,0 +1,78 @@
+"""Unit tests for Table 2 combinatorics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.combinatorics import amplification_row, empirical_amplification
+from repro.ecc.hamming import random_sec_code
+
+
+class TestAmplificationRow:
+    @pytest.mark.parametrize(
+        "n,patterns,uncorrectable,post",
+        [
+            (1, 1, 0, 1),
+            (2, 3, 1, 3),
+            (3, 7, 4, 7),
+            (4, 15, 11, 15),
+            (8, 255, 247, 255),
+        ],
+    )
+    def test_sec_rows_follow_formulas(self, n, patterns, uncorrectable, post):
+        """Paper Table 2 formulas: 2^n - 1 patterns, 2^n - n - 1
+        uncorrectable (the printed '2' for n=2 contradicts the paper's own
+        formula; we follow the formula)."""
+        row = amplification_row(n)
+        assert row.unique_error_patterns == patterns
+        assert row.uncorrectable_error_patterns == uncorrectable
+        assert row.worst_case_post_correction_at_risk == post
+
+    def test_dec_generalization(self):
+        """With t=2, pairs become correctable as well."""
+        row = amplification_row(4, correction_capability=2)
+        assert row.uncorrectable_error_patterns == 15 - 4 - 6
+
+    def test_zero_bits(self):
+        row = amplification_row(0)
+        assert row.unique_error_patterns == 0
+        assert row.uncorrectable_error_patterns == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            amplification_row(-1)
+
+
+class TestEmpiricalAmplification:
+    def test_never_exceeds_worst_case(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            code = random_sec_code(64, rng)
+            positions = tuple(sorted(int(p) for p in rng.choice(code.n, 4, replace=False)))
+            measured = empirical_amplification(code, positions)
+            assert measured <= amplification_row(4).worst_case_post_correction_at_risk
+
+    def test_single_bit_measures_zero(self):
+        code = random_sec_code(64, np.random.default_rng(1))
+        assert empirical_amplification(code, (5,)) == 0
+
+    def test_amplification_grows_with_n(self):
+        """More at-risk bits admit more uncorrectable patterns on average."""
+        rng = np.random.default_rng(2)
+        code = random_sec_code(64, rng)
+        small = np.mean(
+            [
+                empirical_amplification(
+                    code, tuple(sorted(int(p) for p in rng.choice(code.n, 2, replace=False)))
+                )
+                for _ in range(20)
+            ]
+        )
+        large = np.mean(
+            [
+                empirical_amplification(
+                    code, tuple(sorted(int(p) for p in rng.choice(code.n, 5, replace=False)))
+                )
+                for _ in range(20)
+            ]
+        )
+        assert large > small

@@ -1,0 +1,36 @@
+"""Unit tests for the controller-side secondary ECC."""
+
+import pytest
+
+from repro.controller.secondary_ecc import SecondaryEcc
+
+
+class TestSecondaryEcc:
+    def test_clean_read(self):
+        outcome = SecondaryEcc(1).process_read(frozenset())
+        assert outcome.clean
+        assert not outcome.corrected
+        assert not outcome.escaped
+
+    def test_single_error_corrected_and_identified(self):
+        outcome = SecondaryEcc(1).process_read({7})
+        assert outcome.corrected == {7}
+        assert not outcome.escaped
+
+    def test_double_error_escapes_sec(self):
+        outcome = SecondaryEcc(1).process_read({7, 9})
+        assert not outcome.corrected
+        assert outcome.escaped == {7, 9}
+
+    def test_dec_secondary_covers_double(self):
+        """Paper §6.3.2: stronger secondary ECC for stronger on-die ECC."""
+        outcome = SecondaryEcc(2).process_read({7, 9})
+        assert outcome.corrected == {7, 9}
+
+    def test_zero_capability_detect_only(self):
+        outcome = SecondaryEcc(0).process_read({7})
+        assert outcome.escaped == {7}
+
+    def test_negative_capability_rejected(self):
+        with pytest.raises(ValueError):
+            SecondaryEcc(-1)

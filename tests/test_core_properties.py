@@ -1,0 +1,111 @@
+"""Deep property-based tests of the library's core invariants.
+
+These complement the per-module tests with randomized cross-cutting
+checks: encoder/decoder consistency at batch scale, miscorrection
+accounting against syndrome-space structure, and soundness of every
+profiler's identifications against exact ground truth.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.atrisk import compute_ground_truth
+from repro.ecc.code_analysis import miscorrection_profile, syndrome_coverage
+from repro.ecc.hamming import random_sec_code
+from repro.ecc.syndrome import analyze_error_pattern
+from repro.memory.error_model import WordErrorProfile
+from repro.profiling import PROFILER_REGISTRY
+from repro.profiling.runner import simulate_word
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestBatchDecodeProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(seeds, st.integers(min_value=1, max_value=24))
+    def test_batch_decode_matches_single_decode(self, seed, batch_size):
+        """decode_batch must agree with decode for arbitrary corruption."""
+        rng = np.random.default_rng(seed)
+        code = random_sec_code(16, rng)
+        data = rng.integers(0, 2, (batch_size, code.k), dtype=np.uint8)
+        codewords = code.encode(data)
+        # Corrupt 0-3 random positions per word.
+        for row in range(batch_size):
+            for position in rng.choice(code.n, size=rng.integers(0, 4), replace=False):
+                codewords[row, position] ^= 1
+        batch = code.decode_batch(codewords)
+        for row in range(batch_size):
+            assert (batch[row] == code.decode(codewords[row]).data).all()
+
+
+class TestMiscorrectionAccounting:
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_double_error_miscorrection_rate_matches_syndrome_space(self, seed):
+        """For a SEC code, a double error miscorrects iff its syndrome
+        matches some column; the aggregate rate must be consistent with
+        pattern-level analysis."""
+        rng = np.random.default_rng(seed)
+        code = random_sec_code(12, rng)
+        profile = miscorrection_profile(code, 2)
+        from itertools import combinations
+
+        expected = sum(
+            1
+            for a, b in combinations(range(code.n), 2)
+            if analyze_error_pattern(code, frozenset({a, b})).flipped
+        )
+        assert profile.miscorrecting_patterns == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_perfect_syndrome_coverage_implies_all_doubles_miscorrect(self, seed):
+        rng = np.random.default_rng(seed)
+        code = random_sec_code(12, rng)
+        matched, total = syndrome_coverage(code)
+        profile = miscorrection_profile(code, 2)
+        if matched == total:
+            assert profile.miscorrection_rate == 1.0
+
+
+class TestProfilerSoundnessProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seeds,
+        st.integers(min_value=2, max_value=6),
+        st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+        st.sampled_from(sorted(PROFILER_REGISTRY)),
+    )
+    def test_identifications_always_inside_ground_truth(
+        self, seed, count, probability, profiler_name
+    ):
+        """No profiler, at any configuration, ever marks a bit that the
+        exact ground truth says cannot err — zero false positives."""
+        rng = np.random.default_rng(seed)
+        code = random_sec_code(32, rng)
+        positions = tuple(sorted(int(p) for p in rng.choice(code.n, count, replace=False)))
+        profile = WordErrorProfile(positions, (probability,) * count)
+        truth = compute_ground_truth(code, profile)
+        universe = truth.post_correction_at_risk | truth.direct_at_risk
+        result = simulate_word(
+            PROFILER_REGISTRY[profiler_name](code, seed), profile, 32, word_seed=seed
+        )
+        assert result.final_identified() <= universe
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, st.integers(min_value=2, max_value=6))
+    def test_harp_capability_bound_holds_at_any_coverage_level(self, seed, count):
+        """The §5.1 bound is not just a full-coverage property: at *every*
+        round, repairing HARP's current identified set plus the remaining
+        direct bits leaves at most one concurrent error."""
+        rng = np.random.default_rng(seed)
+        code = random_sec_code(32, rng)
+        positions = tuple(sorted(int(p) for p in rng.choice(code.n, count, replace=False)))
+        profile = WordErrorProfile(positions, (0.5,) * count)
+        truth = compute_ground_truth(code, profile)
+        from repro.analysis.atrisk import max_simultaneous_post_errors
+
+        missed_if_direct_covered = truth.post_correction_at_risk - truth.direct_at_risk
+        assert max_simultaneous_post_errors(truth, missed_if_direct_covered) <= 1

@@ -1,0 +1,71 @@
+"""Unit tests for coverage aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.atrisk import compute_ground_truth
+from repro.ecc.hamming import random_sec_code
+from repro.memory.error_model import sample_word_profile
+from repro.profiling.coverage import (
+    aggregate_coverage,
+    aggregate_mean,
+    coverage_trajectory,
+    missed_indirect_trajectory,
+)
+from repro.profiling.naive import NaiveProfiler
+from repro.profiling.runner import simulate_word
+
+
+@pytest.fixture(scope="module")
+def run_and_truth():
+    code = random_sec_code(64, np.random.default_rng(101))
+    profile = sample_word_profile(code, 4, 1.0, np.random.default_rng(1))
+    truth = compute_ground_truth(code, profile)
+    run = simulate_word(NaiveProfiler(code, 3), profile, 16, word_seed=3)
+    return run, truth
+
+
+class TestCoverageTrajectory:
+    def test_totals_constant(self, run_and_truth):
+        run, truth = run_and_truth
+        trajectory = coverage_trajectory(run, truth.direct_at_risk)
+        totals = {total for _, total in trajectory}
+        assert totals == {len(truth.direct_at_risk)}
+
+    def test_identified_monotone(self, run_and_truth):
+        run, truth = run_and_truth
+        trajectory = coverage_trajectory(run, truth.direct_at_risk)
+        identified = [count for count, _ in trajectory]
+        assert identified == sorted(identified)
+
+    def test_missed_indirect_monotone_decreasing(self, run_and_truth):
+        run, truth = run_and_truth
+        missed = missed_indirect_trajectory(run, truth)
+        assert missed == sorted(missed, reverse=True)
+
+
+class TestAggregation:
+    def test_aggregate_coverage_pools_counts(self):
+        per_word = [
+            [(1, 2), (2, 2)],
+            [(0, 2), (2, 2)],
+        ]
+        assert aggregate_coverage(per_word) == [0.25, 1.0]
+
+    def test_aggregate_empty_input(self):
+        assert aggregate_coverage([]) == []
+
+    def test_aggregate_with_empty_targets(self):
+        per_word = [[(0, 0)], [(1, 1)]]
+        assert aggregate_coverage(per_word) == [1.0]
+
+    def test_aggregate_length_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregate_coverage([[(0, 1)], [(0, 1), (1, 1)]])
+
+    def test_aggregate_mean(self):
+        assert aggregate_mean([[2.0, 0.0], [4.0, 2.0]]) == [3.0, 1.0]
+
+    def test_aggregate_mean_length_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregate_mean([[1.0], [1.0, 2.0]])

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Keeps `examples/` from rotting as the library evolves — each script is
+executed in-process (via runpy) and key output markers are checked.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "direct coverage",
+    "profiler_comparison.py": "Headline",
+    "data_retention_case_study.py": "escapes",
+    "ecc_design_exploration.py": "miscorrection",
+    "secondary_ecc_sizing.py": "required secondary ECC",
+    "reactive_scrubbing.py": "scrubbing after HARP active phase",
+    "reverse_engineer_then_profile.py": "predictions match the true code's: True",
+}
+
+
+def test_all_examples_are_covered():
+    """Every script in examples/ must have a smoke test marker."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert EXPECTED_MARKERS[script] in output
+    assert len(output.strip()) > 0

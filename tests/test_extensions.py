@@ -1,0 +1,168 @@
+"""Tests for the extension/ablation experiments."""
+
+import pytest
+
+from repro.experiments import (
+    ext_code_length,
+    ext_dec,
+    ext_heterogeneous,
+    ext_interleaving,
+    ext_patterns,
+    ext_rank,
+)
+from repro.experiments.config import SweepConfig
+
+
+class TestPatternAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = SweepConfig(
+            num_codes=2,
+            words_per_code=4,
+            num_rounds=48,
+            error_counts=(3,),
+            probabilities=(1.0,),
+            profilers=("Naive", "HARP-U"),
+        )
+        return ext_patterns.run(config)
+
+    def test_harp_is_pattern_insensitive(self, result):
+        """HARP reaches full coverage under every pattern schedule."""
+        for pattern in result.patterns:
+            for error_count in result.config.error_counts:
+                for probability in result.config.probabilities:
+                    assert (
+                        result.final_coverage[(pattern, "HARP-U", error_count, probability)]
+                        == 1.0
+                    )
+
+    def test_static_pattern_hurts_naive(self, result):
+        """Paper §7.2.1: Naive with a static pattern cannot reach full
+        coverage — the checkered schedule repeats only two charge
+        configurations, so some co-failure combinations never occur."""
+        for error_count in result.config.error_counts:
+            for probability in result.config.probabilities:
+                checkered = result.final_coverage[("checkered", "Naive", error_count, probability)]
+                random_cov = result.final_coverage[("random", "Naive", error_count, probability)]
+                assert checkered <= random_cov
+
+    def test_render(self, result):
+        assert "Pattern ablation" in ext_patterns.render(result)
+
+
+class TestDecExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_dec.run(num_words=12, at_risk_per_word=5, seed=5)
+
+    def test_indirect_bound_equals_capability(self, result):
+        """The §5.1 insight generalized: worst concurrent indirect errors
+        equal the on-die correction capability."""
+        for _, (capability, worst, _, _) in result.rows.items():
+            assert worst <= capability
+
+    def test_dec_secondary_always_sufficient(self, result):
+        for label, (_, _, _, dec_ok) in result.rows.items():
+            assert dec_ok == result.num_words, label
+
+    def test_sec_secondary_insufficient_for_dec_code(self, result):
+        (_, _, sec_ok, _) = next(
+            row for label, row in result.rows.items() if "BCH" in label
+        )
+        assert sec_ok < result.num_words
+
+    def test_render(self, result):
+        assert "DEC extension" in ext_dec.render(result)
+
+
+class TestCodeLengthExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = SweepConfig(
+            num_codes=2,
+            words_per_code=3,
+            num_rounds=48,
+            error_counts=(4,),
+            probabilities=(0.5,),
+            profilers=("Naive", "HARP-U"),
+        )
+        return ext_code_length.run(config)
+
+    def test_harp_full_coverage_at_both_geometries(self, result):
+        for label, _ in ext_code_length.PAPER_GEOMETRIES:
+            coverage, full_round = result.rows[(label, "HARP-U")]
+            assert coverage == 1.0
+            assert full_round is not None
+
+    def test_render(self, result):
+        assert "(136,128)" in ext_code_length.render(result)
+
+
+class TestInterleavingExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_interleaving.run(num_words=8, at_risk_per_word=5, seed=3)
+
+    def test_aligned_and_split_bounded_by_sec(self, result):
+        """Paper §6.3: per-on-die-word layouts need only SEC secondary."""
+        for label, (after_harp, _) in result.rows.items():
+            if "interleaved" not in label:
+                assert after_harp <= 1, label
+
+    def test_interleaving_no_better_than_aligned(self, result):
+        aligned = next(v for k, v in result.rows.items() if k.startswith("aligned"))
+        interleaved = next(v for k, v in result.rows.items() if "interleaved" in k)
+        assert interleaved[0] >= aligned[0]
+        assert interleaved[0] <= 2  # bounded by ways x t = 2
+
+    def test_profiling_reduces_requirement(self, result):
+        for after_harp, unprofiled in result.rows.values():
+            assert after_harp <= unprofiled
+
+    def test_render(self, result):
+        assert "Layout extension" in ext_interleaving.render(result)
+
+
+class TestRankEscapeExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_rank.run(num_rows=4, reads_per_row=25, seed=9)
+
+    def test_aligned_and_split_never_escape(self, result):
+        for (label, capability), (escaped, _, _) in result.rows.items():
+            if "interleaved" not in label:
+                assert escaped == 0, (label, capability)
+
+    def test_stronger_secondary_fixes_interleaving(self, result):
+        escaped_dec, _, _ = result.rows[("interleaved x2", 2)]
+        assert escaped_dec == 0
+
+    def test_interleaved_sec_no_better_than_dec(self, result):
+        escaped_sec, _, _ = result.rows[("interleaved x2", 1)]
+        escaped_dec, _, _ = result.rows[("interleaved x2", 2)]
+        assert escaped_sec >= escaped_dec
+
+    def test_render(self, result):
+        assert "Rank-layout escapes" in ext_rank.render(result)
+
+
+class TestHeterogeneousExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_heterogeneous.run(
+            num_codes=2, words_per_code=4, num_rounds=48, seed=3
+        )
+
+    def test_harp_dominates_naive(self, result):
+        harp_cov, harp_first = result.rows["HARP-U"]
+        naive_cov, naive_first = result.rows["Naive"]
+        assert harp_cov >= naive_cov
+        assert harp_first <= naive_first
+
+    def test_coverages_are_valid_fractions(self, result):
+        for coverage, first in result.rows.values():
+            assert 0.0 <= coverage <= 1.0
+            assert 1 <= first <= result.num_rounds
+
+    def test_render(self, result):
+        assert "Heterogeneous" in ext_heterogeneous.render(result)

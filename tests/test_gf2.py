@@ -1,0 +1,121 @@
+"""Unit and property tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import gf2
+
+
+def random_matrix(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+
+
+matrix_strategy = st.builds(
+    random_matrix,
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+class TestBasicOps:
+    def test_identity(self):
+        eye = gf2.identity(3)
+        assert (gf2.matmul(eye, eye) == eye).all()
+
+    def test_matmul_mod2(self):
+        a = np.array([[1, 1]], dtype=np.uint8)
+        b = np.array([[1], [1]], dtype=np.uint8)
+        assert gf2.matmul(a, b)[0, 0] == 0  # 1 + 1 == 0 in GF(2)
+
+    def test_add_is_xor(self):
+        a = np.array([1, 0, 1], dtype=np.uint8)
+        b = np.array([1, 1, 0], dtype=np.uint8)
+        assert gf2.add(a, b).tolist() == [0, 1, 1]
+
+    def test_matvec(self):
+        a = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        v = np.array([1, 1], dtype=np.uint8)
+        assert gf2.matvec(a, v).tolist() == [1, 0]
+
+    def test_is_bit_matrix(self):
+        assert gf2.is_bit_matrix(np.array([[0, 1]]))
+        assert not gf2.is_bit_matrix(np.array([[2]]))
+
+
+class TestRowReduce:
+    def test_identity_is_fixed_point(self):
+        eye = gf2.identity(4)
+        reduced, pivots = gf2.row_reduce(eye)
+        assert (reduced == eye).all()
+        assert pivots == [0, 1, 2, 3]
+
+    def test_input_not_mutated(self):
+        a = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        original = a.copy()
+        gf2.row_reduce(a)
+        assert (a == original).all()
+
+    @settings(max_examples=50)
+    @given(matrix_strategy)
+    def test_rref_pivot_columns_are_unit(self, matrix):
+        reduced, pivots = gf2.row_reduce(matrix)
+        for row_index, col in enumerate(pivots):
+            column = reduced[:, col]
+            assert column[row_index] == 1
+            assert column.sum() == 1
+
+    @settings(max_examples=50)
+    @given(matrix_strategy)
+    def test_rank_bounds(self, matrix):
+        r = gf2.rank(matrix)
+        assert 0 <= r <= min(matrix.shape)
+
+
+class TestSolve:
+    def test_solves_consistent_system(self):
+        a = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        b = np.array([1, 0], dtype=np.uint8)
+        x = gf2.solve(a, b)
+        assert x is not None
+        assert (gf2.matvec(a, x) == b).all()
+
+    def test_detects_inconsistency(self):
+        a = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        b = np.array([0, 1], dtype=np.uint8)
+        assert gf2.solve(a, b) is None
+        assert not gf2.is_consistent(a, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf2.solve(np.zeros((2, 2), dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+
+    @settings(max_examples=60)
+    @given(matrix_strategy, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_solution_satisfies_system(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        x_true = rng.integers(0, 2, size=matrix.shape[1], dtype=np.uint8)
+        b = gf2.matvec(matrix, x_true)
+        x = gf2.solve(matrix, b)
+        assert x is not None, "system constructed from a solution must be consistent"
+        assert (gf2.matvec(matrix, x) == b).all()
+
+
+class TestNullspace:
+    @settings(max_examples=50)
+    @given(matrix_strategy)
+    def test_nullspace_vectors_map_to_zero(self, matrix):
+        basis = gf2.nullspace(matrix)
+        for vector in basis:
+            assert not gf2.matvec(matrix, vector).any()
+
+    @settings(max_examples=50)
+    @given(matrix_strategy)
+    def test_rank_nullity(self, matrix):
+        assert gf2.rank(matrix) + gf2.nullspace(matrix).shape[0] == matrix.shape[1]
+
+    def test_full_rank_matrix_has_trivial_nullspace(self):
+        assert gf2.nullspace(gf2.identity(5)).shape[0] == 0

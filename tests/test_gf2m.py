@@ -1,0 +1,110 @@
+"""Unit and property tests for GF(2^m) arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf2m import GF2m, PRIMITIVE_POLYNOMIALS, field
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GF2m(4)
+
+
+elements = st.integers(min_value=0, max_value=15)
+nonzero = st.integers(min_value=1, max_value=15)
+
+
+class TestFieldAxioms:
+    @settings(max_examples=100)
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        fld = field(4)
+        assert fld.multiply(fld.multiply(a, b), c) == fld.multiply(a, fld.multiply(b, c))
+
+    @settings(max_examples=100)
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        fld = field(4)
+        assert fld.multiply(a, b) == fld.multiply(b, a)
+
+    @settings(max_examples=100)
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        fld = field(4)
+        left = fld.multiply(a, fld.add(b, c))
+        right = fld.add(fld.multiply(a, b), fld.multiply(a, c))
+        assert left == right
+
+    @settings(max_examples=50)
+    @given(nonzero)
+    def test_inverse(self, a):
+        fld = field(4)
+        assert fld.multiply(a, fld.inverse(a)) == 1
+
+    def test_one_is_identity(self, gf16):
+        for a in range(16):
+            assert gf16.multiply(a, 1) == a
+
+    def test_zero_annihilates(self, gf16):
+        for a in range(16):
+            assert gf16.multiply(a, 0) == 0
+
+
+class TestGroupStructure:
+    def test_alpha_generates_group(self, gf16):
+        seen = set()
+        value = 1
+        for _ in range(gf16.order):
+            seen.add(value)
+            value = gf16.multiply(value, gf16.alpha)
+        assert len(seen) == gf16.order
+
+    def test_fermat(self, gf16):
+        for a in range(1, 16):
+            assert gf16.power(a, gf16.order) == 1
+
+    def test_alpha_power_wraps(self, gf16):
+        assert gf16.alpha_power(gf16.order) == 1
+        assert gf16.alpha_power(-1) == gf16.inverse(gf16.alpha)
+
+    def test_log_exp_roundtrip(self, gf16):
+        for a in range(1, 16):
+            assert gf16.alpha_power(gf16.log(a)) == a
+
+
+class TestEdgeCases:
+    def test_zero_inverse_raises(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inverse(0)
+
+    def test_zero_log_raises(self, gf16):
+        with pytest.raises(ValueError):
+            gf16.log(0)
+
+    def test_out_of_range_rejected(self, gf16):
+        with pytest.raises(ValueError):
+            gf16.multiply(16, 1)
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ValueError):
+            GF2m(1)
+
+    def test_trace_is_binary_and_linear(self, gf16):
+        for a in range(16):
+            assert gf16.trace(a) in (0, 1)
+        for a in range(16):
+            for b in range(16):
+                assert gf16.trace(a ^ b) == gf16.trace(a) ^ gf16.trace(b)
+
+    @pytest.mark.parametrize("m", sorted(PRIMITIVE_POLYNOMIALS))
+    def test_all_table_polynomials_are_primitive(self, m):
+        # GF2m construction validates primitivity internally.
+        assert field(m).order == (1 << m) - 1
+
+    def test_divide(self, gf16):
+        for a in range(1, 16):
+            for b in range(1, 16):
+                q = gf16.divide(a, b)
+                assert gf16.multiply(q, b) == a

@@ -1,0 +1,75 @@
+"""Edge-case tests for the headline derivations and system seed plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.controller.system import derive_seed_for
+from repro.experiments.headline import (
+    ActiveSpeedup,
+    CaseStudySpeedup,
+    render,
+)
+
+
+class TestSpeedupDataclasses:
+    def test_fraction_none_when_unreached(self):
+        speedup = ActiveSpeedup(
+            error_count=2, harp_rounds=None, baseline_rounds=10, baseline_name="Naive"
+        )
+        assert speedup.fraction is None
+        speedup = ActiveSpeedup(
+            error_count=2, harp_rounds=5, baseline_rounds=None, baseline_name="(none)"
+        )
+        assert speedup.fraction is None
+
+    def test_fraction_value(self):
+        speedup = ActiveSpeedup(
+            error_count=3, harp_rounds=5, baseline_rounds=20, baseline_name="Naive"
+        )
+        assert speedup.fraction == 0.25
+
+    def test_case_study_factor(self):
+        speedup = CaseStudySpeedup(probability=0.75, harp_rounds=10, naive_rounds=37)
+        assert speedup.factor == 3.7
+
+    def test_case_study_factor_none(self):
+        assert CaseStudySpeedup(0.75, None, 10).factor is None
+        assert CaseStudySpeedup(0.75, 10, None).factor is None
+
+
+class TestRenderEdgeCases:
+    def test_render_handles_none_values(self):
+        active = [
+            ActiveSpeedup(
+                error_count=2,
+                harp_rounds=None,
+                baseline_rounds=None,
+                baseline_name="(none reached bound)",
+            )
+        ]
+        case = [CaseStudySpeedup(probability=0.5, harp_rounds=None, naive_rounds=None)]
+        text = render(active=active, case_study=case)
+        assert "n/a" in text
+
+    def test_render_nothing(self):
+        assert render() == ""
+
+    def test_render_active_only(self):
+        active = [
+            ActiveSpeedup(error_count=2, harp_rounds=4, baseline_rounds=8, baseline_name="Naive")
+        ]
+        text = render(active=active)
+        assert "50.0%" in text
+        assert "zero post-secondary BER" not in text
+
+
+class TestSystemSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed_for(1, 5) == derive_seed_for(1, 5)
+
+    def test_distinct_per_word(self):
+        seeds = {derive_seed_for(1, word) for word in range(20)}
+        assert len(seeds) == 20
+
+    def test_non_negative(self):
+        assert derive_seed_for(123, 456) >= 0

@@ -1,0 +1,194 @@
+"""Tests for the word-layout analysis and the scrubbing reactive profiler."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.atrisk import compute_ground_truth
+from repro.controller.layout import (
+    SecondaryWord,
+    aligned_layout,
+    interleaved_layout,
+    required_secondary_capability,
+    split_layout,
+    worst_case_concurrent_errors,
+)
+from repro.controller.scrubber import Scrubber
+from repro.controller.secondary_ecc import SecondaryEcc
+from repro.ecc.hamming import random_sec_code
+from repro.memory.chip import OnDieEccChip
+from repro.memory.error_model import WordErrorProfile, sample_word_profile
+from repro.repair.profile_store import ErrorProfile
+
+
+@pytest.fixture(scope="module")
+def code():
+    return random_sec_code(64, np.random.default_rng(131))
+
+
+@pytest.fixture(scope="module")
+def word_truths(code):
+    rng = np.random.default_rng(0)
+    truths = {}
+    missed_after_harp = {}
+    for word_index in range(4):
+        profile = sample_word_profile(code, 5, 0.5, rng)
+        truth = compute_ground_truth(code, profile)
+        truths[word_index] = truth
+        missed_after_harp[word_index] = (
+            truth.post_correction_at_risk - truth.direct_at_risk
+        )
+    return truths, missed_after_harp
+
+
+class TestLayoutConstruction:
+    def test_aligned_covers_everything_once(self, code):
+        layout = aligned_layout(3, code.k)
+        assert len(layout) == 3
+        assert layout[0].total_bits == code.k
+
+    def test_split_fragments_disjoint_and_complete(self, code):
+        layout = split_layout(1, code.k, 2)
+        assert len(layout) == 2
+        union = set()
+        for word in layout:
+            union |= set(word.coverage[0])
+        assert union == set(range(code.k))
+
+    def test_interleaved_spans_multiple_words(self, code):
+        layout = interleaved_layout(4, code.k, 2)
+        assert len(layout) == 4
+        assert set(layout[0].coverage) == {0, 1}
+
+    def test_invalid_geometry_rejected(self, code):
+        with pytest.raises(ValueError):
+            split_layout(1, code.k, 3)  # 64 % 3 != 0
+        with pytest.raises(ValueError):
+            interleaved_layout(3, code.k, 2)  # 3 % 2 != 0
+        with pytest.raises(ValueError):
+            SecondaryWord(coverage={-1: frozenset({0})})
+
+    def test_empty_layout_rejected(self, word_truths):
+        truths, missed = word_truths
+        with pytest.raises(ValueError):
+            required_secondary_capability([], truths, missed)
+
+
+class TestCapabilityRequirements:
+    def test_aligned_bounded_by_on_die_capability(self, code, word_truths):
+        """Paper §6.3: the paper's aligned assumption needs SEC only."""
+        truths, missed = word_truths
+        layout = aligned_layout(len(truths), code.k)
+        assert required_secondary_capability(layout, truths, missed) <= 1
+
+    def test_split_also_bounded(self, code, word_truths):
+        truths, missed = word_truths
+        layout = split_layout(len(truths), code.k, 2)
+        assert required_secondary_capability(layout, truths, missed) <= 1
+
+    def test_interleaving_scales_requirement(self, code, word_truths):
+        """Interleaving w on-die words can require up to w x t capability."""
+        truths, missed = word_truths
+        layout = interleaved_layout(len(truths), code.k, 2)
+        capability = required_secondary_capability(layout, truths, missed)
+        assert capability <= 2
+        aligned = required_secondary_capability(
+            aligned_layout(len(truths), code.k), truths, missed
+        )
+        assert capability >= aligned
+
+    def test_unprofiled_words_use_full_risk_set(self, code, word_truths):
+        truths, _ = word_truths
+        word = SecondaryWord(coverage={0: frozenset(range(code.k))})
+        full = worst_case_concurrent_errors(word, truths, {})
+        profiled = worst_case_concurrent_errors(
+            word, truths, {0: frozenset()}
+        )
+        assert full >= profiled
+        assert profiled == 0
+
+
+class TestScrubber:
+    def make_chip(self, code, profiles, seed=0):
+        chip = OnDieEccChip(code, num_words=len(profiles), rng=np.random.default_rng(seed))
+        for index, profile in enumerate(profiles):
+            chip.set_error_profile(index, profile)
+        return chip
+
+    @staticmethod
+    def find_miscorrecting_pair(code):
+        """A pair of data positions whose co-failure miscorrects onto a
+        third *data* position (needed so the event is controller-visible)."""
+        from itertools import combinations
+
+        from repro.ecc.syndrome import analyze_error_pattern
+
+        for a, b in combinations(range(code.k), 2):
+            outcome = analyze_error_pattern(code, frozenset({a, b}))
+            if outcome.indirect_errors:
+                target = next(iter(outcome.indirect_errors))
+                return a, b, target
+        raise AssertionError("code has no data-to-data miscorrecting pair")
+
+    def test_single_at_risk_bit_is_invisible_to_scrubbing(self, code):
+        """On-die ECC corrects lone failures internally, so reactive
+        profiling can never see them — the paper's core obfuscation."""
+        chip = self.make_chip(code, [WordErrorProfile((5,), (1.0,))])
+        report = Scrubber(chip).run(num_passes=5)
+        assert report.identified_bits == 0
+        assert report.clean
+
+    def test_scrubbing_identifies_miscorrection_target(self, code):
+        """With the direct-risk bits already repaired (HARP active phase),
+        the indirect error surfaces as a single correctable error and is
+        identified on its first occurrence."""
+        a, b, target = self.find_miscorrecting_pair(code)
+        profile_store = ErrorProfile()
+        profile_store.mark_many(0, {a, b})  # active phase found the pair
+        chip = self.make_chip(code, [WordErrorProfile((a, b), (1.0, 1.0))])
+        report = Scrubber(chip, profile=profile_store).run(num_passes=3)
+        assert report.clean
+        assert report.identification_pass[(0, target)] == 1
+        assert profile_store.is_marked(0, target)
+
+    def test_multi_bit_words_escape_sec_scrubbing(self, code):
+        """Unprofiled multi-bit words are exactly what scrubbing alone
+        cannot handle — the reason HARP's active phase must come first."""
+        chip = self.make_chip(code, [WordErrorProfile((5, 9), (1.0, 1.0))])
+        report = Scrubber(chip).run(num_passes=2)
+        assert report.escaped_reads > 0
+
+    def test_dec_secondary_handles_double_errors(self, code):
+        chip = self.make_chip(code, [WordErrorProfile((5, 9), (1.0, 1.0))])
+        report = Scrubber(chip, secondary=SecondaryEcc(2)).run(num_passes=2)
+        assert report.clean
+        assert report.identified_bits >= 2
+
+    def test_low_probability_bits_take_more_passes(self, code):
+        """Identification latency grows as per-bit probability shrinks —
+        the paper's argument for why low-probability errors are left to
+        long-running reactive profiling (§2.4).  The indirect error only
+        surfaces when both direct bits co-fail (probability p^2)."""
+        a, b, target = self.find_miscorrecting_pair(code)
+
+        def passes_to_identify(probability, seed):
+            store = ErrorProfile()
+            store.mark_many(0, {a, b})
+            chip = self.make_chip(
+                code, [WordErrorProfile((a, b), (probability, probability))], seed=seed
+            )
+            report = Scrubber(chip, profile=store).run(num_passes=400)
+            return report.identification_pass.get((0, target), 401)
+
+        fast = passes_to_identify(0.9, seed=7)
+        slow = passes_to_identify(0.15, seed=7)
+        assert fast <= slow
+
+    def test_zero_passes(self, code):
+        chip = self.make_chip(code, [WordErrorProfile((5,), (1.0,))])
+        report = Scrubber(chip).run(num_passes=0)
+        assert report.reads == 0
+
+    def test_negative_passes_rejected(self, code):
+        chip = self.make_chip(code, [WordErrorProfile((), ())])
+        with pytest.raises(ValueError):
+            Scrubber(chip).run(num_passes=-1)

@@ -1,0 +1,85 @@
+"""Tests for the oracle profiler and the scrubbing-latency extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.atrisk import compute_ground_truth
+from repro.ecc.hamming import random_sec_code
+from repro.experiments import ext_scrubbing
+from repro.experiments.runner import metrics_for_run
+from repro.memory.error_model import sample_word_profile
+from repro.profiling.harp import HarpUProfiler
+from repro.profiling.oracle import OracleProfiler
+from repro.profiling.runner import simulate_word
+
+
+@pytest.fixture(scope="module")
+def word():
+    code = random_sec_code(64, np.random.default_rng(141))
+    profile = sample_word_profile(code, 4, 0.5, np.random.default_rng(1))
+    truth = compute_ground_truth(code, profile)
+    return code, profile, truth
+
+
+class TestOracleProfiler:
+    def test_requires_ground_truth(self, word):
+        code, _, _ = word
+        with pytest.raises(ValueError):
+            OracleProfiler(code, seed=1)
+
+    def test_identifies_everything_in_round_one(self, word):
+        code, profile, truth = word
+        oracle = OracleProfiler(code, seed=1, ground_truth=truth)
+        result = simulate_word(oracle, profile, 4, word_seed=1)
+        expected = truth.post_correction_at_risk | truth.direct_at_risk
+        assert result.identified_per_round[0] == expected
+
+    def test_oracle_metrics_are_perfect(self, word):
+        code, profile, truth = word
+        oracle = OracleProfiler(code, seed=1, ground_truth=truth)
+        result = simulate_word(oracle, profile, 4, word_seed=1)
+        metrics = metrics_for_run(result, truth, 4)
+        assert metrics.capability[-1] == 0
+        assert metrics.indirect_missed[-1] == 0
+        assert metrics.direct_identified[-1] == metrics.direct_total
+
+    def test_oracle_dominates_harp(self, word):
+        """Upper bound sanity: the oracle is never behind HARP."""
+        code, profile, truth = word
+        oracle_run = simulate_word(
+            OracleProfiler(code, 1, ground_truth=truth), profile, 16, word_seed=1
+        )
+        harp_run = simulate_word(HarpUProfiler(code, 1), profile, 16, word_seed=1)
+        for oracle_set, harp_set in zip(
+            oracle_run.identified_per_round, harp_run.identified_per_round
+        ):
+            assert harp_set & truth.direct_at_risk <= oracle_set
+
+
+class TestScrubLatencyExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_scrubbing.run(
+            probabilities=(0.75, 0.25),
+            num_words=6,
+            at_risk_per_word=4,
+            max_passes=64,
+            seed=4,
+        )
+
+    def test_no_escapes_after_harp_active_phase(self, result):
+        """With direct bits repaired, SEC scrubbing never escapes."""
+        for _, (_, _, escaped) in result.rows.items():
+            assert escaped == 0
+
+    def test_latency_grows_as_probability_drops(self, result):
+        high_fraction, _, _ = result.rows[0.75]
+        low_fraction, _, _ = result.rows[0.25]
+        assert high_fraction >= low_fraction
+
+    def test_fractions_valid(self, result):
+        for fraction, _, _ in result.rows.values():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_render(self, result):
+        assert "Scrubbing-latency" in ext_scrubbing.render(result)

@@ -1,0 +1,92 @@
+"""Unit tests for memory data patterns."""
+
+import numpy as np
+import pytest
+
+from repro.memory.patterns import (
+    ChargedPattern,
+    CheckeredPattern,
+    FixedPattern,
+    RandomPattern,
+    ZeroPattern,
+    make_pattern,
+)
+
+
+class TestStaticPatterns:
+    def test_charged_is_all_ones(self):
+        data = ChargedPattern().data_for_round(3, 8)
+        assert data.tolist() == [1] * 8
+
+    def test_zero_is_all_zeros(self):
+        assert not ZeroPattern().data_for_round(0, 8).any()
+
+    def test_checkered_alternates(self):
+        base = CheckeredPattern().data_for_round(0, 6)
+        assert base.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_checkered_inverts_on_odd_rounds(self):
+        pattern = CheckeredPattern()
+        even = pattern.data_for_round(0, 6)
+        odd = pattern.data_for_round(1, 6)
+        assert ((even ^ odd) == 1).all()
+
+
+class TestRandomPattern:
+    def test_deterministic_per_round(self):
+        a = RandomPattern(5).data_for_round(4, 32)
+        b = RandomPattern(5).data_for_round(4, 32)
+        assert (a == b).all()
+
+    def test_inverts_every_other_round(self):
+        """Paper §7.1.2: the random pattern and its inverse are both tested."""
+        pattern = RandomPattern(5)
+        for block in range(4):
+            even = pattern.data_for_round(2 * block, 32)
+            odd = pattern.data_for_round(2 * block + 1, 32)
+            assert ((even ^ odd) == 1).all()
+
+    def test_base_changes_across_blocks(self):
+        pattern = RandomPattern(5)
+        first = pattern.data_for_round(0, 64)
+        second = pattern.data_for_round(2, 64)
+        assert not (first == second).all()
+
+    def test_different_seeds_differ(self):
+        a = RandomPattern(1).data_for_round(0, 64)
+        b = RandomPattern(2).data_for_round(0, 64)
+        assert not (a == b).all()
+
+    def test_every_bit_charged_within_two_rounds(self):
+        """Inversion guarantees each cell holds charge once per block."""
+        pattern = RandomPattern(9)
+        union = pattern.data_for_round(0, 64) | pattern.data_for_round(1, 64)
+        assert union.all()
+
+
+class TestFixedAndFactory:
+    def test_fixed_returns_copy(self):
+        source = np.array([1, 0, 1], dtype=np.uint8)
+        pattern = FixedPattern(source)
+        out = pattern.data_for_round(0, 3)
+        out[0] = 0
+        assert pattern.data_for_round(1, 3).tolist() == [1, 0, 1]
+
+    def test_fixed_length_mismatch(self):
+        with pytest.raises(ValueError):
+            FixedPattern(np.array([1], dtype=np.uint8)).data_for_round(0, 3)
+
+    def test_factory_names(self):
+        for name in ("random", "charged", "checkered", "zero"):
+            assert make_pattern(name, seed=1).data_for_round(0, 4).shape == (4,)
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            make_pattern("worst-case-magic")
+
+    def test_rounds_materialization(self):
+        pattern = RandomPattern(3)
+        rounds = pattern.rounds(6, 16)
+        assert rounds.shape == (6, 16)
+        for index in range(6):
+            assert (rounds[index] == pattern.data_for_round(index, 16)).all()

@@ -1,0 +1,103 @@
+"""Unit tests for GF(2) polynomial arithmetic and BCH generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf2m import field
+from repro.ecc.polynomial import (
+    bch_generator_polynomial,
+    degree,
+    minimal_polynomial,
+    poly_divmod,
+    poly_eval_gf2m,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+)
+
+polys = st.integers(min_value=0, max_value=(1 << 12) - 1)
+nonzero_polys = st.integers(min_value=1, max_value=(1 << 12) - 1)
+
+
+class TestBasics:
+    def test_degree(self):
+        assert degree(0) == -1
+        assert degree(1) == 0
+        assert degree(0b1011) == 3
+
+    def test_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    @settings(max_examples=60)
+    @given(polys, polys)
+    def test_mul_commutative(self, a, b):
+        assert poly_mul(a, b) == poly_mul(b, a)
+
+    @settings(max_examples=60)
+    @given(polys, polys, polys)
+    def test_mul_distributes_over_xor(self, a, b, c):
+        assert poly_mul(a, b ^ c) == poly_mul(a, b) ^ poly_mul(a, c)
+
+    @settings(max_examples=60)
+    @given(polys, nonzero_polys)
+    def test_divmod_identity(self, a, b):
+        q, r = poly_divmod(a, b)
+        assert poly_mul(q, b) ^ r == a
+        assert degree(r) < degree(b)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_mod(0b101, 0)
+
+    @settings(max_examples=60)
+    @given(nonzero_polys, nonzero_polys)
+    def test_gcd_divides_both(self, a, b):
+        g = poly_gcd(a, b)
+        assert poly_mod(a, g) == 0
+        assert poly_mod(b, g) == 0
+
+
+class TestMinimalPolynomial:
+    def test_alpha_minimal_poly_is_field_polynomial(self):
+        fld = field(4)
+        assert minimal_polynomial(fld.alpha, fld) == fld.primitive_polynomial
+
+    def test_unity_minimal_poly(self):
+        fld = field(4)
+        assert minimal_polynomial(1, fld) == 0b11  # x + 1
+
+    def test_evaluates_to_zero_at_element(self):
+        fld = field(5)
+        for exponent in (1, 3, 5):
+            element = fld.alpha_power(exponent)
+            minimal = minimal_polynomial(element, fld)
+            assert poly_eval_gf2m(minimal, element, fld) == 0
+
+    def test_degree_divides_m(self):
+        fld = field(6)
+        for exponent in range(1, 10):
+            minimal = minimal_polynomial(fld.alpha_power(exponent), fld)
+            assert fld.m % degree(minimal) == 0
+
+
+class TestBchGenerator:
+    def test_t1_is_primitive_polynomial(self):
+        fld = field(4)
+        assert bch_generator_polynomial(fld, 1) == fld.primitive_polynomial
+
+    def test_t2_degree_is_2m_for_gf16(self):
+        fld = field(4)
+        generator = bch_generator_polynomial(fld, 2)
+        assert degree(generator) == 8  # (15, 7) BCH
+
+    def test_generator_has_designed_roots(self):
+        fld = field(4)
+        generator = bch_generator_polynomial(fld, 2)
+        for exponent in (1, 2, 3, 4):  # designed distance 5: roots alpha^1..4
+            assert poly_eval_gf2m(generator, fld.alpha_power(exponent), fld) == 0
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            bch_generator_polynomial(field(4), 0)

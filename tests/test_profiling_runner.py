@@ -1,0 +1,130 @@
+"""Unit and invariant tests for the profiling simulation runner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.atrisk import compute_ground_truth
+from repro.ecc.hamming import random_sec_code
+from repro.memory.error_model import WordErrorProfile, sample_word_profile
+from repro.profiling import PROFILER_REGISTRY
+from repro.profiling.harp import HarpUProfiler
+from repro.profiling.naive import NaiveProfiler
+from repro.profiling.runner import post_correction_data_errors, simulate_word
+
+
+@pytest.fixture(scope="module")
+def code():
+    return random_sec_code(64, np.random.default_rng(91))
+
+
+class TestPostCorrectionDataErrors:
+    def test_empty(self, code):
+        assert post_correction_data_errors(code, ()) == frozenset()
+
+    def test_single_corrected(self, code):
+        assert post_correction_data_errors(code, (7,)) == frozenset()
+
+    def test_matches_analysis(self, code):
+        from repro.ecc.syndrome import analyze_error_pattern
+
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            pattern = tuple(sorted(int(p) for p in rng.choice(code.n, 3, replace=False)))
+            fast = post_correction_data_errors(code, pattern)
+            slow = analyze_error_pattern(code, frozenset(pattern)).data_errors
+            assert fast == slow
+
+
+class TestSimulateWord:
+    def test_deterministic(self, code):
+        profile = sample_word_profile(code, 4, 0.5, np.random.default_rng(1))
+        a = simulate_word(NaiveProfiler(code, 7), profile, 32, word_seed=99)
+        b = simulate_word(NaiveProfiler(code, 7), profile, 32, word_seed=99)
+        assert a.identified_per_round == b.identified_per_round
+        assert a.failures_per_round == b.failures_per_round
+
+    def test_shared_draws_across_profilers(self, code):
+        """Profilers with the same patterns see identical failures."""
+        profile = sample_word_profile(code, 4, 0.5, np.random.default_rng(2))
+        naive = simulate_word(NaiveProfiler(code, 7), profile, 32, word_seed=99)
+        harp = simulate_word(HarpUProfiler(code, 7), profile, 32, word_seed=99)
+        assert naive.failures_per_round == harp.failures_per_round
+
+    def test_identification_is_monotone(self, code):
+        profile = sample_word_profile(code, 4, 0.5, np.random.default_rng(3))
+        for name, cls in PROFILER_REGISTRY.items():
+            result = simulate_word(cls(code, 7), profile, 32, word_seed=5)
+            for earlier, later in zip(result.identified_per_round, result.identified_per_round[1:]):
+                assert earlier <= later, name
+
+    def test_probability_one_all_charged_fail(self, code):
+        """At p=1 every charged at-risk cell fails every round."""
+        profile = WordErrorProfile((3, 9), (1.0, 1.0))
+        result = simulate_word(NaiveProfiler(code, 7, pattern="charged"), profile, 4, word_seed=1)
+        for failed in result.failures_per_round:
+            assert failed == (3, 9)
+
+    def test_zero_probability_never_fails(self, code):
+        profile = WordErrorProfile((3, 9), (0.0, 0.0))
+        result = simulate_word(NaiveProfiler(code, 7), profile, 16, word_seed=1)
+        assert all(failed == () for failed in result.failures_per_round)
+        assert result.final_identified() == frozenset()
+
+    def test_empty_profile(self, code):
+        profile = WordErrorProfile((), ())
+        result = simulate_word(NaiveProfiler(code, 7), profile, 8, word_seed=1)
+        assert result.final_identified() == frozenset()
+
+    def test_out_of_range_profile(self, code):
+        with pytest.raises(IndexError):
+            simulate_word(
+                NaiveProfiler(code, 7), WordErrorProfile((code.n,), (0.5,)), 4, word_seed=1
+            )
+
+
+class TestPaperInvariants:
+    """Core claims of the paper, checked on randomized instances."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_harp_bypass_identifies_only_true_direct_bits(self, code, seed):
+        """Bypass observations are sound: only genuine at-risk data bits."""
+        rng = np.random.default_rng(seed)
+        profile = sample_word_profile(code, 5, 0.75, rng)
+        truth = compute_ground_truth(code, profile)
+        result = simulate_word(HarpUProfiler(code, seed), profile, 64, word_seed=seed)
+        assert result.final_identified() <= truth.direct_at_risk
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_harp_full_direct_coverage_at_p1_charged(self, code, seed):
+        """At p=1 with the charged pattern, HARP covers all direct-risk
+        bits in one round (paper Fig 6, 100% panel)."""
+        rng = np.random.default_rng(seed)
+        profile = sample_word_profile(code, 5, 1.0, rng)
+        truth = compute_ground_truth(code, profile)
+        result = simulate_word(
+            HarpUProfiler(code, seed, pattern="charged"), profile, 1, word_seed=seed
+        )
+        assert result.final_identified() == truth.direct_at_risk
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_naive_identifications_within_post_risk_set(self, code, seed):
+        """Naive marks only bits that genuinely can err post-correction."""
+        rng = np.random.default_rng(seed)
+        profile = sample_word_profile(code, 4, 0.5, rng)
+        truth = compute_ground_truth(code, profile)
+        result = simulate_word(NaiveProfiler(code, seed), profile, 64, word_seed=seed)
+        assert result.final_identified() <= truth.post_correction_at_risk
+
+    @pytest.mark.parametrize("name", ["Naive", "BEEP", "HARP-U", "HARP-A", "HARP-A+BEEP"])
+    def test_all_identifications_sound(self, code, name):
+        """No profiler ever marks a bit outside the ground-truth post-risk
+        or direct-risk universe (no false positives)."""
+        rng = np.random.default_rng(17)
+        profile = sample_word_profile(code, 5, 0.5, rng)
+        truth = compute_ground_truth(code, profile)
+        universe = truth.post_correction_at_risk | truth.direct_at_risk
+        # HARP-A's prediction may include bits whose triggering patterns
+        # involve data bits only; those are still within the ground truth
+        # universe by construction.
+        result = simulate_word(PROFILER_REGISTRY[name](code, 17), profile, 64, word_seed=17)
+        assert result.final_identified() <= universe, name

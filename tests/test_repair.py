@@ -1,0 +1,142 @@
+"""Unit tests for the repair layer: profile store, mechanisms, Fig 2 model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.repair.mechanisms import (
+    REPAIR_GRANULARITY_SURVEY,
+    BlockGranularityRepair,
+    IdealBitRepair,
+)
+from repro.repair.profile_store import ErrorProfile
+from repro.repair.wasted_storage import (
+    expected_wasted_ratio,
+    monte_carlo_wasted_ratio,
+    wasted_ratio_curve,
+)
+
+
+class TestErrorProfile:
+    def test_mark_and_query(self):
+        profile = ErrorProfile()
+        profile.mark(3, 17)
+        assert profile.is_marked(3, 17)
+        assert not profile.is_marked(3, 18)
+        assert profile.bits_for(3) == {17}
+        assert profile.bits_for(4) == frozenset()
+
+    def test_mark_many_and_totals(self):
+        profile = ErrorProfile()
+        profile.mark_many(0, {1, 2, 3})
+        profile.mark_many(5, {9})
+        assert profile.total_bits == 4
+        assert profile.words == [0, 5]
+
+    def test_duplicate_marks_idempotent(self):
+        profile = ErrorProfile()
+        profile.mark(0, 1)
+        profile.mark(0, 1)
+        assert profile.total_bits == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorProfile().mark(-1, 0)
+
+    def test_json_roundtrip(self):
+        profile = ErrorProfile()
+        profile.mark_many(2, {7, 9})
+        profile.mark(11, 0)
+        restored = ErrorProfile.from_json(profile.to_json())
+        assert restored.bits_for(2) == {7, 9}
+        assert restored.bits_for(11) == {0}
+        assert restored.total_bits == 3
+
+
+class TestIdealBitRepair:
+    def test_repairs_exactly_profiled_bits(self):
+        profile = ErrorProfile()
+        profile.mark(0, 4)
+        repair = IdealBitRepair(profile)
+        assert repair.is_repaired(0, 4)
+        assert not repair.is_repaired(0, 5)
+        assert repair.unrepaired_errors(0, {4, 5}) == {5}
+
+    def test_stats_waste_nothing(self):
+        profile = ErrorProfile()
+        profile.mark_many(0, {1, 2, 3})
+        stats = IdealBitRepair(profile).stats(bits_per_word=64)
+        assert stats.wasted_bits == 0
+        assert stats.repaired_bits == 3
+
+
+class TestBlockRepair:
+    def test_block_granularity_masks_whole_block(self):
+        profile = ErrorProfile()
+        profile.mark(0, 9)  # block 1 for granularity 8
+        repair = BlockGranularityRepair(profile, granularity=8)
+        assert repair.is_repaired(0, 8)
+        assert repair.is_repaired(0, 15)
+        assert not repair.is_repaired(0, 7)
+
+    def test_stats_account_for_fragmentation(self):
+        profile = ErrorProfile()
+        profile.mark(0, 0)
+        profile.mark(0, 1)  # same block
+        profile.mark(0, 9)  # second block
+        stats = BlockGranularityRepair(profile, granularity=8).stats(bits_per_word=64)
+        assert stats.repaired_blocks == 2
+        assert stats.repaired_bits == 16
+        assert stats.wasted_bits == 13
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            BlockGranularityRepair(ErrorProfile(), granularity=0)
+
+    def test_survey_has_bit_granularity_entry(self):
+        assert 1 in REPAIR_GRANULARITY_SURVEY.values()
+
+
+class TestWastedStorage:
+    def test_bit_granularity_never_wastes(self):
+        for rber in (1e-6, 1e-3, 0.1):
+            assert expected_wasted_ratio(rber, 1) == 0.0
+
+    def test_paper_worst_case_1024(self):
+        """Paper: >99% waste at RBER 6.8e-3 with 1024-bit granularity."""
+        assert expected_wasted_ratio(6.8e-3, 1024) > 0.99
+
+    def test_waste_decreases_at_very_high_rber(self):
+        """Once most bits are truly erroneous, less capacity is 'wasted'."""
+        peak = expected_wasted_ratio(6.8e-3, 1024)
+        high = expected_wasted_ratio(0.5, 1024)
+        assert high < peak
+
+    def test_monotone_in_granularity(self):
+        rber = 1e-4
+        curve = [expected_wasted_ratio(rber, g) for g in (1, 32, 64, 512, 1024)]
+        assert curve == sorted(curve)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            expected_wasted_ratio(1.5, 8)
+        with pytest.raises(ValueError):
+            expected_wasted_ratio(0.5, 0)
+
+    def test_curve_helper(self):
+        curve = wasted_ratio_curve([1e-4, 1e-3], 32)
+        assert len(curve) == 2
+        assert curve[0] < curve[1]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from([1e-3, 5e-3, 2e-2]),
+        st.sampled_from([8, 32, 128]),
+    )
+    def test_monte_carlo_agrees_with_closed_form(self, rber, granularity):
+        estimate = monte_carlo_wasted_ratio(
+            rber, granularity, num_blocks=20000, rng=np.random.default_rng(0)
+        )
+        exact = expected_wasted_ratio(rber, granularity)
+        assert abs(estimate - exact) < 0.02

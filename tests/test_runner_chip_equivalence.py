@@ -1,0 +1,102 @@
+"""Cross-layer invariant: the fast Monte-Carlo runner and the object-level
+chip model implement the same physics.
+
+``simulate_word`` shortcuts the chip (integer syndromes, shared draws);
+``MemorySystem`` routes every access through ``OnDieEccChip``.  Their
+random streams differ, so traces are not bit-identical — but the reachable
+behaviour must agree: every identification either path produces lies
+inside the same exact ground-truth sets, and deterministic (p = 1)
+scenarios must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.atrisk import compute_ground_truth
+from repro.controller.system import MemorySystem
+from repro.ecc.hamming import random_sec_code
+from repro.memory.chip import OnDieEccChip
+from repro.memory.error_model import WordErrorProfile
+from repro.profiling.harp import HarpUProfiler
+from repro.profiling.naive import NaiveProfiler
+from repro.profiling.runner import simulate_word
+
+
+@pytest.fixture(scope="module")
+def code():
+    return random_sec_code(64, np.random.default_rng(121))
+
+
+def chip_identify(code, profile, profiler_cls, rounds, seed):
+    """Profile one word through the full chip/system path."""
+    chip = OnDieEccChip(code, num_words=1, rng=np.random.default_rng(seed))
+    chip.set_error_profile(0, profile)
+    system = MemorySystem(chip, profiler_cls, seed=seed)
+    system.run_active_profiling(num_rounds=rounds)
+    return set(system.profile.bits_for(0))
+
+
+class TestDeterministicEquivalence:
+    def test_p1_charged_harp_identical(self, code):
+        """At p=1 with all cells charged, both paths identify exactly the
+        direct-risk set on the first round."""
+        profile = WordErrorProfile((3, 9, 40), (1.0, 1.0, 1.0))
+        truth = compute_ground_truth(code, profile)
+        fast = simulate_word(
+            HarpUProfiler(code, 1, pattern="charged"), profile, 1, word_seed=1
+        ).final_identified()
+
+        chip = chip_identify(
+            code,
+            profile,
+            lambda c, s: HarpUProfiler(c, s, pattern="charged"),
+            rounds=1,
+            seed=1,
+        )
+        assert fast == truth.direct_at_risk
+        assert chip == truth.direct_at_risk
+
+    def test_p1_charged_naive_identical(self, code):
+        """Same determinism through the corrected read path."""
+        profile = WordErrorProfile((3, 9), (1.0, 1.0))
+        fast = simulate_word(
+            NaiveProfiler(code, 1, pattern="charged"), profile, 1, word_seed=1
+        ).final_identified()
+        chip = chip_identify(
+            code,
+            profile,
+            lambda c, s: NaiveProfiler(c, s, pattern="charged"),
+            rounds=1,
+            seed=1,
+        )
+        assert fast == chip
+
+
+class TestStochasticContainment:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_both_paths_stay_inside_ground_truth(self, code, seed):
+        rng = np.random.default_rng(seed)
+        positions = tuple(sorted(int(p) for p in rng.choice(code.n, 4, replace=False)))
+        profile = WordErrorProfile(positions, (0.75,) * 4)
+        truth = compute_ground_truth(code, profile)
+
+        fast = simulate_word(
+            NaiveProfiler(code, seed), profile, 32, word_seed=seed
+        ).final_identified()
+        chip = chip_identify(code, profile, NaiveProfiler, rounds=32, seed=seed)
+        assert fast <= truth.post_correction_at_risk
+        assert chip <= truth.post_correction_at_risk
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_harp_paths_stay_inside_direct_truth(self, code, seed):
+        rng = np.random.default_rng(seed + 100)
+        positions = tuple(sorted(int(p) for p in rng.choice(code.n, 4, replace=False)))
+        profile = WordErrorProfile(positions, (0.75,) * 4)
+        truth = compute_ground_truth(code, profile)
+
+        fast = simulate_word(
+            HarpUProfiler(code, seed), profile, 32, word_seed=seed
+        ).final_identified()
+        chip = chip_identify(code, profile, HarpUProfiler, rounds=32, seed=seed)
+        assert fast <= truth.direct_at_risk
+        assert chip <= truth.direct_at_risk

@@ -1,0 +1,58 @@
+"""Unit tests for the degenerate/toy codes."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.simple import NoEccCode, repetition_extension_code, single_parity_code
+
+
+class TestNoEccCode:
+    def test_geometry(self):
+        code = NoEccCode(8)
+        assert (code.n, code.k, code.p, code.t) == (8, 8, 0, 0)
+
+    def test_identity_transparency(self):
+        code = NoEccCode(8)
+        data = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        assert (code.encode(data) == data).all()
+        assert (code.decode(data).data == data).all()
+
+    def test_errors_pass_through(self):
+        """Without on-die ECC, post-correction errors == pre-correction."""
+        code = NoEccCode(8)
+        data = np.zeros(8, dtype=np.uint8)
+        corrupted = code.encode(data).copy()
+        corrupted[3] ^= 1
+        result = code.decode(corrupted)
+        assert result.data[3] == 1
+        assert not result.corrected
+
+
+class TestSingleParityCode:
+    def test_detects_single_error_without_correcting(self):
+        code = single_parity_code(4)
+        data = np.array([1, 1, 0, 0], dtype=np.uint8)
+        corrupted = code.encode(data).copy()
+        corrupted[0] ^= 1
+        result = code.decode(corrupted)
+        assert result.detected_uncorrectable
+        assert (result.data == corrupted[:4]).all()
+
+    def test_even_weight_parity(self):
+        code = single_parity_code(4)
+        codeword = code.encode(np.array([1, 0, 1, 0], dtype=np.uint8))
+        assert codeword.sum() % 2 == 0
+
+
+class TestRepetitionCode:
+    def test_corrects_one_error(self):
+        code = repetition_extension_code(3)
+        codeword = code.encode(np.array([1], dtype=np.uint8))
+        assert codeword.tolist() == [1, 1, 1]
+        corrupted = codeword.copy()
+        corrupted[2] ^= 1
+        assert code.decode(corrupted).data.tolist() == [1]
+
+    def test_rejects_two_copies(self):
+        with pytest.raises(ValueError):
+            repetition_extension_code(2)

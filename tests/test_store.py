@@ -1,0 +1,77 @@
+"""Tests for sweep-result serialization and shard merging."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.fig6 import coverage_curve
+from repro.experiments.runner import run_sweep
+from repro.experiments.store import merge_sweeps, sweep_from_json, sweep_to_json
+
+CONFIG = SweepConfig(
+    num_codes=2,
+    words_per_code=3,
+    num_rounds=16,
+    error_counts=(3,),
+    probabilities=(0.5,),
+    profilers=("Naive", "HARP-U"),
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(CONFIG)
+
+
+class TestJsonRoundtrip:
+    def test_cells_survive(self, sweep):
+        restored = sweep_from_json(sweep_to_json(sweep))
+        assert set(restored.cells) == set(sweep.cells)
+        for key in sweep.cells:
+            assert restored.cells[key].words == sweep.cells[key].words
+
+    def test_reductions_agree_after_roundtrip(self, sweep):
+        restored = sweep_from_json(sweep_to_json(sweep))
+        assert coverage_curve(restored, 3, 0.5, "HARP-U") == coverage_curve(
+            sweep, 3, 0.5, "HARP-U"
+        )
+
+    def test_bad_document_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_from_json('{"format": "something-else", "cells": []}')
+
+
+class TestMerge:
+    def test_merging_disjoint_seeds_concatenates_words(self, sweep):
+        other = run_sweep(replace(CONFIG, seed=CONFIG.seed + 1))
+        merged = merge_sweeps([sweep, other])
+        for key in sweep.cells:
+            assert len(merged.cells[key].words) == len(sweep.cells[key].words) + len(
+                other.cells[key].words
+            )
+
+    def test_merge_single_shard_is_identity(self, sweep):
+        merged = merge_sweeps([sweep])
+        assert merged.cells.keys() == sweep.cells.keys()
+        for key in sweep.cells:
+            assert merged.cells[key].words == sweep.cells[key].words
+
+    def test_merge_incompatible_rounds_rejected(self, sweep):
+        other = run_sweep(replace(CONFIG, num_rounds=8))
+        with pytest.raises(ValueError):
+            merge_sweeps([sweep, other])
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_sweeps([])
+
+    def test_merged_coverage_pools_both_shards(self, sweep):
+        """The merged curve is the word-pooled aggregate, reproducing the
+        paper's shard-independent aggregation property."""
+        other = run_sweep(replace(CONFIG, seed=CONFIG.seed + 7))
+        merged = merge_sweeps([sweep, other])
+        merged_final = coverage_curve(merged, 3, 0.5, "Naive")[-1]
+        a = coverage_curve(sweep, 3, 0.5, "Naive")[-1]
+        b = coverage_curve(other, 3, 0.5, "Naive")[-1]
+        assert min(a, b) - 1e-9 <= merged_final <= max(a, b) + 1e-9

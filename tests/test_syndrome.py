@@ -1,0 +1,116 @@
+"""Unit and property tests for error-pattern decode semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.hamming import paper_example_code, random_sec_code
+from repro.ecc.syndrome import (
+    DecodeOutcomeKind,
+    analyze_error_pattern,
+    syndrome_of_pattern,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return random_sec_code(64, np.random.default_rng(21))
+
+
+class TestSyndromeOfPattern:
+    def test_empty_pattern(self, code):
+        assert syndrome_of_pattern(code, frozenset()) == 0
+
+    def test_single_matches_column(self, code):
+        for position in (0, 10, 70):
+            assert syndrome_of_pattern(code, {position}) == code.column_int(position)
+
+    def test_xor_composition(self, code):
+        expected = code.column_int(2) ^ code.column_int(5) ^ code.column_int(68)
+        assert syndrome_of_pattern(code, {2, 5, 68}) == expected
+
+
+class TestAnalyzeErrorPattern:
+    def test_no_error(self, code):
+        outcome = analyze_error_pattern(code, frozenset())
+        assert outcome.kind is DecodeOutcomeKind.NO_ERROR
+        assert not outcome.post_errors
+
+    def test_single_error_corrected(self, code):
+        outcome = analyze_error_pattern(code, {7})
+        assert outcome.kind is DecodeOutcomeKind.CORRECTED
+        assert not outcome.post_errors
+        assert outcome.flipped == {7}
+
+    def test_out_of_range_rejected(self, code):
+        with pytest.raises(IndexError):
+            analyze_error_pattern(code, {code.n})
+
+    def test_double_error_consequences(self, code):
+        outcome = analyze_error_pattern(code, {3, 11})
+        if outcome.kind is DecodeOutcomeKind.MISCORRECTED:
+            # SEC flips exactly one extra position, disjoint from the pattern.
+            assert len(outcome.flipped) == 1
+            assert not (outcome.flipped & outcome.pre_correction)
+            assert outcome.post_errors == outcome.pre_correction | outcome.flipped
+        else:
+            assert outcome.kind is DecodeOutcomeKind.DETECTED_UNCORRECTABLE
+            assert outcome.post_errors == outcome.pre_correction
+
+    def test_direct_indirect_partition(self, code):
+        outcome = analyze_error_pattern(code, {3, 11})
+        assert outcome.direct_errors | outcome.indirect_errors == outcome.data_errors
+        assert not (outcome.direct_errors & outcome.indirect_errors)
+        assert outcome.direct_errors <= outcome.pre_correction
+
+    def test_undetected_pattern(self):
+        """A pattern equal to a codeword support has zero syndrome."""
+        code = paper_example_code()
+        # Data bit 0's codeword: positions {0} + parity footprint {4, 5, 6}.
+        pattern = frozenset({0, 4, 5, 6})
+        outcome = analyze_error_pattern(code, pattern)
+        assert outcome.kind is DecodeOutcomeKind.UNDETECTED
+        assert outcome.post_errors == pattern
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_post_errors_are_symmetric_difference(self, data):
+        code = random_sec_code(16, np.random.default_rng(5))
+        size = data.draw(st.integers(min_value=0, max_value=4))
+        pattern = frozenset(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=code.n - 1),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+        )
+        outcome = analyze_error_pattern(code, pattern)
+        assert outcome.post_errors == pattern ^ outcome.flipped
+        assert outcome.data_errors == {p for p in outcome.post_errors if p < code.k}
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_matches_real_decoder(self, data):
+        """analyze_error_pattern must agree with actually decoding."""
+        code = random_sec_code(16, np.random.default_rng(6))
+        pattern = frozenset(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=code.n - 1),
+                    max_size=4,
+                    unique=True,
+                )
+            )
+        )
+        message = np.ones(code.k, dtype=np.uint8)
+        corrupted = code.encode(message).copy()
+        for position in pattern:
+            corrupted[position] ^= 1
+        decoded = code.decode(corrupted)
+        observed_data_errors = frozenset(int(i) for i in np.flatnonzero(decoded.data != message))
+        outcome = analyze_error_pattern(code, pattern)
+        assert outcome.data_errors == observed_data_errors

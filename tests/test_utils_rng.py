@@ -1,0 +1,32 @@
+"""Unit tests for repro.utils.rng."""
+
+from repro.utils.rng import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_distinct_keys_distinct_seeds(self):
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7) != derive_seed(8)
+
+    def test_key_path_is_not_flattened(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(123456789, "x") < 2**64
+
+
+class TestDeriveRng:
+    def test_streams_are_reproducible(self):
+        a = derive_rng(3, "stream").random(5)
+        b = derive_rng(3, "stream").random(5)
+        assert (a == b).all()
+
+    def test_streams_differ_across_keys(self):
+        a = derive_rng(3, "s1").random(5)
+        b = derive_rng(3, "s2").random(5)
+        assert not (a == b).all()

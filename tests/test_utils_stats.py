@@ -1,0 +1,72 @@
+"""Unit tests for repro.utils.stats."""
+
+import pytest
+
+from repro.utils.stats import Histogram, empirical_cdf, percentile, summarize
+
+
+class TestPercentile:
+    def test_returns_observed_value(self):
+        values = [1, 5, 9, 13]
+        assert percentile(values, 99) in values
+
+    def test_median(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_p0_is_min_p100_is_max(self):
+        values = [4, 8, 15, 16, 23, 42]
+        assert percentile(values, 0) == 4
+        assert percentile(values, 100) == 42
+
+
+class TestEmpiricalCdf:
+    def test_empty(self):
+        assert empirical_cdf([]) == []
+
+    def test_monotone_and_ends_at_one(self):
+        cdf = empirical_cdf([3, 1, 2])
+        values = [v for v, _ in cdf]
+        fractions = [f for _, f in cdf]
+        assert values == sorted(values)
+        assert fractions[-1] == 1.0
+        assert all(f2 >= f1 for f1, f2 in zip(fractions, fractions[1:]))
+
+
+class TestHistogram:
+    def test_from_values_with_overflow_bin(self):
+        histogram = Histogram.from_values([0, 1, 1, 9], num_bins=3)
+        assert histogram.counts == (1, 2, 1)  # 9 clamps into the last bin
+
+    def test_normalized_sums_to_one(self):
+        histogram = Histogram.from_values([0, 1, 2, 2], num_bins=3)
+        assert abs(sum(histogram.normalized()) - 1.0) < 1e-12
+
+    def test_normalized_empty(self):
+        histogram = Histogram.from_values([], num_bins=3)
+        assert histogram.normalized() == (0.0, 0.0, 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values([-1], num_bins=2)
+
+
+class TestSummarize:
+    def test_fields(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,43 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456789e-9]])
+        assert "1.235e-09" in text
+
+    def test_zero_renders_plainly(self):
+        assert "0" in format_table(["x"], [[0.0]]).splitlines()[-1]
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series("T", {"a": [1.0, 2.0]}, x_values=[10, 20], x_label="round")
+        assert text.splitlines()[0] == "T"
+        assert "round" in text
+        assert "a" in text
+
+    def test_empty_series(self):
+        assert "(empty)" in format_series("T", {})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("T", {"a": [1], "b": [1, 2]})
+
+    def test_x_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("T", {"a": [1, 2]}, x_values=[1])
