@@ -4,6 +4,11 @@ The Figs 6-9 exhibits all reduce the same Monte-Carlo sweep, so it is
 computed once per session at BENCH scale and shared; each bench then
 measures its own reduction and saves its rendered exhibit under
 ``benchmarks/results/`` for inspection (EXPERIMENTS.md quotes these).
+
+``bench_engine.py`` additionally times the sweep execution engine against
+the pre-engine legacy loop and a parallel run; the wall-clocks land in
+``benchmarks/results/sweep_scaling.txt`` via :func:`sweep_scaling` so the
+speedup is tracked across the bench trajectory.
 """
 
 from __future__ import annotations
@@ -45,6 +50,33 @@ def bench_case_study():
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def sweep_scaling(results_dir: pathlib.Path) -> dict[str, float]:
+    """Session-wide record of sweep wall-clocks, persisted at teardown.
+
+    Benches insert ``label -> seconds`` entries (``legacy-serial``,
+    ``engine-serial``, ``engine-parallel``); the derived speedups are
+    appended so the trajectory file is self-describing.
+    """
+    record: dict[str, float] = {}
+    yield record
+    if not record:
+        return
+    lines = [f"{label}: {seconds:.3f} s" for label, seconds in sorted(record.items())]
+    if "legacy-serial" in record and "engine-serial" in record:
+        ratio = record["legacy-serial"] / record["engine-serial"]
+        lines.append(f"engine speedup vs legacy (serial wall-clock): {ratio:.2f}x")
+    if "legacy-serial-cpu" in record and "engine-serial-cpu" in record:
+        ratio = record["legacy-serial-cpu"] / record["engine-serial-cpu"]
+        lines.append(f"engine speedup vs legacy (serial CPU): {ratio:.2f}x")
+    if "engine-serial" in record and "engine-parallel" in record:
+        ratio = record["engine-serial"] / record["engine-parallel"]
+        lines.append(f"parallel speedup vs engine-serial (wall-clock): {ratio:.2f}x")
+    path = results_dir / "sweep_scaling.txt"
+    path.write_text("\n".join(lines) + "\n")
+    print(f"\n[sweep scaling saved to {path}]")
 
 
 def save_exhibit(results_dir: pathlib.Path, name: str, text: str) -> None:

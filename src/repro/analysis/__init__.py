@@ -9,6 +9,14 @@ from repro.analysis.atrisk import (
     solve_charge_assignment,
 )
 from repro.analysis.bootstrap import censored_rounds, rounds_to_first_identification
+from repro.analysis.memo import (
+    CacheStats,
+    cached_ground_truth,
+    cached_predict_indirect,
+    clear_analysis_caches,
+    ground_truth_cache,
+    indirect_prediction_cache,
+)
 from repro.analysis.combinatorics import (
     AmplificationRow,
     amplification_row,
@@ -34,6 +42,12 @@ __all__ = [
     "solve_charge_assignment",
     "max_simultaneous_post_errors",
     "predict_indirect_from_direct",
+    "CacheStats",
+    "cached_ground_truth",
+    "cached_predict_indirect",
+    "clear_analysis_caches",
+    "ground_truth_cache",
+    "indirect_prediction_cache",
     "censored_rounds",
     "rounds_to_first_identification",
     "AmplificationRow",

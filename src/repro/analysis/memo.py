@@ -1,0 +1,165 @@
+"""Process-local memoization for the exponential at-risk analyses.
+
+:func:`repro.analysis.atrisk.compute_ground_truth` enumerates every
+nonempty subset of a word's at-risk positions, and
+:func:`repro.analysis.atrisk.predict_indirect_from_direct` enumerates
+every combination of identified direct-risk bits — both exponential in
+their input size and both pure functions of (parity-check matrix, input
+positions).  The Monte-Carlo sweep engine re-encounters the same inputs
+constantly: every probability level of a sweep shares the same sampled
+at-risk positions, and HARP-A rediscovers the same observed sets across
+probability levels and words.
+
+This module provides bounded LRU caches for both functions, keyed on the
+parity-check matrix bytes plus the input positions (and cell orientation
+where applicable).  The caches are **process-local**: each worker process
+of the parallel sweep engine owns an independent cache, so no locking or
+shared state is needed — results are deterministic regardless of cache
+state, making this safe under any ``multiprocessing`` start method
+(``fork`` inherits a snapshot; ``spawn`` starts cold; both converge to
+identical outputs).
+
+Cache statistics (:class:`CacheStats`) are exposed for tests and
+benchmarks to verify, e.g., that a sweep enumerates each word's ground
+truth exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, TypeVar
+
+from repro.analysis.atrisk import (
+    GroundTruth,
+    compute_ground_truth,
+    predict_indirect_from_direct,
+)
+from repro.ecc.linear_code import SystematicCode
+from repro.memory.cells import CellOrientation
+from repro.memory.error_model import WordErrorProfile
+
+__all__ = [
+    "CacheStats",
+    "Memo",
+    "ground_truth_cache",
+    "indirect_prediction_cache",
+    "cached_ground_truth",
+    "cached_predict_indirect",
+    "clear_analysis_caches",
+]
+
+T = TypeVar("T")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one memo cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class Memo:
+    """A bounded LRU key-value memo with hit/miss accounting.
+
+    Values are computed at most once per key while resident; the least
+    recently used entry is evicted when ``max_entries`` is exceeded.
+    Not thread-safe by design — each process (and each sweep worker)
+    owns its own instance.
+    """
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._store: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """The cached value for ``key``, computing and inserting on miss."""
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return self._store[key]  # type: ignore[return-value]
+        value = compute()
+        self.stats.misses += 1
+        self._store[key] = value
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats.reset()
+
+
+def _code_key(code: SystematicCode) -> tuple:
+    """Hashable identity of a code: capability + parity-check matrix bytes."""
+    parity = code.parity_submatrix
+    return (code.t, parity.shape, parity.tobytes())
+
+
+def _orientation_key(orientation: CellOrientation | None) -> bytes | None:
+    return None if orientation is None else orientation.true_cell_mask.tobytes()
+
+
+#: Process-local caches (one pair per worker process of a parallel sweep).
+ground_truth_cache = Memo(max_entries=8192)
+indirect_prediction_cache = Memo(max_entries=8192)
+
+
+def cached_ground_truth(
+    code: SystematicCode,
+    at_risk: tuple[int, ...] | WordErrorProfile,
+    orientation: CellOrientation | None = None,
+) -> GroundTruth:
+    """Memoized :func:`~repro.analysis.atrisk.compute_ground_truth`.
+
+    Keyed on (parity-check matrix bytes, at-risk positions, orientation);
+    the word's per-bit probabilities are irrelevant to ground truth, so a
+    sweep's probability levels all share one enumeration.
+    """
+    positions = (
+        at_risk.positions if isinstance(at_risk, WordErrorProfile) else tuple(at_risk)
+    )
+    key = ("gt", _code_key(code), positions, _orientation_key(orientation))
+    return ground_truth_cache.get(
+        key, lambda: compute_ground_truth(code, positions, orientation)
+    )
+
+
+def cached_predict_indirect(
+    code: SystematicCode,
+    direct_bits: frozenset[int] | set[int],
+    max_pattern_size: int | None = None,
+) -> frozenset[int]:
+    """Memoized :func:`~repro.analysis.atrisk.predict_indirect_from_direct`.
+
+    Keyed on (parity-check matrix bytes, sorted direct bits, pattern-size
+    bound).  HARP-A refreshes its prediction after every direct-risk
+    discovery, and the same (code, observed set) pairs recur across the
+    sweep's probability levels — this cache collapses those repeats.
+    """
+    bits = tuple(sorted(int(b) for b in direct_bits))
+    key = ("ind", _code_key(code), bits, max_pattern_size)
+    return indirect_prediction_cache.get(
+        key, lambda: predict_indirect_from_direct(code, frozenset(bits), max_pattern_size)
+    )
+
+
+def clear_analysis_caches() -> None:
+    """Empty both caches and reset their statistics (tests/benchmarks)."""
+    ground_truth_cache.clear()
+    indirect_prediction_cache.clear()

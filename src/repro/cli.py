@@ -5,9 +5,16 @@ Usage::
     python -m repro fig6 --scale unit
     python -m repro fig10 --seed 7
     python -m repro all --scale unit
+    python -m repro fig6 --scale full --jobs 4 --timings
 
 Each subcommand prints the exhibit's text rendition (the same output the
 benchmark harness saves under ``benchmarks/results/``).
+
+``--jobs N`` fans the Monte-Carlo sweep out over ``N`` worker processes
+(``0`` = one per CPU); results are bit-identical to a serial run.  It
+applies to every sweep-based exhibit (fig6/7/8/9, ext-patterns,
+ext-codelength, headline) and is ignored by the closed-form ones.
+``--timings`` appends the engine's per-cell wall-clock table.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.config import BENCH, FULL, UNIT, CaseStudyConfig, SweepConfig
+from repro.experiments.reporting import timing_table
 from repro.experiments.runner import run_sweep
 
 __all__ = ["main", "build_parser"]
@@ -75,8 +83,11 @@ def _run_fig4(args: argparse.Namespace) -> str:
 
 def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
     def runner(args: argparse.Namespace) -> str:
-        sweep = run_sweep(_sweep_config(args))
-        return module.render(module.from_sweep(sweep))
+        sweep = run_sweep(_sweep_config(args), jobs=args.jobs)
+        text = module.render(module.from_sweep(sweep))
+        if args.timings:
+            text += "\n\n" + timing_table(sweep)
+        return text
 
     return runner
 
@@ -86,16 +97,19 @@ def _run_fig10(args: argparse.Namespace) -> str:
 
 
 def _run_headline(args: argparse.Namespace) -> str:
-    sweep = run_sweep(_sweep_config(args))
+    sweep = run_sweep(_sweep_config(args), jobs=args.jobs)
     case = fig10.run(_case_config(args))
-    return headline.render(
+    text = headline.render(
         active=headline.active_speedups(sweep),
         case_study=headline.case_study_speedups(case),
     )
+    if args.timings:
+        text += "\n\n" + timing_table(sweep)
+    return text
 
 
 def _run_ext_patterns(args: argparse.Namespace) -> str:
-    return ext_patterns.render(ext_patterns.run())
+    return ext_patterns.render(ext_patterns.run(jobs=args.jobs))
 
 
 def _run_ext_dec(args: argparse.Namespace) -> str:
@@ -103,7 +117,7 @@ def _run_ext_dec(args: argparse.Namespace) -> str:
 
 
 def _run_ext_code_length(args: argparse.Namespace) -> str:
-    return ext_code_length.render(ext_code_length.run())
+    return ext_code_length.render(ext_code_length.run(jobs=args.jobs))
 
 
 def _run_ext_heterogeneous(args: argparse.Namespace) -> str:
@@ -142,6 +156,16 @@ COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
 }
 
 
+def _jobs_type(value: str) -> int:
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an integer, got {value!r}") from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("jobs must be >= 0 (0 = one per CPU)")
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -159,6 +183,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo scale preset (default: unit)",
     )
     parser.add_argument("--seed", type=int, default=2021, help="experiment seed")
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=1,
+        help="sweep worker processes (0 = one per CPU; results are "
+        "bit-identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="append the sweep engine's per-cell wall-clock table",
+    )
     return parser
 
 

@@ -34,8 +34,13 @@ class CodeLengthResult:
 def run(
     base_config: SweepConfig | None = None,
     geometries: tuple[tuple[str, int], ...] = PAPER_GEOMETRIES,
+    jobs: int | None = None,
 ) -> CodeLengthResult:
-    """Run the direct-coverage cell at each geometry."""
+    """Run the direct-coverage cell at each geometry.
+
+    ``jobs`` is forwarded to :func:`~repro.experiments.runner.run_sweep`
+    (worker processes per sweep; results are bit-identical).
+    """
     config = base_config or SweepConfig(
         num_codes=3,
         words_per_code=6,
@@ -46,7 +51,7 @@ def run(
     )
     rows: dict[tuple[str, str], tuple[float, int | None]] = {}
     for label, k in geometries:
-        sweep = run_sweep(replace(config, k=k))
+        sweep = run_sweep(replace(config, k=k), jobs=jobs)
         for profiler in config.profilers:
             curve = coverage_curve(
                 sweep, config.error_counts[0], config.probabilities[0], profiler

@@ -42,8 +42,13 @@ class PatternAblationResult:
 def run(
     base_config: SweepConfig | None = None,
     patterns: tuple[str, ...] = ABLATION_PATTERNS,
+    jobs: int | None = None,
 ) -> PatternAblationResult:
-    """Run the direct-coverage sweep once per data pattern."""
+    """Run the direct-coverage sweep once per data pattern.
+
+    ``jobs`` is forwarded to :func:`~repro.experiments.runner.run_sweep`
+    (worker processes per sweep; results are bit-identical).
+    """
     config = base_config or SweepConfig(
         num_codes=3,
         words_per_code=6,
@@ -54,7 +59,7 @@ def run(
     )
     final: dict[tuple[str, str, int, float], float] = {}
     for pattern in patterns:
-        sweep = run_sweep(replace(config, pattern=pattern))
+        sweep = run_sweep(replace(config, pattern=pattern), jobs=jobs)
         for error_count in config.error_counts:
             for probability in config.probabilities:
                 for profiler in config.profilers:

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-__all__ = ["log_round_ticks", "percent", "profiler_order"]
+from repro.utils.tables import format_table
+
+__all__ = ["log_round_ticks", "percent", "profiler_order", "timing_table"]
 
 #: Render profilers in the paper's customary order.
 PROFILER_ORDER = ("Naive", "BEEP", "HARP-U", "HARP-A", "HARP-A+BEEP")
@@ -34,3 +36,26 @@ def profiler_order(names: tuple[str, ...] | list[str]) -> list[str]:
     """Sort profiler names into the paper's presentation order."""
     ranking = {name: index for index, name in enumerate(PROFILER_ORDER)}
     return sorted(names, key=lambda name: ranking.get(name, len(ranking)))
+
+
+def timing_table(sweep) -> str:
+    """Per-cell wall-clock table of a sweep (engine instrumentation).
+
+    Renders ``SweepResult.timings`` — the seconds each (error count,
+    probability, profiler) cell took in whichever process executed it —
+    plus the summed cell time.  Empty timings (e.g. deserialized results)
+    render as a note instead of a table.
+    """
+    timings = getattr(sweep, "timings", None)
+    if not timings:
+        return "Sweep timings: (not recorded)"
+    headers = ["pre-corr errors", "per-bit P", "profiler", "seconds"]
+    rows = [
+        [error_count, percent(probability), profiler, f"{seconds:.3f}"]
+        for (error_count, probability, profiler), seconds in sorted(timings.items())
+    ]
+    total = sum(timings.values())
+    return (
+        f"Sweep timings: {len(timings)} cells, {total:.2f} s total cell time\n"
+        + format_table(headers, rows)
+    )

@@ -1,27 +1,82 @@
-"""Shared Monte-Carlo sweep engine for the profiler-coverage exhibits.
+"""Parallel, cache-aware Monte-Carlo sweep engine for the profiler exhibits.
 
-Runs every (pre-correction error count, per-bit probability, profiler) cell
-of a :class:`~repro.experiments.config.SweepConfig` and reduces each
+Executes every (pre-correction error count, per-bit probability, profiler)
+cell of a :class:`~repro.experiments.config.SweepConfig` and reduces each
 simulated word to the compact :class:`WordMetrics` record that Figs 6-9
-consume.  Ground truth is computed once per word and shared by all
-profilers; failure draws are shared through the word seed (see
-:mod:`repro.profiling.runner`), reproducing the paper's same-errors
-fairness guarantee.
+consume.
+
+Architecture
+============
+
+The grid decomposes into self-contained, picklable work units — one
+:class:`SweepShard` per cell — executed either in-process (``jobs=1``) or
+across a ``concurrent.futures.ProcessPoolExecutor`` (``jobs>1``, or
+``jobs=0`` for one worker per CPU).  Every quantity a shard needs is
+re-derived from the experiment seed through the
+:func:`~repro.utils.rng.derive_seed` key-path scheme, so results are
+bit-identical regardless of worker count, scheduling order, or start
+method; ``run_sweep(config, jobs=N)`` equals ``run_sweep(config)`` cell
+for cell.
+
+Redundant work is eliminated by two layers of process-local caches:
+
+* **Analysis layer** (:mod:`repro.analysis.memo`): the exponential
+  ground-truth enumeration is keyed on (parity-check matrix bytes,
+  at-risk positions) — the positions depend only on (seed, error count),
+  never on the probability, so each sampled word is enumerated exactly
+  once per sweep instead of once per probability level.  HARP-A's
+  indirect-prediction enumeration is memoized the same way.
+* **Engine layer** (this module): word sampling is hoisted out of the
+  probability loop (``_words_for``), and the per-word simulation inputs
+  that repeat across cells — the standard pattern schedule, its encoding,
+  and the Bernoulli failure draws — are computed once per word and passed
+  to :func:`~repro.profiling.runner.simulate_word` as
+  :class:`~repro.profiling.runner.WordArtifacts`.
+
+Each worker process owns independent caches (no locks, no shared state);
+a ``fork`` start inherits the parent's warm caches, a ``spawn`` start
+begins cold, and both produce identical outputs.
+
+Fairness (paper §7.1.2) is preserved exactly as before: ground truth is
+shared by all profilers of a word, and failure draws flow from the word
+seed alone, so every profiler sees the same ECC words, pre-correction
+error patterns, and data patterns.
+
+Per-cell wall-clock timings are collected in ``SweepResult.timings`` and
+rendered by :func:`repro.experiments.reporting.timing_table`; the CLI
+exposes both knobs as ``python -m repro fig6 --jobs 4 --timings``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any
 
-from repro.analysis.atrisk import GroundTruth, compute_ground_truth, max_simultaneous_post_errors
+from repro.analysis.atrisk import GroundTruth, max_simultaneous_post_errors
+from repro.analysis.memo import cached_ground_truth
 from repro.ecc.hamming import random_sec_code
 from repro.ecc.linear_code import SystematicCode
 from repro.memory.error_model import WordErrorProfile, sample_word_profile
+from repro.memory.patterns import make_pattern
 from repro.profiling import PROFILER_REGISTRY
-from repro.profiling.runner import WordRunResult, simulate_word
+from repro.profiling.runner import WordArtifacts, WordRunResult, simulate_word
 from repro.utils.rng import derive_rng, derive_seed
 
-__all__ = ["WordMetrics", "SweepCell", "SweepResult", "run_sweep", "metrics_for_run"]
+__all__ = [
+    "WordMetrics",
+    "SweepCell",
+    "SweepResult",
+    "SweepShard",
+    "shard_grid",
+    "run_shard",
+    "run_sweep",
+    "metrics_for_run",
+    "clear_engine_caches",
+]
 
 
 @dataclass(frozen=True)
@@ -57,13 +112,25 @@ class SweepCell:
 
 @dataclass
 class SweepResult:
-    """Results of a full sweep, keyed by (error_count, probability, profiler)."""
+    """Results of a full sweep, keyed by (error_count, probability, profiler).
+
+    Attributes:
+        config: the sweep configuration the cells were computed from.
+        cells: per-cell word metrics.
+        timings: per-cell wall-clock seconds as measured by whichever
+            process executed the cell (empty for deserialized results).
+    """
 
     config: object
     cells: dict[tuple[int, float, str], SweepCell]
+    timings: dict[tuple[int, float, str], float] = field(default_factory=dict)
 
     def cell(self, error_count: int, probability: float, profiler: str) -> SweepCell:
         return self.cells[(error_count, probability, profiler)]
+
+    def total_cell_seconds(self) -> float:
+        """Sum of per-cell timings (CPU-side cost, excludes pool overhead)."""
+        return sum(self.timings.values())
 
 
 def metrics_for_run(
@@ -116,47 +183,224 @@ def metrics_for_run(
     )
 
 
-def _make_words(
-    config,
-    error_count: int,
-    probability: float,
-) -> list[tuple[SystematicCode, WordErrorProfile, GroundTruth, int]]:
-    """Sample the (code, profile, ground truth, seed) tuples of one cell.
+# ----------------------------------------------------------------------
+# Process-local engine caches
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WordContext:
+    """Probability-independent state of one sampled ECC word."""
+
+    code: SystematicCode
+    positions: tuple[int, ...]
+    ground_truth: GroundTruth
+    word_seed: int
+
+
+@lru_cache(maxsize=512)
+def _code_for(seed: int, k: int, code_index: int) -> SystematicCode:
+    """The sweep's ``code_index``-th random SEC code (cached per process)."""
+    return random_sec_code(k, derive_rng(seed, "code", k, code_index))
+
+
+def _sample_words(config, error_count: int) -> tuple[_WordContext, ...]:
+    """Sample the word contexts of one error count (uncached core).
 
     Word sampling depends only on (seed, error count) so that every
     probability level and every profiler sees the exact same codes and
     at-risk positions — the probability only rescales the failure draws.
+    Ground truth goes through the analysis-layer memo, so each distinct
+    (code, positions) pair is enumerated once per process per sweep.
     """
     words = []
     for code_index in range(config.num_codes):
-        code_rng = derive_rng(config.seed, "code", config.k, code_index)
-        code = random_sec_code(config.k, code_rng)
+        code = _code_for(config.seed, config.k, code_index)
         for word_index in range(config.words_per_code):
             word_rng = derive_rng(config.seed, "word", error_count, code_index, word_index)
-            profile = sample_word_profile(code, error_count, probability, word_rng)
-            ground_truth = compute_ground_truth(code, profile)
+            template = sample_word_profile(code, error_count, 1.0, word_rng)
+            ground_truth = cached_ground_truth(code, template.positions)
             word_seed = derive_seed(config.seed, "draws", error_count, code_index, word_index)
-            words.append((code, profile, ground_truth, word_seed))
-    return words
+            words.append(_WordContext(code, template.positions, ground_truth, word_seed))
+    return tuple(words)
 
 
-def run_sweep(config) -> SweepResult:
-    """Execute the full (error count x probability x profiler) grid."""
+@lru_cache(maxsize=64)
+def _words_for(config, error_count: int) -> tuple[_WordContext, ...]:
+    """Word contexts of one error count, hoisted out of the probability loop.
+
+    Cached on the config — which must therefore be hashable, as the frozen
+    :class:`~repro.experiments.config.SweepConfig` is — so a sweep samples
+    each (error_count, code, word) tuple exactly once per process.
+    """
+    return _sample_words(config, error_count)
+
+
+def _readonly(array):
+    array.setflags(write=False)
+    return array
+
+
+@lru_cache(maxsize=4096)
+def _schedule_for(pattern: str, seed: int, k: int, num_rounds: int) -> Any:
+    """Materialized standard pattern schedule, shared across a word's cells."""
+    return _readonly(make_pattern(pattern, seed).rounds(num_rounds, k))
+
+
+@lru_cache(maxsize=4096)
+def _encoded_schedule_for(
+    code: SystematicCode, pattern: str, seed: int, num_rounds: int
+) -> Any:
+    """Encoding of the standard schedule under ``code``."""
+    return _readonly(code.encode(_schedule_for(pattern, seed, code.k, num_rounds)))
+
+
+@lru_cache(maxsize=4096)
+def _draws_for(word_seed: int, num_rounds: int, count: int) -> Any:
+    """The word's Bernoulli failure draws (identical across cells)."""
+    rng = derive_rng(word_seed, "failure-draws")
+    return _readonly(rng.random((num_rounds, count)))
+
+
+def _artifacts_for(ctx: _WordContext, config) -> WordArtifacts:
+    """Assemble the per-word precomputed inputs for ``simulate_word``."""
+    return WordArtifacts(
+        schedule=_schedule_for(config.pattern, ctx.word_seed, ctx.code.k, config.num_rounds),
+        codewords=_encoded_schedule_for(
+            ctx.code, config.pattern, ctx.word_seed, config.num_rounds
+        ),
+        draws=_draws_for(ctx.word_seed, config.num_rounds, len(ctx.positions)),
+    )
+
+
+def clear_engine_caches() -> None:
+    """Empty the engine-layer caches (tests and benchmarks only).
+
+    Does not touch the analysis-layer caches; see
+    :func:`repro.analysis.memo.clear_analysis_caches` for those.
+    """
+    _code_for.cache_clear()
+    _words_for.cache_clear()
+    _schedule_for.cache_clear()
+    _encoded_schedule_for.cache_clear()
+    _draws_for.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# Work units and execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepShard:
+    """One self-contained, picklable unit of sweep work (a single cell).
+
+    A shard carries everything needed to recompute its cell from scratch:
+    the full config plus the cell coordinates.  Execution is a pure
+    function of the shard, so shards may run in any process, in any
+    order, with bit-identical results.
+    """
+
+    config: Any
+    error_count: int
+    probability: float
+    profiler: str
+
+    @property
+    def key(self) -> tuple[int, float, str]:
+        return (self.error_count, self.probability, self.profiler)
+
+
+def shard_grid(config) -> list[SweepShard]:
+    """Decompose a sweep config into its cell shards, in grid order.
+
+    The error count varies slowest, so contiguous chunks handed to one
+    worker share their sampled words and ground truths via the
+    process-local caches.
+    """
+    return [
+        SweepShard(config=config, error_count=error_count, probability=probability, profiler=name)
+        for error_count in config.error_counts
+        for probability in config.probabilities
+        for name in config.profilers
+    ]
+
+
+def run_shard(shard: SweepShard) -> tuple[SweepCell, float]:
+    """Execute one cell shard, returning its cell and wall-clock seconds."""
+    started = time.perf_counter()
+    config = shard.config
+    words = _words_for(config, shard.error_count)
+    profiler_cls = PROFILER_REGISTRY[shard.profiler]
+    metrics: list[WordMetrics] = []
+    for ctx in words:
+        profile = WordErrorProfile(
+            ctx.positions, tuple(shard.probability for _ in ctx.positions)
+        )
+        profiler = profiler_cls(ctx.code, seed=ctx.word_seed, pattern=config.pattern)
+        run = simulate_word(
+            profiler,
+            profile,
+            config.num_rounds,
+            ctx.word_seed,
+            artifacts=_artifacts_for(ctx, config),
+        )
+        metrics.append(metrics_for_run(run, ctx.ground_truth, config.num_rounds))
+    cell = SweepCell(
+        error_count=shard.error_count,
+        probability=shard.probability,
+        profiler=shard.profiler,
+        words=metrics,
+    )
+    return cell, time.perf_counter() - started
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def run_sweep(config, jobs: int | None = None) -> SweepResult:
+    """Execute the full (error count x probability x profiler) grid.
+
+    Args:
+        config: a :class:`~repro.experiments.config.SweepConfig` (or any
+            compatible object; hashable configs enable the sampling cache).
+        jobs: worker processes.  ``None``/``1`` runs serially in-process;
+            ``N > 1`` uses a pool of ``N``; ``0`` uses one per CPU.  The
+            result is bit-identical for every setting.
+    """
+    shards = shard_grid(config)
+    worker_count = _resolve_jobs(jobs)
     cells: dict[tuple[int, float, str], SweepCell] = {}
-    for error_count in config.error_counts:
-        for probability in config.probabilities:
-            words = _make_words(config, error_count, probability)
-            for profiler_name in config.profilers:
-                profiler_cls = PROFILER_REGISTRY[profiler_name]
-                metrics: list[WordMetrics] = []
-                for code, profile, ground_truth, word_seed in words:
-                    profiler = profiler_cls(code, seed=word_seed, pattern=config.pattern)
-                    run = simulate_word(profiler, profile, config.num_rounds, word_seed)
-                    metrics.append(metrics_for_run(run, ground_truth, config.num_rounds))
-                cells[(error_count, probability, profiler_name)] = SweepCell(
-                    error_count=error_count,
-                    probability=probability,
-                    profiler=profiler_name,
-                    words=metrics,
-                )
-    return SweepResult(config=config, cells=cells)
+    timings: dict[tuple[int, float, str], float] = {}
+    if worker_count > 1 and len(shards) > 1:
+        # Align chunks to whole error-count blocks (grid order is
+        # error-count-major) so a block's word sampling and exponential
+        # ground-truth enumeration stay on one worker; when there are
+        # fewer blocks than workers, split each block as evenly as
+        # possible instead of starving the pool.
+        blocks = max(1, len(config.error_counts))
+        block_size = max(1, len(shards) // blocks)
+        if blocks >= worker_count:
+            chunksize = block_size
+        else:
+            splits_per_block = -(-worker_count // blocks)  # ceil division
+            chunksize = max(1, block_size // splits_per_block)
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            results = pool.map(run_shard, shards, chunksize=chunksize)
+            for shard, (cell, elapsed) in zip(shards, results):
+                cells[shard.key] = cell
+                timings[shard.key] = elapsed
+    else:
+        for shard in shards:
+            cell, elapsed = run_shard(shard)
+            cells[shard.key] = cell
+            timings[shard.key] = elapsed
+    return SweepResult(config=config, cells=cells, timings=timings)

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.ecc.linear_code import SystematicCode
 from repro.memory.cells import CellOrientation, all_true_cells
-from repro.memory.error_model import WordErrorProfile
+from repro.memory.error_model import WordErrorProfile, check_profile_positions
 
 __all__ = ["BatchObservation", "BatchInjectionEngine"]
 
@@ -59,11 +59,26 @@ class BatchInjectionEngine:
         self.profiles = profiles
         self.orientation = orientation or all_true_cells(code.n)
         self.num_words = len(profiles)
-        # Dense (num_words, n) probability matrix: zero where not at risk.
+        for profile in profiles:
+            check_profile_positions(profile, code.n)
+        # Dense (num_words, n) probability matrix: zero where not at risk,
+        # built with one fancy-indexed scatter instead of a Python loop.
         self._probability = np.zeros((self.num_words, code.n), dtype=float)
-        for row, profile in enumerate(profiles):
-            for position, probability in zip(profile.positions, profile.probabilities):
-                self._probability[row, position] = probability
+        counts = [profile.count for profile in profiles]
+        total = sum(counts)
+        if total:
+            rows = np.repeat(np.arange(self.num_words, dtype=np.intp), counts)
+            cols = np.fromiter(
+                (p for profile in profiles for p in profile.positions),
+                dtype=np.intp,
+                count=total,
+            )
+            values = np.fromiter(
+                (q for profile in profiles for q in profile.probabilities),
+                dtype=float,
+                count=total,
+            )
+            self._probability[rows, cols] = values
 
     def run_round(self, data: np.ndarray, rng: np.random.Generator) -> BatchObservation:
         """Inject one round of errors against a common dataword.

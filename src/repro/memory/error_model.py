@@ -26,6 +26,7 @@ from repro.memory.cells import CellOrientation, all_true_cells
 
 __all__ = [
     "WordErrorProfile",
+    "check_profile_positions",
     "sample_word_profile",
     "sample_profile_by_rate",
     "normal_probability_profile",
@@ -74,6 +75,22 @@ class WordErrorProfile:
             positions=tuple(p for p, _ in pairs),
             probabilities=tuple(q for _, q in pairs),
         )
+
+
+def check_profile_positions(profile: WordErrorProfile, n: int) -> None:
+    """Validate that every at-risk position lies inside ``[0, n)``.
+
+    Both simulation engines (the per-word runner and the batch injection
+    engine) fancy-index codeword arrays with ``profile.positions``; a
+    negative position would silently wrap around and an overlarge one
+    would raise a cryptic downstream IndexError.  This is the single
+    shared bounds check, raising one uniform message.
+    """
+    # Positions are sorted and unique (enforced by WordErrorProfile), so
+    # checking the two ends covers every entry.
+    if profile.positions and not (0 <= profile.positions[0] and profile.positions[-1] < n):
+        bad = next(p for p in profile.positions if not 0 <= p < n)
+        raise IndexError(f"profile position {bad} out of codeword range [0, {n})")
 
 
 def sample_word_profile(

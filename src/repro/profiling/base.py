@@ -85,6 +85,18 @@ class Profiler(ABC):
     # ------------------------------------------------------------------
 
     @property
+    def observation_count(self) -> int:
+        """Size of the observation-channel state (monotone non-decreasing).
+
+        The simulation harness uses this, together with
+        ``identified_predicted``, as a cheap change detector: it must
+        increase whenever ``identified_observed`` changes.  Subclasses
+        that store observations outside ``self._observed`` (e.g. in
+        sub-profilers) must override it accordingly.
+        """
+        return len(self._observed)
+
+    @property
     def identified_observed(self) -> frozenset[int]:
         """Data positions identified from read-back observations."""
         return frozenset(self._observed)

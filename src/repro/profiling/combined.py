@@ -69,6 +69,12 @@ class HarpABeepProfiler(Profiler):
             self._beep.observe(round_index, written, mismatches)
 
     @property
+    def observation_count(self) -> int:
+        # Both sub-pools are add-only, so the sum grows whenever either
+        # does — a valid change fingerprint even when the union overlaps.
+        return self._harp.observation_count + self._beep.observation_count
+
+    @property
     def identified_observed(self) -> frozenset[int]:
         return self._harp.identified_observed | self._beep.identified_observed
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.atrisk import predict_indirect_from_direct
+from repro.analysis.memo import cached_predict_indirect
 from repro.ecc.linear_code import SystematicCode
 from repro.profiling.base import Profiler, ReadMode
 
@@ -62,7 +62,10 @@ class HarpAProfiler(HarpUProfiler):
         self._observed.update(mismatches)
         if len(self._observed) != before:
             # The direct-risk set grew: refresh the precomputed indirect set.
-            self._predicted = predict_indirect_from_direct(self.code, self._observed)
+            # The memoized lookup collapses the repeats the sweep produces
+            # (the same (code, observed set) recurs across probability
+            # levels and words).
+            self._predicted = cached_predict_indirect(self.code, self._observed)
 
     @property
     def identified_predicted(self) -> frozenset[int]:

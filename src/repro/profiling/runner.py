@@ -16,6 +16,16 @@ Decode semantics use the integer-syndrome shortcut: a round with failed
 positions ``T`` has syndrome ``xor of H-columns over T``; the correction
 lookup then yields the post-correction error set in O(|T|) — no dense
 matrix decode in the hot loop.
+
+The sweep engine simulates the same word once per (probability, profiler)
+cell; :class:`WordArtifacts` lets it hand in the inputs those runs share
+(standard pattern schedule, its encoding, failure draws) so they are
+derived once per word instead of once per run.  Within a run, repeated
+failure patterns memoize their decode consequences, repeated crafted
+patterns memoize their charge masks, and the cumulative trace sets are
+rebuilt only on rounds where the profiler's state actually moved (tracked
+through ``Profiler.observation_count``).  All of it is bit-identical to
+the straight-line loop — ``tests/test_sweep_engine.py`` pins that.
 """
 
 from __future__ import annotations
@@ -26,11 +36,11 @@ import numpy as np
 
 from repro.ecc.linear_code import SystematicCode
 from repro.memory.cells import CellOrientation
-from repro.memory.error_model import WordErrorProfile
+from repro.memory.error_model import WordErrorProfile, check_profile_positions
 from repro.profiling.base import Profiler, ReadMode
 from repro.utils.rng import derive_rng
 
-__all__ = ["WordRunResult", "simulate_word", "post_correction_data_errors"]
+__all__ = ["WordArtifacts", "WordRunResult", "simulate_word", "post_correction_data_errors"]
 
 
 def post_correction_data_errors(code: SystematicCode, failed: tuple[int, ...]) -> frozenset[int]:
@@ -82,12 +92,43 @@ def _failure_draws(
     return rng.random((num_rounds, profile.count))
 
 
+@dataclass(frozen=True)
+class WordArtifacts:
+    """Precomputed simulation inputs shared across repeated word runs.
+
+    The sweep engine simulates the same ECC word many times — once per
+    (probability, profiler) cell — and everything here is identical across
+    those runs: the standard pattern schedule and its encoding depend only
+    on (pattern, word seed, code), and the failure draws depend only on
+    the word seed.  Passing them in avoids re-deriving per-round RNGs and
+    re-encoding the schedule in every cell.
+
+    Every field is optional; whatever is present must match the run's
+    (profiler pattern, code, profile, ``num_rounds``, ``word_seed``)
+    exactly — :func:`simulate_word` validates shapes but trusts contents.
+
+    Attributes:
+        schedule: ``(num_rounds, k)`` datawords of the *standard* pattern
+            schedule.  Only used for profilers that follow the base
+            schedule verbatim (adaptive profilers and subclasses that
+            override ``pattern_for_round`` ignore it).
+        codewords: ``(num_rounds, n)`` encoding of ``schedule``.
+        draws: ``(num_rounds, profile.count)`` uniform failure variates,
+            as produced by the ``word_seed``-derived stream.
+    """
+
+    schedule: np.ndarray | None = None
+    codewords: np.ndarray | None = None
+    draws: np.ndarray | None = None
+
+
 def simulate_word(
     profiler: Profiler,
     profile: WordErrorProfile,
     num_rounds: int,
     word_seed: int,
     orientation: CellOrientation | None = None,
+    artifacts: WordArtifacts | None = None,
 ) -> WordRunResult:
     """Run a profiler against one ECC word for ``num_rounds`` rounds.
 
@@ -102,11 +143,21 @@ def simulate_word(
         orientation: cell orientation; ``None`` (the paper's model) means
             all true cells, where a stored 1 is the charged/vulnerable
             state.  With anti cells a stored 0 is vulnerable instead.
+        artifacts: optional precomputed inputs (see :class:`WordArtifacts`)
+            supplied by the sweep engine; the result is bit-identical with
+            or without them.
     """
     code = profiler.code
-    if profile.positions and max(profile.positions) >= code.n:
-        raise IndexError("profile position out of codeword range")
-    draws = _failure_draws(profile, num_rounds, word_seed)
+    check_profile_positions(profile, code.n)
+    if artifacts is not None and artifacts.draws is not None:
+        if artifacts.draws.shape != (num_rounds, profile.count):
+            raise ValueError(
+                f"precomputed draws shape {artifacts.draws.shape} != "
+                f"({num_rounds}, {profile.count})"
+            )
+        draws = artifacts.draws
+    else:
+        draws = _failure_draws(profile, num_rounds, word_seed)
     probabilities = np.asarray(profile.probabilities, dtype=float)
     positions = np.asarray(profile.positions, dtype=np.intp)
 
@@ -123,37 +174,98 @@ def simulate_word(
     if profiler.adaptive:
         written_rounds = None
     else:
-        written_rounds = np.stack(
-            [profiler.pattern_for_round(r) for r in range(num_rounds)]
-        )
-        if profile.count:
-            codewords = code.encode(written_rounds)
-            failed_matrix = charge_of(codewords) & (draws < probabilities)
+        # The precomputed schedule is only valid for profilers that follow
+        # the base schedule verbatim; a subclass overriding
+        # pattern_for_round falls back to materializing its own rounds.
+        standard_schedule = type(profiler).pattern_for_round is Profiler.pattern_for_round
+        if (
+            artifacts is not None
+            and artifacts.schedule is not None
+            and standard_schedule
+            and artifacts.schedule.shape == (num_rounds, code.k)
+        ):
+            written_rounds = artifacts.schedule
+            codewords = artifacts.codewords
+            if codewords is None or codewords.shape != (num_rounds, code.n):
+                codewords = code.encode(written_rounds) if profile.count else None
         else:
-            failed_matrix = np.zeros((num_rounds, 0), dtype=bool)
+            written_rounds = np.stack(
+                [profiler.pattern_for_round(r) for r in range(num_rounds)]
+            )
+            codewords = code.encode(written_rounds) if profile.count else None
+        if profile.count:
+            failed_matrix = charge_of(codewords) & (draws < probabilities)
+            # One nonzero pass replaces per-round mask reductions; nonzero
+            # returns row-major order, so columns stay ascending per round
+            # (matching the sorted profile positions).
+            position_values = profile.positions
+            failed_by_round: list[tuple[int, ...]] = [()] * num_rounds
+            grouped: dict[int, list[int]] = {}
+            for row, col in zip(*(index.tolist() for index in np.nonzero(failed_matrix))):
+                grouped.setdefault(row, []).append(position_values[col])
+            for row, failed_positions in grouped.items():
+                failed_by_round[row] = tuple(failed_positions)
+        else:
+            failed_by_round = [()] * num_rounds
+
+    # Failure patterns repeat across rounds (always at p=1.0, often below),
+    # and decode consequences are pure in the pattern — memoize per run.
+    mismatch_cache: dict[tuple[str, tuple[int, ...]], frozenset[int]] = {}
+    # Adaptive profilers revisit the same crafted pattern many times; the
+    # encode + charge-mask pipeline is pure in the written dataword.
+    charged_cache: dict[bytes, np.ndarray] = {}
+    previous_observed_count = -1
+    previous_predicted: frozenset[int] | None = None
+    current_identified: frozenset[int] = frozenset()
+    current_observed: frozenset[int] = frozenset()
 
     for round_index in range(num_rounds):
         if written_rounds is None:
             written = profiler.pattern_for_round(round_index)
             if profile.count:
-                codeword = code.encode(written)
-                failed_mask = charge_of(codeword) & (draws[round_index] < probabilities)
+                pattern_key = written.tobytes()
+                charged = charged_cache.get(pattern_key)
+                if charged is None:
+                    charged = charge_of(code.encode(written))
+                    charged_cache[pattern_key] = charged
+                failed_mask = charged & (draws[round_index] < probabilities)
+                failed = (
+                    tuple(int(p) for p in positions[failed_mask])
+                    if failed_mask.any()
+                    else ()
+                )
             else:
-                failed_mask = np.zeros(0, dtype=bool)
+                failed = ()
         else:
             written = written_rounds[round_index]
-            failed_mask = failed_matrix[round_index]
-        failed = tuple(int(p) for p in positions[failed_mask]) if failed_mask.any() else ()
+            failed = failed_by_round[round_index]
         failure_trace.append(failed)
 
-        if profiler.read_mode_for(round_index) == ReadMode.BYPASS:
-            # Raw data bits: mismatches are exactly the failed data positions.
-            mismatches = frozenset(p for p in failed if p < code.k)
-        else:
-            mismatches = post_correction_data_errors(code, failed)
+        mode = profiler.read_mode_for(round_index)
+        key = (mode, failed)
+        mismatches = mismatch_cache.get(key)
+        if mismatches is None:
+            if mode == ReadMode.BYPASS:
+                # Raw data bits: mismatches are exactly the failed data
+                # positions.
+                mismatches = frozenset(p for p in failed if p < code.k)
+            else:
+                mismatches = post_correction_data_errors(code, failed)
+            mismatch_cache[key] = mismatches
         profiler.observe(round_index, written, mismatches)
-        identified_trace.append(profiler.identified)
-        observed_trace.append(profiler.identified_observed)
+        # Rebuild the cumulative frozensets only when the profiler's state
+        # moved: the observation channel is add-only (``observation_count``
+        # is its change fingerprint) and the prediction channel is compared
+        # by value.
+        observed_count = profiler.observation_count
+        predicted = profiler.identified_predicted
+        if observed_count != previous_observed_count or predicted != previous_predicted:
+            current_identified = profiler.identified
+            current_observed = profiler.identified_observed
+            previous_observed_count = observed_count
+            previous_predicted = predicted
+        identified_trace.append(current_identified)
+        observed_trace.append(current_observed)
 
     return WordRunResult(
         identified_per_round=identified_trace,

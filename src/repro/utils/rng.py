@@ -1,10 +1,14 @@
 """Deterministic RNG derivation.
 
 All randomness in the library flows through ``numpy.random.Generator``
-instances derived from a single experiment seed plus a sequence of string or
-integer keys.  Derivation is stable across processes and Python versions
-(it uses SHA-256, not ``hash()``), so every experiment is exactly
-reproducible from its seed.
+instances derived from a single experiment seed plus a sequence of string,
+integer, or float keys.  Derivation is stable across processes and Python
+versions (it uses SHA-256, not ``hash()``), so every experiment is exactly
+reproducible from its seed — including work farmed out to parallel worker
+processes, which re-derive identical streams from the same key paths.
+
+Keys are hashed with a type tag (``i:``/``f:``/``s:``) so that, e.g.,
+``derive_seed(1, 3)`` and ``derive_seed(1, "3")`` are distinct streams.
 """
 
 from __future__ import annotations
@@ -18,22 +22,41 @@ __all__ = ["derive_seed", "derive_rng"]
 _MASK_64 = (1 << 64) - 1
 
 
-def derive_seed(seed: int, *keys: int | str) -> int:
+def derive_seed(seed: int, *keys: int | float | str) -> int:
     """Derive a 64-bit child seed from a parent seed and a key path.
+
+    Each key is hashed together with a type tag, so an integer key and the
+    string spelling the same digits derive *different* seeds — key paths
+    mixing counters and labels cannot collide across types.
 
     >>> derive_seed(1, "fig6", 3) == derive_seed(1, "fig6", 3)
     True
     >>> derive_seed(1, "fig6", 3) != derive_seed(1, "fig6", 4)
     True
+    >>> derive_seed(1, 3) != derive_seed(1, "3")
+    True
     """
     hasher = hashlib.sha256()
     hasher.update(str(int(seed)).encode())
     for key in keys:
-        hasher.update(b"/")
-        hasher.update(str(key).encode())
+        if isinstance(key, str):
+            hasher.update(b"/s:")
+            hasher.update(key.encode())
+        elif isinstance(key, (bool, np.bool_)):
+            raise TypeError("seed keys must be int, float, or str, got bool")
+        elif isinstance(key, (int, np.integer)):
+            hasher.update(b"/i:")
+            hasher.update(str(int(key)).encode())
+        elif isinstance(key, (float, np.floating)):
+            hasher.update(b"/f:")
+            hasher.update(repr(float(key)).encode())
+        else:
+            raise TypeError(
+                f"seed keys must be int, float, or str, got {type(key).__name__}"
+            )
     return int.from_bytes(hasher.digest()[:8], "little") & _MASK_64
 
 
-def derive_rng(seed: int, *keys: int | str) -> np.random.Generator:
+def derive_rng(seed: int, *keys: int | float | str) -> np.random.Generator:
     """Build a ``numpy.random.Generator`` for the given seed and key path."""
     return np.random.default_rng(derive_seed(seed, *keys))

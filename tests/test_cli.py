@@ -18,6 +18,14 @@ class TestParser:
         assert args.command == "all"
         assert args.seed == 3
 
+    def test_jobs_and_timings_flags(self):
+        args = build_parser().parse_args(["fig6", "--jobs", "2", "--timings"])
+        assert args.jobs == 2
+        assert args.timings is True
+        defaults = build_parser().parse_args(["fig6"])
+        assert defaults.jobs == 1
+        assert defaults.timings is False
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
@@ -42,6 +50,17 @@ class TestExecution:
         output = capsys.readouterr().out
         assert "Fig 6 panel" in output
         assert "HARP-U" in output
+
+    def test_fig6_parallel_matches_serial(self, capsys):
+        assert main(["fig6", "--scale", "unit"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig6", "--scale", "unit", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_timings_flag_appends_table(self, capsys):
+        assert main(["fig6", "--scale", "unit", "--timings"]) == 0
+        assert "Sweep timings" in capsys.readouterr().out
 
     def test_seed_changes_nothing_for_closed_form(self, capsys):
         main(["fig2", "--seed", "1"])

@@ -1,0 +1,353 @@
+"""Tests of the parallel, cache-aware sweep execution engine.
+
+Covers the engine's three guarantees:
+
+* **Determinism** — ``run_sweep(config, jobs=N)`` is bit-identical to the
+  serial path for every cell (shards are pure functions of their content);
+* **Hoisting** — ground truth is enumerated exactly once per
+  (error count, word) across all probability levels (verified through the
+  analysis-layer cache counters);
+* **Memoization** — the process-local caches return results identical to
+  the uncached functions, count hits/misses, and evict LRU-first.
+
+Plus the satellite fixes: uniform profile-position validation in both
+simulation engines and the vectorized batch probability matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.atrisk import compute_ground_truth, predict_indirect_from_direct
+from repro.analysis.memo import (
+    Memo,
+    cached_ground_truth,
+    cached_predict_indirect,
+    clear_analysis_caches,
+    ground_truth_cache,
+    indirect_prediction_cache,
+)
+from repro.ecc.hamming import random_sec_code
+from repro.experiments.config import SweepConfig
+from repro.experiments.reporting import timing_table
+from repro.experiments.runner import (
+    SweepShard,
+    clear_engine_caches,
+    run_shard,
+    run_sweep,
+    shard_grid,
+)
+from repro.memory.batch_engine import BatchInjectionEngine
+from repro.memory.error_model import WordErrorProfile, sample_word_profile
+from repro.profiling import PROFILER_REGISTRY
+from repro.profiling.runner import WordArtifacts, simulate_word
+
+CONFIG = SweepConfig(
+    num_codes=2,
+    words_per_code=2,
+    num_rounds=16,
+    error_counts=(2, 3),
+    probabilities=(0.5, 1.0),
+    profilers=("Naive", "HARP-U", "HARP-A"),
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_engine_caches()
+    clear_analysis_caches()
+    yield
+    clear_engine_caches()
+    clear_analysis_caches()
+
+
+class TestParallelBitIdentity:
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(CONFIG)
+        parallel = run_sweep(CONFIG, jobs=2)
+        assert serial.cells.keys() == parallel.cells.keys()
+        for key in serial.cells:
+            assert serial.cells[key].words == parallel.cells[key].words, key
+
+    def test_jobs_zero_means_per_cpu(self):
+        result = run_sweep(CONFIG, jobs=0)
+        reference = run_sweep(CONFIG)
+        for key in reference.cells:
+            assert result.cells[key].words == reference.cells[key].words
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(CONFIG, jobs=-1)
+
+    def test_shard_execution_is_order_independent(self):
+        """A shard recomputed in isolation equals its cell from a full run."""
+        full = run_sweep(CONFIG)
+        shard = SweepShard(
+            config=CONFIG, error_count=3, probability=1.0, profiler="HARP-A"
+        )
+        clear_engine_caches()
+        clear_analysis_caches()
+        cell, _elapsed = run_shard(shard)
+        assert cell.words == full.cells[shard.key].words
+
+
+class TestShardGrid:
+    def test_covers_full_grid_error_count_major(self):
+        shards = shard_grid(CONFIG)
+        expected = [
+            (e, p, name)
+            for e in CONFIG.error_counts
+            for p in CONFIG.probabilities
+            for name in CONFIG.profilers
+        ]
+        assert [s.key for s in shards] == expected
+
+    def test_shards_are_picklable(self):
+        import pickle
+
+        shards = shard_grid(CONFIG)
+        assert pickle.loads(pickle.dumps(shards[0])) == shards[0]
+
+
+class TestGroundTruthHoisting:
+    def test_enumerated_exactly_once_per_error_count_and_word(self):
+        """The exponential enumeration must not repeat per probability."""
+        run_sweep(CONFIG)
+        expected = len(CONFIG.error_counts) * CONFIG.num_codes * CONFIG.words_per_code
+        assert ground_truth_cache.stats.misses == expected
+        # Sampling is hoisted out of the probability loop entirely, so the
+        # cache is not even *consulted* more than once per word.
+        assert ground_truth_cache.stats.hits == 0
+
+    def test_repeat_sweep_reuses_engine_cache(self):
+        run_sweep(CONFIG)
+        misses = ground_truth_cache.stats.misses
+        run_sweep(CONFIG)
+        assert ground_truth_cache.stats.misses == misses
+
+    def test_words_shared_across_probabilities(self):
+        """Every probability level sees identical sampled words."""
+        sweep = run_sweep(CONFIG)
+        for error_count in CONFIG.error_counts:
+            reference = [
+                w.direct_total
+                for w in sweep.cell(error_count, CONFIG.probabilities[0], "Naive").words
+            ]
+            for probability in CONFIG.probabilities[1:]:
+                totals = [
+                    w.direct_total
+                    for w in sweep.cell(error_count, probability, "Naive").words
+                ]
+                assert totals == reference
+
+
+class TestTimings:
+    def test_per_cell_timings_recorded(self):
+        sweep = run_sweep(CONFIG)
+        assert sweep.timings.keys() == sweep.cells.keys()
+        assert all(seconds >= 0.0 for seconds in sweep.timings.values())
+        assert sweep.total_cell_seconds() == pytest.approx(sum(sweep.timings.values()))
+
+    def test_timing_table_renders(self):
+        sweep = run_sweep(CONFIG)
+        text = timing_table(sweep)
+        assert "Sweep timings" in text
+        assert "HARP-U" in text
+
+    def test_timing_table_handles_missing_timings(self):
+        sweep = run_sweep(CONFIG)
+        sweep.timings = {}
+        assert "not recorded" in timing_table(sweep)
+
+
+class TestAnalysisMemo:
+    def test_cached_ground_truth_matches_uncached(self):
+        code = random_sec_code(16, np.random.default_rng(5))
+        profile = sample_word_profile(code, 4, 0.5, np.random.default_rng(6))
+        cached = cached_ground_truth(code, profile.positions)
+        direct = compute_ground_truth(code, profile.positions)
+        assert cached.at_risk == direct.at_risk
+        assert cached.realizable_outcomes == direct.realizable_outcomes
+        assert cached.direct_at_risk == direct.direct_at_risk
+        assert cached.post_correction_at_risk == direct.post_correction_at_risk
+
+    def test_ground_truth_cache_hits(self):
+        code = random_sec_code(16, np.random.default_rng(5))
+        positions = (1, 5, 9)
+        first = cached_ground_truth(code, positions)
+        second = cached_ground_truth(code, positions)
+        assert first is second
+        assert ground_truth_cache.stats.hits == 1
+        assert ground_truth_cache.stats.misses == 1
+
+    def test_ground_truth_key_includes_code(self):
+        rng = np.random.default_rng(7)
+        code_a = random_sec_code(16, rng)
+        code_b = random_sec_code(16, rng)
+        positions = (0, 3)
+        cached_ground_truth(code_a, positions)
+        cached_ground_truth(code_b, positions)
+        assert ground_truth_cache.stats.misses == 2
+
+    def test_cached_predict_indirect_matches_uncached(self):
+        code = random_sec_code(16, np.random.default_rng(8))
+        direct = frozenset({1, 4, 7})
+        assert cached_predict_indirect(code, direct) == predict_indirect_from_direct(
+            code, direct
+        )
+        # Set spelling must not matter for the key.
+        cached_predict_indirect(code, {7, 4, 1})
+        assert indirect_prediction_cache.stats.hits == 1
+
+    def test_cached_predict_indirect_rejects_non_data_bits(self):
+        code = random_sec_code(16, np.random.default_rng(9))
+        with pytest.raises(IndexError):
+            cached_predict_indirect(code, {code.k})
+
+    def test_memo_lru_eviction(self):
+        memo = Memo(max_entries=2)
+        memo.get("a", lambda: 1)
+        memo.get("b", lambda: 2)
+        memo.get("a", lambda: 1)  # refresh "a"; "b" is now LRU
+        memo.get("c", lambda: 3)  # evicts "b"
+        assert memo.get("a", lambda: -1) == 1
+        assert memo.get("b", lambda: -2) == -2  # recomputed after eviction
+
+    def test_memo_clear_resets_stats(self):
+        memo = Memo()
+        memo.get("a", lambda: 1)
+        memo.get("a", lambda: 1)
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.stats.hits == 0 and memo.stats.misses == 0
+
+
+def _reference_simulate(profiler, profile, num_rounds, word_seed):
+    """Straight-line reference of the per-word loop (no fast paths).
+
+    Pins the observable trace semantics: failures from the word-seed
+    stream, pattern from the profiler round by round, and the cumulative
+    sets re-read after every observe call.
+    """
+    from repro.profiling.base import ReadMode
+    from repro.profiling.runner import post_correction_data_errors
+    from repro.utils.rng import derive_rng
+
+    code = profiler.code
+    draws = derive_rng(word_seed, "failure-draws").random((num_rounds, profile.count))
+    probabilities = np.asarray(profile.probabilities, dtype=float)
+    positions = np.asarray(profile.positions, dtype=np.intp)
+    identified, observed, failures = [], [], []
+    for round_index in range(num_rounds):
+        written = profiler.pattern_for_round(round_index)
+        codeword = code.encode(written)
+        failed_mask = codeword[positions].astype(bool) & (draws[round_index] < probabilities)
+        failed = tuple(int(p) for p in positions[failed_mask])
+        failures.append(failed)
+        if profiler.read_mode_for(round_index) == ReadMode.BYPASS:
+            mismatches = frozenset(p for p in failed if p < code.k)
+        else:
+            mismatches = post_correction_data_errors(code, failed)
+        profiler.observe(round_index, written, mismatches)
+        identified.append(profiler.identified)
+        observed.append(profiler.identified_observed)
+    return identified, observed, failures
+
+
+class TestTraceSemantics:
+    """simulate_word's fast paths must match the straight-line reference."""
+
+    @pytest.mark.parametrize("profiler_name", sorted(PROFILER_REGISTRY))
+    def test_matches_reference_loop(self, profiler_name):
+        code = random_sec_code(32, np.random.default_rng(21))
+        profile = sample_word_profile(code, 4, 0.5, np.random.default_rng(22))
+        profiler_cls = PROFILER_REGISTRY[profiler_name]
+        fast = simulate_word(profiler_cls(code, seed=77), profile, 48, 77)
+        identified, observed, failures = _reference_simulate(
+            profiler_cls(code, seed=77), profile, 48, 77
+        )
+        assert fast.failures_per_round == failures
+        assert fast.identified_per_round == identified
+        assert fast.observed_per_round == observed
+
+
+class TestWordArtifacts:
+    """Precomputed inputs must never change simulation results."""
+
+    @pytest.mark.parametrize("profiler_name", sorted(PROFILER_REGISTRY))
+    def test_artifacts_are_bit_identical(self, profiler_name):
+        from repro.experiments.runner import _artifacts_for, _words_for
+
+        words = _words_for(CONFIG, 3)
+        profiler_cls = PROFILER_REGISTRY[profiler_name]
+        for ctx in words[:2]:
+            profile = WordErrorProfile(ctx.positions, tuple(0.5 for _ in ctx.positions))
+            plain = simulate_word(
+                profiler_cls(ctx.code, seed=ctx.word_seed), profile, 16, ctx.word_seed
+            )
+            cached = simulate_word(
+                profiler_cls(ctx.code, seed=ctx.word_seed),
+                profile,
+                16,
+                ctx.word_seed,
+                artifacts=_artifacts_for(ctx, CONFIG),
+            )
+            assert plain.identified_per_round == cached.identified_per_round
+            assert plain.observed_per_round == cached.observed_per_round
+            assert plain.failures_per_round == cached.failures_per_round
+
+    def test_mismatched_draw_shape_rejected(self):
+        code = random_sec_code(16, np.random.default_rng(3))
+        profile = WordErrorProfile((2, 5), (0.5, 0.5))
+        bad = WordArtifacts(draws=np.zeros((4, 1)))
+        with pytest.raises(ValueError):
+            simulate_word(
+                PROFILER_REGISTRY["Naive"](code, seed=1), profile, 4, 1, artifacts=bad
+            )
+
+
+class TestUniformPositionValidation:
+    """Both engines reject out-of-range positions with one message."""
+
+    @pytest.fixture()
+    def code(self):
+        return random_sec_code(16, np.random.default_rng(11))
+
+    def test_simulate_word_rejects_negative_positions(self, code):
+        profile = WordErrorProfile((-1, 3), (0.5, 0.5))
+        with pytest.raises(IndexError, match=r"out of codeword range \[0, "):
+            simulate_word(PROFILER_REGISTRY["Naive"](code, seed=1), profile, 4, 1)
+
+    def test_simulate_word_rejects_overlarge_positions(self, code):
+        profile = WordErrorProfile((3, code.n), (0.5, 0.5))
+        with pytest.raises(IndexError, match=r"out of codeword range \[0, "):
+            simulate_word(PROFILER_REGISTRY["Naive"](code, seed=1), profile, 4, 1)
+
+    def test_batch_engine_rejects_negative_positions(self, code):
+        profile = WordErrorProfile((-2, 1), (1.0, 1.0))
+        with pytest.raises(IndexError, match=r"out of codeword range \[0, "):
+            BatchInjectionEngine(code, [profile])
+
+    def test_batch_engine_rejects_overlarge_positions(self, code):
+        profile = WordErrorProfile((1, code.n + 3), (1.0, 1.0))
+        with pytest.raises(IndexError, match=r"out of codeword range \[0, "):
+            BatchInjectionEngine(code, [profile])
+
+
+class TestVectorizedProbabilityMatrix:
+    def test_matches_profiles(self):
+        code = random_sec_code(16, np.random.default_rng(12))
+        profiles = [
+            WordErrorProfile((0, 5, code.n - 1), (0.25, 0.5, 0.75)),
+            WordErrorProfile((), ()),
+            WordErrorProfile((2,), (1.0,)),
+        ]
+        engine = BatchInjectionEngine(code, profiles)
+        expected = np.zeros((3, code.n))
+        expected[0, 0], expected[0, 5], expected[0, code.n - 1] = 0.25, 0.5, 0.75
+        expected[2, 2] = 1.0
+        assert np.array_equal(engine._probability, expected)
+
+    def test_all_empty_profiles(self):
+        code = random_sec_code(16, np.random.default_rng(13))
+        engine = BatchInjectionEngine(code, [WordErrorProfile((), ())] * 2)
+        assert not engine._probability.any()

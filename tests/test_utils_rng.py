@@ -19,6 +19,29 @@ class TestDeriveSeed:
     def test_fits_in_64_bits(self):
         assert 0 <= derive_seed(123456789, "x") < 2**64
 
+    def test_key_types_are_tagged(self):
+        # An int key and its string spelling must not collide.
+        assert derive_seed(1, 3) != derive_seed(1, "3")
+        assert derive_seed(1, "a", 7) != derive_seed(1, "a", "7")
+
+    def test_numpy_integers_hash_like_ints(self):
+        import numpy as np
+
+        assert derive_seed(1, np.int64(3)) == derive_seed(1, 3)
+
+    def test_float_keys_are_tagged(self):
+        assert derive_seed(1, 0.5) == derive_seed(1, 0.5)
+        assert derive_seed(1, 0.5) != derive_seed(1, "0.5")
+        assert derive_seed(1, 0.25) != derive_seed(1, 0.75)
+
+    def test_unsupported_key_type_rejected(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            derive_seed(1, (1, 2))
+        with pytest.raises(TypeError):
+            derive_seed(1, True)
+
 
 class TestDeriveRng:
     def test_streams_are_reproducible(self):
