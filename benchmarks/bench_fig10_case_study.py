@@ -23,6 +23,18 @@ TIMED_SLICE = CaseStudyConfig(
 )
 
 
+def test_fig10_parallel_matches_serial(benchmark):
+    """The sharded runner with a worker pool is bit-identical to serial."""
+    parallel = benchmark.pedantic(
+        fig10.run, args=(TIMED_SLICE,), kwargs={"jobs": 2}, rounds=1, iterations=1
+    )
+    serial = fig10.run(TIMED_SLICE)
+    assert parallel.ticks == serial.ticks
+    assert parallel.before == serial.before
+    assert parallel.after == serial.after
+    assert parallel.rounds_to_zero == serial.rounds_to_zero
+
+
 def test_fig10_case_study(benchmark, bench_case_study, results_dir):
     timed = benchmark.pedantic(fig10.run, args=(TIMED_SLICE,), rounds=1, iterations=1)
     assert timed.rounds_to_zero[(0.5, "HARP-U")] is not None

@@ -53,6 +53,34 @@ def results_dir() -> pathlib.Path:
 
 
 @pytest.fixture(scope="session")
+def adaptive_scaling(results_dir: pathlib.Path) -> dict[str, float]:
+    """Session-wide record of adaptive-path wall-clocks, persisted at teardown.
+
+    ``bench_adaptive.py`` inserts ``label -> seconds`` entries
+    (``pr1-adaptive-serial``, ``adaptive-serial``, ``adaptive-parallel``,
+    ``fig10-serial``, ``fig10-parallel`` plus ``-cpu`` variants); derived
+    speedups are appended so ``results/adaptive_scaling.txt`` is
+    self-describing.
+    """
+    record: dict[str, float] = {}
+    yield record
+    if not record:
+        return
+    lines = [f"{label}: {seconds:.3f} s" for label, seconds in sorted(record.items())]
+    for title, num, den in (
+        ("adaptive speedup vs PR1 engine (serial wall-clock)", "pr1-adaptive-serial", "adaptive-serial"),
+        ("adaptive speedup vs PR1 engine (serial CPU)", "pr1-adaptive-serial-cpu", "adaptive-serial-cpu"),
+        ("parallel speedup vs adaptive-serial (wall-clock)", "adaptive-serial", "adaptive-parallel"),
+        ("fig10 parallel speedup vs serial (wall-clock)", "fig10-serial", "fig10-parallel"),
+    ):
+        if num in record and den in record:
+            lines.append(f"{title}: {record[num] / record[den]:.2f}x")
+    path = results_dir / "adaptive_scaling.txt"
+    path.write_text("\n".join(lines) + "\n")
+    print(f"\n[adaptive scaling saved to {path}]")
+
+
+@pytest.fixture(scope="session")
 def sweep_scaling(results_dir: pathlib.Path) -> dict[str, float]:
     """Session-wide record of sweep wall-clocks, persisted at teardown.
 

@@ -1,19 +1,25 @@
 """Exact analysis of on-die ECC behaviour: at-risk sets, probabilities."""
 
 from repro.analysis.atrisk import (
+    ChargeSystem,
     GroundTruth,
     compute_ground_truth,
     is_charge_realizable,
     max_simultaneous_post_errors,
     predict_indirect_from_direct,
     solve_charge_assignment,
+    unpack_dataword,
 )
 from repro.analysis.bootstrap import censored_rounds, rounds_to_first_identification
 from repro.analysis.memo import (
     CacheStats,
+    beep_expansion_cache,
+    cached_aliasing_pairs,
+    cached_crafted_assignment,
     cached_ground_truth,
     cached_predict_indirect,
     clear_analysis_caches,
+    crafted_pattern_cache,
     ground_truth_cache,
     indirect_prediction_cache,
 )
@@ -36,16 +42,22 @@ from repro.analysis.secondary_ecc import (
 )
 
 __all__ = [
+    "ChargeSystem",
     "GroundTruth",
     "compute_ground_truth",
     "is_charge_realizable",
     "solve_charge_assignment",
+    "unpack_dataword",
     "max_simultaneous_post_errors",
     "predict_indirect_from_direct",
     "CacheStats",
+    "cached_aliasing_pairs",
+    "cached_crafted_assignment",
     "cached_ground_truth",
     "cached_predict_indirect",
     "clear_analysis_caches",
+    "beep_expansion_cache",
+    "crafted_pattern_cache",
     "ground_truth_cache",
     "indirect_prediction_cache",
     "censored_rounds",

@@ -17,6 +17,29 @@ with Gaussian elimination instead:
   keep the realizable ones, and apply the exact decode semantics of
   :func:`repro.ecc.syndrome.analyze_error_pattern` to map each to its
   post-correction consequences.
+
+Incremental solver contract
+===========================
+
+Adaptive profilers (BEEP and hybrids) solve thousands of systems per word
+that share one *anchor set* and differ only in a two-position hypothesis
+pair.  :class:`ChargeSystem` factors that structure out: it holds the
+eliminated (linear-basis) state of a constraint set and extends it with
+further constraints via :meth:`ChargeSystem.with_charged` without
+re-eliminating what is already reduced.
+
+Both solve paths return the *canonical minimally-charged* dataword: the
+unique solution whose non-pivot (free) variables are all zero, where the
+pivot columns are those of the lowest-bit GF(2) linear basis of the
+constraint rows.  That pivot-column set depends only on the constraint
+*set* — never on insertion order — so
+
+``ChargeSystem(code, A).with_charged(B).solution_int()``
+
+is bit-identical to ``_solve_charge_ints(code, A | B, frozenset())`` for
+every split of the constraints, and cached eliminated states may be
+shared freely (``tests/test_charge_system.py`` pins this property over
+random SEC codes).
 """
 
 from __future__ import annotations
@@ -33,8 +56,10 @@ from repro.memory.cells import CellOrientation
 from repro.memory.error_model import WordErrorProfile
 
 __all__ = [
+    "ChargeSystem",
     "is_charge_realizable",
     "solve_charge_assignment",
+    "unpack_dataword",
     "GroundTruth",
     "compute_ground_truth",
     "max_simultaneous_post_errors",
@@ -105,6 +130,119 @@ def _solve_charge_ints(
     return solution
 
 
+class ChargeSystem:
+    """Eliminated state of a charge-constraint system, extensible in place.
+
+    Every constraint is one GF(2) row over the ``k`` data-bit variables:
+    a data-position constraint is the singleton row ``{b}``, a
+    parity-position constraint is the corresponding row of ``P``; the
+    right-hand side is the target charge.  Rows are kept as a lowest-bit
+    linear basis (each insertion is reduced against the existing pivots),
+    so adding a constraint to an already-eliminated system costs one row
+    reduction instead of a full re-elimination — the incremental update
+    BEEP's crafted rounds rely on.
+
+    Instances are cheap to fork (:meth:`with_charged` copies only the
+    pivot list) and safe to cache: extending a fork never mutates its
+    base, and the solution is canonical regardless of the order the
+    constraints arrived in (see the module docstring).
+    """
+
+    __slots__ = ("code", "_pivots", "_infeasible")
+
+    def __init__(
+        self,
+        code: SystematicCode,
+        charged_ones: frozenset[int] | set[int] | tuple[int, ...] = (),
+        forced_zeros: frozenset[int] | set[int] | tuple[int, ...] = (),
+    ) -> None:
+        self.code = code
+        #: (pivot bit, row, rhs) triples; rows never contain an earlier
+        #: pivot's bit, so reverse-order back-substitution is valid.
+        self._pivots: list[tuple[int, int, int]] = []
+        self._infeasible = False
+        self.constrain(charged_ones, 1)
+        self.constrain(forced_zeros, 0)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the constraints admit any dataword."""
+        return not self._infeasible
+
+    def constrain(self, positions, target: int) -> None:
+        """Pin the charge of codeword ``positions`` to ``target`` (0 or 1)."""
+        code = self.code
+        k = code.k
+        for position in positions:
+            if not 0 <= position < code.n:
+                raise IndexError(f"position {position} out of range [0, {code.n})")
+            if position < k:
+                self._insert(1 << position, target)
+            else:
+                self._insert(code.parity_row_ints[position - k], target)
+
+    def _insert(self, row: int, rhs: int) -> None:
+        """Reduce one constraint row against the basis; extend or refute."""
+        if self._infeasible:
+            return
+        for pivot_bit, pivot_row, pivot_rhs in self._pivots:
+            if row & pivot_bit:
+                row ^= pivot_row
+                rhs ^= pivot_rhs
+        if row == 0:
+            if rhs:
+                self._infeasible = True
+            return
+        self._pivots.append((row & -row, row, rhs))
+
+    def with_charged(self, positions) -> ChargeSystem:
+        """A fork of this system with ``positions`` additionally charged.
+
+        The receiver is not modified; the fork shares no mutable state, so
+        one eliminated anchor-set base can serve every hypothesis pair.
+        """
+        fork = ChargeSystem.__new__(ChargeSystem)
+        fork.code = self.code
+        fork._pivots = list(self._pivots)
+        fork._infeasible = self._infeasible
+        fork.constrain(positions, 1)
+        return fork
+
+    def solution_int(self) -> int | None:
+        """The canonical minimally-charged dataword as a bitmask, or None.
+
+        Free (non-pivot) data bits are 0; each pivot variable equals its
+        row's rhs once later pivots are resolved, exactly as in
+        :func:`_solve_charge_ints`.
+        """
+        if self._infeasible:
+            return None
+        solution = 0
+        for pivot_bit, row, rhs in reversed(self._pivots):
+            if rhs ^ ((row & solution & ~pivot_bit).bit_count() & 1):
+                solution |= pivot_bit
+        return solution
+
+    def solution(self) -> np.ndarray | None:
+        """The canonical solution as a length-``k`` uint8 dataword, or None."""
+        solution = self.solution_int()
+        if solution is None:
+            return None
+        return unpack_dataword(self.code.k, solution)
+
+
+def unpack_dataword(k: int, bitmask: int) -> np.ndarray:
+    """Unpack an integer data bitmask into a length-``k`` uint8 array.
+
+    Vectorized (bytes -> ``np.unpackbits``) because it runs once per
+    crafted profiling round.
+    """
+    buffer = bitmask.to_bytes((k + 7) // 8, "little")
+    return np.unpackbits(
+        np.frombuffer(buffer, dtype=np.uint8), count=k, bitorder="little"
+    )
+
+
 def is_charge_realizable(
     code: SystematicCode,
     charged_ones: frozenset[int] | set[int],
@@ -140,7 +278,7 @@ def solve_charge_assignment(
     solution = _solve_charge_ints(code, charged_ones, forced_zeros)
     if solution is None:
         return None
-    return np.array([(solution >> i) & 1 for i in range(code.k)], dtype=np.uint8)
+    return unpack_dataword(code.k, solution)
 
 
 @dataclass(frozen=True)

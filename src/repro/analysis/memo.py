@@ -10,7 +10,18 @@ constantly: every probability level of a sweep shares the same sampled
 at-risk positions, and HARP-A rediscovers the same observed sets across
 probability levels and words.
 
-This module provides bounded LRU caches for both functions, keyed on the
+The adaptive profilers add a third family of repeated work: BEEP solves a
+GF(2) charge system per crafted round whose inputs are (parity-check
+matrix, anchor set, hypothesis pair), and expands an O(n²) aliasing-pair
+table per observed target — both pure in the code, yet re-derived by
+every word of a sweep cell that shares that code.  The caches here
+collapse those too: crafted-pattern epochs holding one eliminated
+anchor-set base plus its lazily-resolved pair assignments
+(:data:`crafted_pattern_cache`, which stores **read-only** arrays —
+callers that hand patterns out must copy), and per-target aliasing pairs
+(:data:`beep_expansion_cache`).
+
+This module provides bounded LRU caches for these functions, keyed on the
 parity-check matrix bytes plus the input positions (and cell orientation
 where applicable).  The caches are **process-local**: each worker process
 of the parallel sweep engine owns an independent cache, so no locking or
@@ -30,22 +41,34 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, TypeVar
 
+import numpy as np
+
 from repro.analysis.atrisk import (
+    ChargeSystem,
     GroundTruth,
     compute_ground_truth,
     predict_indirect_from_direct,
+    unpack_dataword,
 )
+from repro.ecc.code_analysis import aliasing_pairs_for_target
 from repro.ecc.linear_code import SystematicCode
 from repro.memory.cells import CellOrientation
 from repro.memory.error_model import WordErrorProfile
 
 __all__ = [
     "CacheStats",
+    "CodeAnalysisCaches",
+    "CraftedEpoch",
     "Memo",
+    "code_caches",
     "ground_truth_cache",
     "indirect_prediction_cache",
+    "crafted_pattern_cache",
+    "beep_expansion_cache",
     "cached_ground_truth",
     "cached_predict_indirect",
+    "cached_crafted_assignment",
+    "cached_aliasing_pairs",
     "clear_analysis_caches",
 ]
 
@@ -107,17 +130,24 @@ class Memo:
 
 def _code_key(code: SystematicCode) -> tuple:
     """Hashable identity of a code: capability + parity-check matrix bytes."""
-    parity = code.parity_submatrix
-    return (code.t, parity.shape, parity.tobytes())
+    return (code.t, code.parity_submatrix.shape, code.parity_bytes)
 
 
 def _orientation_key(orientation: CellOrientation | None) -> bytes | None:
     return None if orientation is None else orientation.true_cell_mask.tobytes()
 
 
-#: Process-local caches (one pair per worker process of a parallel sweep).
+#: Process-local caches (one set per worker process of a parallel sweep).
 ground_truth_cache = Memo(max_entries=8192)
 indirect_prediction_cache = Memo(max_entries=8192)
+#: Crafted-pattern epochs, one per (code, anchor set); each holds its
+#: lazily-resolved pair -> read-only assignment dict (see CraftedEpoch).
+#: Epochs are small (a dict of shared k-byte arrays), but a paper-scale
+#: sweep touches tens of thousands of distinct anchor sets — the bound
+#: must exceed that working set or the LRU thrashes mid-sweep.
+crafted_pattern_cache = Memo(max_entries=131072)
+#: Per-(code, target) aliasing-pair tables for BEEP hypothesis expansion.
+beep_expansion_cache = Memo(max_entries=8192)
 
 
 def cached_ground_truth(
@@ -159,7 +189,142 @@ def cached_predict_indirect(
     )
 
 
+class CraftedEpoch:
+    """Lazily-resolved crafted assignments of one (code, anchor set).
+
+    The eliminated anchor-set base is built at most once; each hypothesis
+    pair resolves through a two-constraint
+    :meth:`~repro.analysis.atrisk.ChargeSystem.with_charged` update into
+    a plain dict, so a profiler's per-round lookup is a single dict hit —
+    and every word, round, and run that reaches the same (code, anchors)
+    shares the already-resolved pairs.  All-data systems (anchors and
+    pair within the data bits) short-circuit: data bits are free
+    variables, so the canonical solution is just the OR of the pinned
+    bits.  Values are read-only arrays (or None for infeasible pairs).
+    """
+
+    __slots__ = ("code", "anchors", "_anchor_mask", "_base", "patterns")
+
+    def __init__(self, code: SystematicCode, anchors: tuple[int, ...]) -> None:
+        self.code = code
+        self.anchors = anchors
+        #: OR of the anchor bits, or None when an anchor is a parity
+        #: position (generic solver path only).
+        self._anchor_mask: int | None = 0
+        for anchor in anchors:
+            if 0 <= anchor < code.k:
+                self._anchor_mask |= 1 << anchor
+            else:
+                self._anchor_mask = None
+                break
+        self._base: ChargeSystem | None = None
+        self.patterns: dict[tuple[int, int], np.ndarray | None] = {}
+
+    def assignment(self, pair: tuple[int, int]) -> np.ndarray | None:
+        """The shared crafted assignment for ``pair``, resolving on miss."""
+        patterns = self.patterns
+        if pair in patterns:
+            return patterns[pair]
+        code = self.code
+        a, b = pair
+        if self._anchor_mask is not None and 0 <= a < code.k and 0 <= b < code.k:
+            solved = unpack_dataword(code.k, self._anchor_mask | (1 << a) | (1 << b))
+        else:
+            base = self._base
+            if base is None:
+                base = self._base = ChargeSystem(code, self.anchors)
+            solved = base.with_charged(pair).solution()
+        if solved is not None:
+            solved.setflags(write=False)
+        patterns[pair] = solved
+        return solved
+
+
+class CodeAnalysisCaches:
+    """Per-code bound view of the adaptive-profiler caches (hot-path handle).
+
+    BEEP performs a cache lookup per crafted round; binding the code key
+    once per profiler instance keeps that lookup to a tuple build plus
+    one :class:`Memo` access instead of re-deriving the parity-matrix key
+    every round.  Obtain instances through :func:`code_caches` — they are
+    shared per code contents, and all state lives in the module caches.
+    """
+
+    __slots__ = ("code", "_key")
+
+    def __init__(self, code: SystematicCode) -> None:
+        self.code = code
+        self._key = _code_key(code)
+
+    def crafted_epoch(self, anchors: tuple[int, ...]) -> CraftedEpoch:
+        """The shared :class:`CraftedEpoch` for one sorted anchor tuple.
+
+        Profilers re-fetch this only when their anchor set grows (a
+        handful of times per run); the per-round pair lookup then
+        bypasses the memo entirely via :meth:`CraftedEpoch.assignment`.
+        """
+        key = ("epoch", self._key, anchors)
+        return crafted_pattern_cache.get(key, lambda: CraftedEpoch(self.code, anchors))
+
+    def crafted_assignment(
+        self, anchors: tuple[int, ...], pair: tuple[int, int]
+    ) -> np.ndarray | None:
+        """Memoized crafted-pattern solve for one (anchor set, pair).
+
+        Bit-identical to
+        ``solve_charge_assignment(code, set(anchors) | set(pair))`` (the
+        canonical-solution property of :class:`ChargeSystem`), but the
+        anchor-set elimination is shared across pairs, rounds, and every
+        word of the sweep that shares the code.  The returned array is
+        **read-only** and shared — callers that expose it must copy.
+        """
+        return self.crafted_epoch(anchors).assignment(pair)
+
+    def aliasing_pairs(self, target: int) -> tuple[tuple[int, int], ...]:
+        """Memoized :func:`repro.ecc.code_analysis.aliasing_pairs_for_target`.
+
+        The pair table is pure in (parity-check matrix, target); without
+        the cache every word sharing a code rebuilds the same O(n²) table
+        for every newly observed post-correction error.
+        """
+        key = ("pairs", self._key, target)
+        return beep_expansion_cache.get(
+            key, lambda: aliasing_pairs_for_target(self.code, target)
+        )
+
+
+#: Shared per-code handles (content-addressed; cleared with the caches).
+_code_caches_registry: dict[tuple, CodeAnalysisCaches] = {}
+
+
+def code_caches(code: SystematicCode) -> CodeAnalysisCaches:
+    """The shared :class:`CodeAnalysisCaches` handle for ``code``."""
+    key = _code_key(code)
+    handle = _code_caches_registry.get(key)
+    if handle is None:
+        handle = CodeAnalysisCaches(code)
+        _code_caches_registry[key] = handle
+    return handle
+
+
+def cached_crafted_assignment(
+    code: SystematicCode, anchors: tuple[int, ...], pair: tuple[int, int]
+) -> np.ndarray | None:
+    """Functional spelling of :meth:`CodeAnalysisCaches.crafted_assignment`."""
+    return code_caches(code).crafted_assignment(anchors, pair)
+
+
+def cached_aliasing_pairs(
+    code: SystematicCode, target: int
+) -> tuple[tuple[int, int], ...]:
+    """Functional spelling of :meth:`CodeAnalysisCaches.aliasing_pairs`."""
+    return code_caches(code).aliasing_pairs(target)
+
+
 def clear_analysis_caches() -> None:
-    """Empty both caches and reset their statistics (tests/benchmarks)."""
+    """Empty all analysis caches and reset their statistics (tests/benchmarks)."""
     ground_truth_cache.clear()
     indirect_prediction_cache.clear()
+    crafted_pattern_cache.clear()
+    beep_expansion_cache.clear()
+    _code_caches_registry.clear()

@@ -10,11 +10,13 @@ Usage::
 Each subcommand prints the exhibit's text rendition (the same output the
 benchmark harness saves under ``benchmarks/results/``).
 
-``--jobs N`` fans the Monte-Carlo sweep out over ``N`` worker processes
+``--jobs N`` fans the Monte-Carlo work out over ``N`` worker processes
 (``0`` = one per CPU); results are bit-identical to a serial run.  It
 applies to every sweep-based exhibit (fig6/7/8/9, ext-patterns,
-ext-codelength, headline) and is ignored by the closed-form ones.
-``--timings`` appends the engine's per-cell wall-clock table.
+ext-codelength, headline) and to the sharded fig10 case study, and is
+ignored by the closed-form ones.  ``--timings`` appends the engine's
+per-cell wall-clock table for the exhibits that expose a sweep result
+(fig6/7/8/9 and headline); other exhibits ignore it.
 """
 
 from __future__ import annotations
@@ -93,12 +95,12 @@ def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
 
 
 def _run_fig10(args: argparse.Namespace) -> str:
-    return fig10.render(fig10.run(_case_config(args)))
+    return fig10.render(fig10.run(_case_config(args), jobs=args.jobs))
 
 
 def _run_headline(args: argparse.Namespace) -> str:
     sweep = run_sweep(_sweep_config(args), jobs=args.jobs)
-    case = fig10.run(_case_config(args))
+    case = fig10.run(_case_config(args), jobs=args.jobs)
     text = headline.render(
         active=headline.active_speedups(sweep),
         case_study=headline.case_study_speedups(case),
@@ -193,7 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--timings",
         action="store_true",
-        help="append the sweep engine's per-cell wall-clock table",
+        help="append the sweep engine's per-cell wall-clock table "
+        "(fig6/7/8/9 and headline; ignored elsewhere)",
     )
     return parser
 

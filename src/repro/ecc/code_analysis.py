@@ -20,12 +20,35 @@ from repro.ecc.linear_code import SystematicCode
 from repro.ecc.syndrome import analyze_error_pattern
 
 __all__ = [
+    "aliasing_pairs_for_target",
     "minimum_distance",
     "weight_distribution",
     "MiscorrectionProfile",
     "miscorrection_profile",
     "syndrome_coverage",
 ]
+
+
+def aliasing_pairs_for_target(code: SystematicCode, target: int) -> tuple[tuple[int, int], ...]:
+    """Weight-2 pre-correction explanations of an indirect error at ``target``.
+
+    An indirect error at codeword position ``target`` requires an error
+    pattern whose syndrome equals ``H[target]``; the weight-2 candidates
+    are exactly the pairs ``{a, b}`` with ``H[a] xor H[b] == H[target]``.
+    Pure in (parity-check matrix, target) — BEEP's hypothesis expansion
+    memoizes it per code through :mod:`repro.analysis.memo`.
+    """
+    if not 0 <= target < code.n:
+        raise IndexError(f"target {target} out of range [0, {code.n})")
+    columns = code.column_ints
+    index = {value: position for position, value in enumerate(columns)}
+    target_column = columns[target]
+    pairs: list[tuple[int, int]] = []
+    for a in range(code.n):
+        partner = index.get(target_column ^ columns[a])
+        if partner is not None and partner > a:
+            pairs.append((a, partner))
+    return tuple(pairs)
 
 
 def minimum_distance(code: SystematicCode, max_weight: int | None = None) -> int:

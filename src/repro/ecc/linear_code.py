@@ -107,6 +107,11 @@ class SystematicCode:
         """The defining ``(p, k)`` submatrix ``P`` (do not mutate)."""
         return self._parity
 
+    @cached_property
+    def parity_bytes(self) -> bytes:
+        """``P`` as bytes — the memo layer's per-code cache-key component."""
+        return self._parity.tobytes()
+
     @property
     def data_positions(self) -> range:
         """Codeword positions holding systematically-encoded data bits."""
@@ -256,4 +261,4 @@ class SystematicCode:
         return self.t == other.t and np.array_equal(self._parity, other._parity)
 
     def __hash__(self) -> int:
-        return hash((self.t, self._parity.tobytes(), self._parity.shape))
+        return hash((self.t, self.parity_bytes, self._parity.shape))

@@ -14,11 +14,21 @@ simulate strata of 2..max_at_risk at-risk bits and weight each stratum by
 its binomial probability — this is what lets RBER = 1e-8 be measured
 without 10^8 words.  BER is evaluated under the all-charged (0xFF)
 operating pattern, the true-cell worst case.
+
+Execution rides the sweep shard engine
+(:func:`repro.experiments.runner.execute_shards`): the grid decomposes
+into picklable :class:`Fig10Shard` work units — one per (per-bit
+probability, code, at-risk stratum) — each re-deriving its words from the
+experiment seed alone, so ``run(config, jobs=N)`` is bit-identical to the
+serial loop for every worker count.  Contiguous shards share a code, so
+chunked scheduling keeps a code's crafted-pattern and ground-truth caches
+on one worker.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from math import comb
 
 import numpy as np
@@ -27,13 +37,22 @@ from repro.analysis.probabilities import WordBerAnalyzer
 from repro.ecc.hamming import random_sec_code
 from repro.experiments.config import CaseStudyConfig
 from repro.experiments.reporting import log_round_ticks, percent, profiler_order
+from repro.experiments.runner import execute_shards
 from repro.memory.error_model import sample_word_profile
 from repro.profiling import PROFILER_REGISTRY
 from repro.profiling.runner import simulate_word
 from repro.utils.rng import derive_rng, derive_seed
 from repro.utils.tables import format_series
 
-__all__ = ["Fig10Result", "run", "render", "binomial_weight"]
+__all__ = [
+    "Fig10Result",
+    "Fig10Shard",
+    "shard_case_study",
+    "run_case_shard",
+    "run",
+    "render",
+    "binomial_weight",
+]
 
 
 def binomial_weight(n: int, count: int, rate: float) -> float:
@@ -59,46 +78,78 @@ class Fig10Result:
     rounds_to_zero: dict[tuple[float, str], int | None]
 
 
-def _word_trajectories(
-    config: CaseStudyConfig, probability: float
-) -> tuple[dict[tuple[int, str], list[list[float]]], dict[tuple[int, str], list[list[float]]], dict[str, list[int | None]]]:
-    """Simulate all strata for one per-bit probability.
+@dataclass(frozen=True)
+class Fig10Shard:
+    """One picklable unit of case-study work: a (probability, code, stratum) cell.
 
-    Returns per-(stratum count, profiler) lists of per-word BER-at-tick
-    trajectories (before, after) and per-profiler lists of per-word
-    rounds-to-zero values.
+    Like :class:`~repro.experiments.runner.SweepShard`, a shard carries
+    the full config plus its coordinates and re-derives everything else
+    (code, word profiles, failure draws) from the experiment seed, so
+    execution is a pure function of the shard.
     """
+
+    config: CaseStudyConfig
+    probability: float
+    code_index: int
+    #: At-risk-bit count of the simulated stratum (2..max_at_risk).
+    count: int
+
+
+@lru_cache(maxsize=512)
+def _fig10_code(seed: int, k: int, code_index: int):
+    """The case study's ``code_index``-th random SEC code (cached per process)."""
+    return random_sec_code(k, derive_rng(seed, "fig10-code", code_index))
+
+
+def shard_case_study(config: CaseStudyConfig) -> list[Fig10Shard]:
+    """Decompose a case-study config into shards, code-major per probability.
+
+    Consecutive shards share a code across all strata, so chunked pool
+    scheduling keeps each code's process-local caches together.
+    """
+    return [
+        Fig10Shard(config=config, probability=probability, code_index=code_index, count=count)
+        for probability in config.probabilities
+        for code_index in range(config.num_codes)
+        for count in range(2, config.max_at_risk + 1)
+    ]
+
+
+def run_case_shard(
+    shard: Fig10Shard,
+) -> tuple[
+    dict[str, list[list[float]]], dict[str, list[list[float]]], dict[str, list[int | None]]
+]:
+    """Execute one shard: per-profiler word trajectories and rounds-to-zero.
+
+    Returns ``(before, after, to_zero)`` keyed by profiler name; the word
+    lists are ordered by word index, matching the serial loop exactly.
+    """
+    config = shard.config
     ticks = log_round_ticks(config.num_rounds)
-    before: dict[tuple[int, str], list[list[float]]] = {}
-    after: dict[tuple[int, str], list[list[float]]] = {}
+    code = _fig10_code(config.seed, config.k, shard.code_index)
+    charged = np.ones(code.k, dtype=np.uint8)
+    before: dict[str, list[list[float]]] = {name: [] for name in config.profilers}
+    after: dict[str, list[list[float]]] = {name: [] for name in config.profilers}
     to_zero: dict[str, list[int | None]] = {name: [] for name in config.profilers}
-    charged = None
-    for code_index in range(config.num_codes):
-        code_rng = derive_rng(config.seed, "fig10-code", code_index)
-        code = random_sec_code(config.k, code_rng)
-        if charged is None:
-            charged = np.ones(code.k, dtype=np.uint8)
-        for count in range(2, config.max_at_risk + 1):
-            for word_index in range(config.words_per_stratum):
-                word_rng = derive_rng(
-                    config.seed, "fig10-word", probability, code_index, count, word_index
-                )
-                profile = sample_word_profile(code, count, probability, word_rng)
-                analyzer = WordBerAnalyzer(code, profile, charged)
-                word_seed = derive_seed(
-                    config.seed, "fig10-draws", probability, code_index, count, word_index
-                )
-                for name in config.profilers:
-                    profiler = PROFILER_REGISTRY[name](code, seed=word_seed, pattern=config.pattern)
-                    run_result = simulate_word(profiler, profile, config.num_rounds, word_seed)
-                    trace = run_result.identified_per_round
-                    before.setdefault((count, name), []).append(
-                        [analyzer.unrepaired_ber(trace[tick - 1]) for tick in ticks]
-                    )
-                    after.setdefault((count, name), []).append(
-                        [analyzer.residual_ber_after_secondary(trace[tick - 1]) for tick in ticks]
-                    )
-                    to_zero[name].append(_first_zero_round(analyzer, trace))
+    for word_index in range(config.words_per_stratum):
+        word_rng = derive_rng(
+            config.seed, "fig10-word", shard.probability, shard.code_index, shard.count, word_index
+        )
+        profile = sample_word_profile(code, shard.count, shard.probability, word_rng)
+        analyzer = WordBerAnalyzer(code, profile, charged)
+        word_seed = derive_seed(
+            config.seed, "fig10-draws", shard.probability, shard.code_index, shard.count, word_index
+        )
+        for name in config.profilers:
+            profiler = PROFILER_REGISTRY[name](code, seed=word_seed, pattern=config.pattern)
+            run_result = simulate_word(profiler, profile, config.num_rounds, word_seed)
+            trace = run_result.identified_per_round
+            before[name].append([analyzer.unrepaired_ber(trace[tick - 1]) for tick in ticks])
+            after[name].append(
+                [analyzer.residual_ber_after_secondary(trace[tick - 1]) for tick in ticks]
+            )
+            to_zero[name].append(_first_zero_round(analyzer, trace))
     return before, after, to_zero
 
 
@@ -119,20 +170,42 @@ def _first_zero_round(analyzer: WordBerAnalyzer, trace: list[frozenset[int]]) ->
     return None
 
 
-def run(config: CaseStudyConfig = CaseStudyConfig()) -> Fig10Result:
-    """Execute the case study over the full (probability, RBER) grid."""
+def run(config: CaseStudyConfig = CaseStudyConfig(), jobs: int | None = None) -> Fig10Result:
+    """Execute the case study over the full (probability, RBER) grid.
+
+    Args:
+        config: the case-study configuration.
+        jobs: worker processes for shard execution (``None``/``1`` serial,
+            ``0`` one per CPU); every setting is bit-identical.
+    """
     ticks = tuple(log_round_ticks(config.num_rounds))
-    n_codeword = None
+    shards = shard_case_study(config)
+    # One chunk = one code's strata, keeping its caches on one worker.
+    results = execute_shards(
+        run_case_shard, shards, jobs, chunksize=max(1, config.max_at_risk - 1)
+    )
+    #: (probability, count, profiler) -> per-word trajectories, in the
+    #: serial loop's (code, word) order.
+    stratum_before: dict[tuple[float, int, str], list[list[float]]] = {}
+    stratum_after: dict[tuple[float, int, str], list[list[float]]] = {}
+    to_zero: dict[tuple[float, str], list[int | None]] = {}
+    for shard, (shard_before, shard_after, shard_zero) in zip(shards, results):
+        for name in config.profilers:
+            stratum_before.setdefault((shard.probability, shard.count, name), []).extend(
+                shard_before[name]
+            )
+            stratum_after.setdefault((shard.probability, shard.count, name), []).extend(
+                shard_after[name]
+            )
+            to_zero.setdefault((shard.probability, name), []).extend(shard_zero[name])
+
+    n_codeword = _fig10_code(config.seed, config.k, 0).n
     before: dict[tuple[float, float, str], tuple[float, ...]] = {}
     after: dict[tuple[float, float, str], tuple[float, ...]] = {}
     rounds_to_zero: dict[tuple[float, str], int | None] = {}
     for probability in config.probabilities:
-        stratum_before, stratum_after, to_zero = _word_trajectories(config, probability)
-        if n_codeword is None:
-            sample_code = random_sec_code(config.k, derive_rng(config.seed, "fig10-code", 0))
-            n_codeword = sample_code.n
         for name in config.profilers:
-            values = to_zero[name]
+            values = to_zero[(probability, name)]
             rounds_to_zero[(probability, name)] = (
                 None if any(v is None for v in values) else max(values)  # type: ignore[type-var]
             )
@@ -143,8 +216,8 @@ def run(config: CaseStudyConfig = CaseStudyConfig()) -> Fig10Result:
                 weighted_after = np.zeros(len(ticks))
                 for count in range(2, config.max_at_risk + 1):
                     weight = binomial_weight(n_codeword, count, rate)
-                    mean_before = np.mean(stratum_before[(count, name)], axis=0)
-                    mean_after = np.mean(stratum_after[(count, name)], axis=0)
+                    mean_before = np.mean(stratum_before[(probability, count, name)], axis=0)
+                    mean_after = np.mean(stratum_after[(probability, count, name)], axis=0)
                     weighted_before += weight * mean_before
                     weighted_after += weight * mean_after
                 before[(probability, rber, name)] = tuple(float(v) for v in weighted_before)

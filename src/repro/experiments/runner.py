@@ -25,7 +25,9 @@ Redundant work is eliminated by two layers of process-local caches:
   at-risk positions) — the positions depend only on (seed, error count),
   never on the probability, so each sampled word is enumerated exactly
   once per sweep instead of once per probability level.  HARP-A's
-  indirect-prediction enumeration is memoized the same way.
+  indirect-prediction enumeration is memoized the same way, and the
+  adaptive profilers' crafted-pattern solves and aliasing-pair tables
+  are shared across every word of a cell that uses the same code.
 * **Engine layer** (this module): word sampling is hoisted out of the
   probability loop (``_words_for``), and the per-word simulation inputs
   that repeat across cells — the standard pattern schedule, its encoding,
@@ -45,6 +47,11 @@ error patterns, and data patterns.
 Per-cell wall-clock timings are collected in ``SweepResult.timings`` and
 rendered by :func:`repro.experiments.reporting.timing_table`; the CLI
 exposes both knobs as ``python -m repro fig6 --jobs 4 --timings``.
+
+The execution core is exposed as :func:`execute_shards` so other
+exhibits can ride the same pool: the Fig 10 case study decomposes into
+:class:`repro.experiments.fig10.Fig10Shard` units and maps them through
+it with identical determinism guarantees.
 """
 
 from __future__ import annotations
@@ -61,9 +68,14 @@ from repro.analysis.memo import cached_ground_truth
 from repro.ecc.hamming import random_sec_code
 from repro.ecc.linear_code import SystematicCode
 from repro.memory.error_model import WordErrorProfile, sample_word_profile
-from repro.memory.patterns import make_pattern
+from repro.memory.patterns import make_pattern, pattern_is_seeded
 from repro.profiling import PROFILER_REGISTRY
-from repro.profiling.runner import WordArtifacts, WordRunResult, simulate_word
+from repro.profiling.runner import (
+    WordArtifacts,
+    WordRunResult,
+    clear_charge_mask_cache,
+    simulate_word,
+)
 from repro.utils.rng import derive_rng, derive_seed
 
 __all__ = [
@@ -74,6 +86,7 @@ __all__ = [
     "shard_grid",
     "run_shard",
     "run_sweep",
+    "execute_shards",
     "metrics_for_run",
     "clear_engine_caches",
 ]
@@ -263,11 +276,17 @@ def _draws_for(word_seed: int, num_rounds: int, count: int) -> Any:
 
 
 def _artifacts_for(ctx: _WordContext, config) -> WordArtifacts:
-    """Assemble the per-word precomputed inputs for ``simulate_word``."""
+    """Assemble the per-word precomputed inputs for ``simulate_word``.
+
+    Static patterns (charged/zero/checkered) produce the same schedule
+    for every seed, so their cache key collapses to one entry per
+    (pattern, k, rounds) instead of one per word.
+    """
+    schedule_seed = ctx.word_seed if pattern_is_seeded(config.pattern) else 0
     return WordArtifacts(
-        schedule=_schedule_for(config.pattern, ctx.word_seed, ctx.code.k, config.num_rounds),
+        schedule=_schedule_for(config.pattern, schedule_seed, ctx.code.k, config.num_rounds),
         codewords=_encoded_schedule_for(
-            ctx.code, config.pattern, ctx.word_seed, config.num_rounds
+            ctx.code, config.pattern, schedule_seed, config.num_rounds
         ),
         draws=_draws_for(ctx.word_seed, config.num_rounds, len(ctx.positions)),
     )
@@ -284,6 +303,7 @@ def clear_engine_caches() -> None:
     _schedule_for.cache_clear()
     _encoded_schedule_for.cache_clear()
     _draws_for.cache_clear()
+    clear_charge_mask_cache()
 
 
 # ----------------------------------------------------------------------
@@ -366,41 +386,54 @@ def _resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def execute_shards(worker, shards, jobs: int | None = None, chunksize: int = 1) -> list:
+    """Map ``worker`` over picklable shards, serially or across a pool.
+
+    The generic execution core shared by :func:`run_sweep` and the Fig 10
+    case-study runner: ``worker`` must be a module-level (picklable) pure
+    function of one shard.  Results come back in shard order, and because
+    every shard re-derives its state from seeds alone, the output is
+    bit-identical for every ``jobs`` setting.  ``chunksize`` groups
+    contiguous shards onto one worker so shards sharing per-process cache
+    state (same code, same words) stay together.
+    """
+    worker_count = _resolve_jobs(jobs)
+    if worker_count > 1 and len(shards) > 1:
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            return list(pool.map(worker, shards, chunksize=chunksize))
+    return [worker(shard) for shard in shards]
+
+
 def run_sweep(config, jobs: int | None = None) -> SweepResult:
     """Execute the full (error count x probability x profiler) grid.
 
     Args:
         config: a :class:`~repro.experiments.config.SweepConfig` (or any
-            compatible object; hashable configs enable the sampling cache).
+            compatible object; it must be hashable — and picklable for
+            ``jobs > 1`` — because word sampling is cached per config).
         jobs: worker processes.  ``None``/``1`` runs serially in-process;
             ``N > 1`` uses a pool of ``N``; ``0`` uses one per CPU.  The
             result is bit-identical for every setting.
     """
     shards = shard_grid(config)
     worker_count = _resolve_jobs(jobs)
+    # Align chunks to whole error-count blocks (grid order is
+    # error-count-major) so a block's word sampling and exponential
+    # ground-truth enumeration stay on one worker; when there are
+    # fewer blocks than workers, split each block as evenly as
+    # possible instead of starving the pool.
+    blocks = max(1, len(config.error_counts))
+    block_size = max(1, len(shards) // blocks)
+    if blocks >= worker_count:
+        chunksize = block_size
+    else:
+        splits_per_block = -(-worker_count // blocks)  # ceil division
+        chunksize = max(1, block_size // splits_per_block)
     cells: dict[tuple[int, float, str], SweepCell] = {}
     timings: dict[tuple[int, float, str], float] = {}
-    if worker_count > 1 and len(shards) > 1:
-        # Align chunks to whole error-count blocks (grid order is
-        # error-count-major) so a block's word sampling and exponential
-        # ground-truth enumeration stay on one worker; when there are
-        # fewer blocks than workers, split each block as evenly as
-        # possible instead of starving the pool.
-        blocks = max(1, len(config.error_counts))
-        block_size = max(1, len(shards) // blocks)
-        if blocks >= worker_count:
-            chunksize = block_size
-        else:
-            splits_per_block = -(-worker_count // blocks)  # ceil division
-            chunksize = max(1, block_size // splits_per_block)
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            results = pool.map(run_shard, shards, chunksize=chunksize)
-            for shard, (cell, elapsed) in zip(shards, results):
-                cells[shard.key] = cell
-                timings[shard.key] = elapsed
-    else:
-        for shard in shards:
-            cell, elapsed = run_shard(shard)
-            cells[shard.key] = cell
-            timings[shard.key] = elapsed
+    for shard, (cell, elapsed) in zip(
+        shards, execute_shards(run_shard, shards, jobs, chunksize=chunksize)
+    ):
+        cells[shard.key] = cell
+        timings[shard.key] = elapsed
     return SweepResult(config=config, cells=cells, timings=timings)

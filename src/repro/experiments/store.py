@@ -44,17 +44,24 @@ def _metrics_from_dict(payload: dict) -> WordMetrics:
 
 
 def sweep_to_json(sweep: SweepResult) -> str:
-    """Serialize a sweep's cells (not its config object) to JSON."""
+    """Serialize a sweep's cells and per-cell timings (not its config) to JSON.
+
+    A cell's wall-clock seconds ride along as its ``seconds`` field when
+    the engine recorded them, so aggregated shard files keep the cost
+    accounting the streaming/distributed backends need.
+    """
     cells = []
     for (error_count, probability, profiler), cell in sorted(sweep.cells.items()):
-        cells.append(
-            {
-                "error_count": error_count,
-                "probability": probability,
-                "profiler": profiler,
-                "words": [_metrics_to_dict(m) for m in cell.words],
-            }
-        )
+        entry = {
+            "error_count": error_count,
+            "probability": probability,
+            "profiler": profiler,
+            "words": [_metrics_to_dict(m) for m in cell.words],
+        }
+        seconds = sweep.timings.get((error_count, probability, profiler))
+        if seconds is not None:
+            entry["seconds"] = seconds
+        cells.append(entry)
     return json.dumps({"format": "repro-sweep-v1", "cells": cells})
 
 
@@ -64,6 +71,7 @@ def sweep_from_json(document: str) -> SweepResult:
     if payload.get("format") != "repro-sweep-v1":
         raise ValueError("not a repro sweep document")
     cells: dict[tuple[int, float, str], SweepCell] = {}
+    timings: dict[tuple[int, float, str], float] = {}
     for entry in payload["cells"]:
         key = (int(entry["error_count"]), float(entry["probability"]), str(entry["profiler"]))
         cells[key] = SweepCell(
@@ -72,7 +80,9 @@ def sweep_from_json(document: str) -> SweepResult:
             profiler=key[2],
             words=[_metrics_from_dict(m) for m in entry["words"]],
         )
-    return SweepResult(config=None, cells=cells)
+        if "seconds" in entry:
+            timings[key] = float(entry["seconds"])
+    return SweepResult(config=None, cells=cells, timings=timings)
 
 
 def merge_sweeps(shards: list[SweepResult]) -> SweepResult:
@@ -80,11 +90,14 @@ def merge_sweeps(shards: list[SweepResult]) -> SweepResult:
 
     Cells present in several shards concatenate their word lists (the
     paper's "aggregate the raw data, regardless of how the ECC codes are
-    partitioned"); the merged result keeps the first shard's config.
+    partitioned") and *sum* their timings — the merged cell's cost is the
+    total CPU spent on it across shards.  The merged result keeps the
+    first shard's config.
     """
     if not shards:
         raise ValueError("need at least one shard")
     merged: dict[tuple[int, float, str], SweepCell] = {}
+    timings: dict[tuple[int, float, str], float] = {}
     for shard in shards:
         for key, cell in shard.cells.items():
             if key in merged:
@@ -103,7 +116,9 @@ def merge_sweeps(shards: list[SweepResult]) -> SweepResult:
                     profiler=cell.profiler,
                     words=list(cell.words),
                 )
-    return SweepResult(config=shards[0].config, cells=merged)
+        for key, seconds in shard.timings.items():
+            timings[key] = timings.get(key, 0.0) + seconds
+    return SweepResult(config=shards[0].config, cells=merged, timings=timings)
 
 
 def _check_compatible(a: SweepCell, b: SweepCell) -> None:

@@ -30,7 +30,9 @@ __all__ = [
     "RandomPattern",
     "FixedPattern",
     "make_pattern",
+    "pattern_is_seeded",
     "PATTERN_NAMES",
+    "SEEDED_PATTERNS",
 ]
 
 
@@ -94,6 +96,20 @@ class RandomPattern(DataPattern):
         base = rng.integers(0, 2, size=k, dtype=np.uint8)
         return invert_bits(base) if round_index % 2 else base
 
+    def rounds(self, num_rounds: int, k: int) -> np.ndarray:
+        """Materialize all rounds block-wise, bit-identical to the per-round
+        path: each base pattern is drawn once and its inverse filled in,
+        halving the RNG derivations of the generic implementation."""
+        out = np.empty((num_rounds, k), dtype=np.uint8)
+        for block in range((num_rounds + 1) // 2):
+            rng = derive_rng(self._seed, "random-pattern", block)
+            base = rng.integers(0, 2, size=k, dtype=np.uint8)
+            even = 2 * block
+            out[even] = base
+            if even + 1 < num_rounds:
+                out[even + 1] = invert_bits(base)
+        return out
+
 
 class FixedPattern(DataPattern):
     """A caller-supplied constant dataword (used by tests and BEEP)."""
@@ -110,6 +126,18 @@ class FixedPattern(DataPattern):
 
 
 PATTERN_NAMES = ("random", "charged", "checkered", "zero")
+
+#: Patterns whose schedule depends on the profiler seed.  Static patterns
+#: produce identical schedules for every seed, which lets per-word caches
+#: collapse to one entry per (pattern, k, rounds).
+SEEDED_PATTERNS = frozenset({"random"})
+
+
+def pattern_is_seeded(name: str) -> bool:
+    """Whether ``name``'s schedule varies with the seed."""
+    if name not in PATTERN_NAMES:
+        raise ValueError(f"unknown data pattern {name!r}; expected one of {PATTERN_NAMES}")
+    return name in SEEDED_PATTERNS
 
 
 def make_pattern(name: str, seed: int = 0) -> DataPattern:

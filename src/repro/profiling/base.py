@@ -58,10 +58,22 @@ class Profiler(ABC):
         self.seed = int(seed)
         self._pattern: DataPattern = make_pattern(pattern, seed)
         self._observed: set[int] = set()
+        self._standard_schedule: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Per-round interface driven by the harness
     # ------------------------------------------------------------------
+
+    def attach_standard_schedule(self, schedule: np.ndarray) -> None:
+        """Serve base-schedule rounds from a precomputed schedule.
+
+        ``schedule`` must be row-for-row identical to this profiler's
+        ``self._pattern`` materialization (the sweep engine derives it
+        from the same (pattern, seed, k) inputs), so attaching never
+        changes behaviour — it only spares adaptive profilers the
+        per-round RNG re-derivation on bootstrap and fallback rounds.
+        """
+        self._standard_schedule = schedule
 
     def read_mode_for(self, round_index: int) -> str:
         """Which read path this profiler uses in the given round."""
@@ -69,6 +81,9 @@ class Profiler(ABC):
 
     def pattern_for_round(self, round_index: int) -> np.ndarray:
         """The dataword to program this round."""
+        schedule = self._standard_schedule
+        if schedule is not None and round_index < len(schedule):
+            return schedule[round_index]
         return self._pattern.data_for_round(round_index, self.code.k)
 
     @abstractmethod

@@ -10,9 +10,21 @@ position.  Before the first anchor is confirmed it falls back to random
 patterns, exactly as the paper configures it ("use a random data pattern
 before the first post-correction error is confirmed").
 
-The crafted-pattern search is the GF(2) solver of
-:func:`repro.analysis.atrisk.solve_charge_assignment` (the paper uses Z3
-for the same purpose — see DESIGN.md §3).
+The crafted-pattern search is the incremental GF(2) solver of
+:class:`repro.analysis.atrisk.ChargeSystem` (the paper uses Z3 for the
+same purpose — see DESIGN.md §3).  All per-round heavy lifting lives in
+code-level caches (:mod:`repro.analysis.memo`) shared by every word that
+uses the same parity-check matrix:
+
+* the anchor-set system is eliminated once per (code, anchors) and each
+  hypothesis pair is solved as a two-constraint incremental update
+  (:func:`~repro.analysis.memo.cached_crafted_assignment`);
+* the O(n²) aliasing-pair expansion per observed target is computed once
+  per (code, target) (:func:`~repro.analysis.memo.cached_aliasing_pairs`).
+
+The memo layer returns shared read-only arrays; this class is the single
+place that hands out defensive copies.  Cache state never changes results
+— hot and cold traces are bit-identical (``tests/test_adaptive_caches.py``).
 
 Reproduced qualitative behaviour (paper §7.2, §7.3): because crafted
 patterns charge only hypothesis cells, at-risk bits outside the current
@@ -26,7 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.atrisk import solve_charge_assignment
+from repro.analysis.memo import code_caches
 from repro.ecc.linear_code import SystematicCode
 from repro.profiling.base import Profiler
 
@@ -41,17 +53,20 @@ class BeepProfiler(Profiler):
 
     def __init__(self, code: SystematicCode, seed: int, pattern: str = "random") -> None:
         super().__init__(code, seed, pattern)
-        #: Columns of H as integers, with a reverse index for aliasing math.
-        self._columns = [code.column_int(i) for i in range(code.n)]
-        self._column_index = {value: position for position, value in enumerate(self._columns)}
+        #: Per-code handle onto the shared crafted/aliasing caches.
+        self._caches = code_caches(code)
         #: (target, pair) hypotheses scheduled for crafted rounds.
         self._hypotheses: list[tuple[int, tuple[int, int]]] = []
         self._targets_expanded: set[int] = set()
         self._next_hypothesis = 0
-        #: Crafted-pattern memo: the solution depends only on the anchor
-        #: set and the hypothesis pair, and the hypothesis schedule cycles,
-        #: so most rounds re-solve an already-seen system.
-        self._pattern_cache: dict[tuple[frozenset[int], tuple[int, int]], np.ndarray | None] = {}
+        #: Sorted anchor tuple, maintained on observation so the per-round
+        #: cache lookups need not re-sort the observed set.
+        self._anchor_key: tuple[int, ...] = ()
+        #: The memo-owned epoch of the current anchor set: its lazily
+        #: resolved pair -> assignment dict replaces any per-instance
+        #: pattern cache, so every word and run reaching these anchors
+        #: shares one table.  Refreshed whenever the anchors grow.
+        self._epoch = self._caches.crafted_epoch(())
 
     # ------------------------------------------------------------------
     # Hypothesis generation
@@ -67,11 +82,8 @@ class BeepProfiler(Profiler):
         if target in self._targets_expanded:
             return
         self._targets_expanded.add(target)
-        target_column = self._columns[target]
-        for a in range(self.code.n):
-            partner = self._column_index.get(target_column ^ self._columns[a])
-            if partner is not None and partner > a:
-                self._hypotheses.append((target, (a, partner)))
+        for pair in self._caches.aliasing_pairs(target):
+            self._hypotheses.append((target, pair))
 
     def observe(
         self,
@@ -79,10 +91,15 @@ class BeepProfiler(Profiler):
         written: np.ndarray,
         mismatches: frozenset[int],
     ) -> None:
+        if not mismatches:
+            return
         for position in mismatches:
             if position not in self._observed:
                 self._observed.add(position)
                 self._expand_target(position)
+        if len(self._observed) != len(self._anchor_key):
+            self._anchor_key = tuple(sorted(self._observed))
+            self._epoch = self._caches.crafted_epoch(self._anchor_key)
 
     # ------------------------------------------------------------------
     # Pattern crafting
@@ -92,17 +109,18 @@ class BeepProfiler(Profiler):
         if not self._hypotheses:
             # Bootstrapping: no anchor yet, fall back to random patterns.
             return super().pattern_for_round(round_index)
-        anchors = frozenset(self._observed)
-        for _ in range(len(self._hypotheses)):
-            target, pair = self._hypotheses[self._next_hypothesis % len(self._hypotheses)]
+        hypotheses = self._hypotheses
+        epoch = self._epoch
+        resolved = epoch.patterns
+        count = len(hypotheses)
+        for _ in range(count):
+            slot = self._next_hypothesis % count
             self._next_hypothesis += 1
-            key = (anchors, pair)
-            if key in self._pattern_cache:
-                assignment = self._pattern_cache[key]
-            else:
-                assignment = solve_charge_assignment(self.code, anchors | set(pair))
-                self._pattern_cache[key] = assignment
+            pair = hypotheses[slot][1]
+            assignment = resolved[pair] if pair in resolved else epoch.assignment(pair)
             if assignment is not None:
+                # The memo owns the shared read-only array; copy on the
+                # way out so callers may mutate their pattern freely.
                 return assignment.copy()
         # Every queued hypothesis is charge-infeasible; fall back to random.
         return super().pattern_for_round(round_index)

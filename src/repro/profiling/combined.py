@@ -7,6 +7,12 @@ crafted patterns through the normal read path.  The combination pairs
 HARP's fast direct-error coverage with BEEP's ability to exploit *known*
 at-risk bits to expose the remaining indirect errors — including those
 caused by at-risk parity bits, which HARP-A alone cannot predict.
+
+Both phases run on the code-level caches of :mod:`repro.analysis.memo`:
+the active phase through HARP-A's memoized indirect prediction, the
+crafted phase through the embedded :class:`BeepProfiler`'s shared
+crafted-assignment and aliasing-pair caches — so the thousands of hybrid
+words per sweep cell that share a code re-derive none of that state.
 """
 
 from __future__ import annotations
@@ -41,6 +47,13 @@ class HarpABeepProfiler(Profiler):
         self._harp = HarpAProfiler(code, seed, pattern)
         self._beep = BeepProfiler(code, seed, pattern)
         self._seeded_beep = False
+
+    def attach_standard_schedule(self, schedule: np.ndarray) -> None:
+        # Both phases draw their base-schedule rounds from the same
+        # (pattern, seed) stream, so the precomputed rows serve each.
+        super().attach_standard_schedule(schedule)
+        self._harp.attach_standard_schedule(schedule)
+        self._beep.attach_standard_schedule(schedule)
 
     def _in_active_phase(self, round_index: int) -> bool:
         return round_index < self.switch_round

@@ -20,12 +20,17 @@ matrix decode in the hot loop.
 The sweep engine simulates the same word once per (probability, profiler)
 cell; :class:`WordArtifacts` lets it hand in the inputs those runs share
 (standard pattern schedule, its encoding, failure draws) so they are
-derived once per word instead of once per run.  Within a run, repeated
-failure patterns memoize their decode consequences, repeated crafted
-patterns memoize their charge masks, and the cumulative trace sets are
-rebuilt only on rounds where the profiler's state actually moved (tracked
-through ``Profiler.observation_count``).  All of it is bit-identical to
-the straight-line loop — ``tests/test_sweep_engine.py`` pins that.
+derived once per word instead of once per run — adaptive profilers also
+serve their bootstrap/fallback rounds from the precomputed schedule via
+``Profiler.attach_standard_schedule``.  Within a run, repeated failure
+patterns memoize their decode consequences; crafted patterns memoize
+their charge masks as integer bitmasks in a process-wide per-word scope
+(shared across the cells that re-simulate the word), so the adaptive
+per-round failure check is a single int AND; and the cumulative trace
+sets are rebuilt only on rounds where the profiler's state actually
+moved (tracked through ``Profiler.observation_count``).  All of it is
+bit-identical to the straight-line loop — ``tests/test_sweep_engine.py``
+and ``tests/test_adaptive_caches.py`` pin that.
 """
 
 from __future__ import annotations
@@ -40,7 +45,38 @@ from repro.memory.error_model import WordErrorProfile, check_profile_positions
 from repro.profiling.base import Profiler, ReadMode
 from repro.utils.rng import derive_rng
 
-__all__ = ["WordArtifacts", "WordRunResult", "simulate_word", "post_correction_data_errors"]
+__all__ = [
+    "WordArtifacts",
+    "WordRunResult",
+    "simulate_word",
+    "post_correction_data_errors",
+    "clear_charge_mask_cache",
+]
+
+
+#: Cross-run charge-mask cache for adaptive (crafted) patterns: the mask
+#: is pure in (code, at-risk positions, orientation, written dataword),
+#: and the sweep engine re-simulates each word once per (probability,
+#: profiler) cell with largely overlapping crafted patterns.  Two-level:
+#: scope (code, positions, orientation) -> {pattern bytes -> int mask},
+#: so the per-(word, run) inner dict is fetched once per simulation and
+#: the hot path never re-hashes the code.  Masks are integer bitmasks
+#: (bit i = at-risk position i), making the per-round failure check a
+#: single int AND; process-local like every other engine cache.
+_charge_mask_cache: dict = {}
+_CHARGE_MASK_MAX_SCOPES = 8192
+
+
+def _pack_bits(mask: np.ndarray) -> int:
+    """Pack a boolean vector into an integer bitmask (bit i = element i)."""
+    return int.from_bytes(
+        np.packbits(mask, bitorder="little").tobytes(), "little"
+    )
+
+
+def clear_charge_mask_cache() -> None:
+    """Empty the cross-run charge-mask cache (tests and benchmarks)."""
+    _charge_mask_cache.clear()
 
 
 def post_correction_data_errors(code: SystematicCode, failed: tuple[int, ...]) -> frozenset[int]:
@@ -173,6 +209,15 @@ def simulate_word(
 
     if profiler.adaptive:
         written_rounds = None
+        if (
+            artifacts is not None
+            and artifacts.schedule is not None
+            and artifacts.schedule.shape == (num_rounds, code.k)
+        ):
+            # Adaptive profilers fall back to the base schedule on
+            # bootstrap rounds; serving those rows from the precomputed
+            # artifact skips the per-round RNG re-derivation.
+            profiler.attach_standard_schedule(artifacts.schedule)
     else:
         # The precomputed schedule is only valid for profilers that follow
         # the base schedule verbatim; a subclass overriding
@@ -211,13 +256,32 @@ def simulate_word(
     # Failure patterns repeat across rounds (always at p=1.0, often below),
     # and decode consequences are pure in the pattern — memoize per run.
     mismatch_cache: dict[tuple[str, tuple[int, ...]], frozenset[int]] = {}
-    # Adaptive profilers revisit the same crafted pattern many times; the
-    # encode + charge-mask pipeline is pure in the written dataword.
-    charged_cache: dict[bytes, np.ndarray] = {}
     previous_observed_count = -1
     previous_predicted: frozenset[int] | None = None
     current_identified: frozenset[int] = frozenset()
     current_observed: frozenset[int] = frozenset()
+
+    if written_rounds is None and profile.count:
+        # The adaptive loop runs round by round; packing the Bernoulli
+        # draws and charge masks into per-round integer bitmasks turns
+        # the failure check into one int AND instead of numpy ops.
+        below_rows = np.packbits(draws < probabilities, axis=1, bitorder="little")
+        below_ints = [int.from_bytes(row.tobytes(), "little") for row in below_rows]
+        position_values = profile.positions
+        # Adaptive profilers revisit the same crafted pattern many times;
+        # the encode + charge-mask pipeline is pure in the written
+        # dataword, and the process-wide scope dict also collapses
+        # repeats across the cells that re-simulate this word.
+        charge_mask_scope = (
+            code,
+            profile.positions,
+            None if orientation is None else orientation.true_cell_mask.tobytes(),
+        )
+        charged_cache = _charge_mask_cache.get(charge_mask_scope)
+        if charged_cache is None:
+            if len(_charge_mask_cache) >= _CHARGE_MASK_MAX_SCOPES:
+                _charge_mask_cache.clear()
+            charged_cache = _charge_mask_cache[charge_mask_scope] = {}
 
     for round_index in range(num_rounds):
         if written_rounds is None:
@@ -226,14 +290,18 @@ def simulate_word(
                 pattern_key = written.tobytes()
                 charged = charged_cache.get(pattern_key)
                 if charged is None:
-                    charged = charge_of(code.encode(written))
+                    charged = _pack_bits(charge_of(code.encode(written)))
                     charged_cache[pattern_key] = charged
-                failed_mask = charged & (draws[round_index] < probabilities)
-                failed = (
-                    tuple(int(p) for p in positions[failed_mask])
-                    if failed_mask.any()
-                    else ()
-                )
+                failed_bits = charged & below_ints[round_index]
+                if failed_bits:
+                    failed_list = []
+                    while failed_bits:
+                        low_bit = failed_bits & -failed_bits
+                        failed_list.append(position_values[low_bit.bit_length() - 1])
+                        failed_bits ^= low_bit
+                    failed = tuple(failed_list)
+                else:
+                    failed = ()
             else:
                 failed = ()
         else:

@@ -1,0 +1,168 @@
+"""Tests of the adaptive-profiler cache layers.
+
+Covers the PR's acceptance guarantee: the code-level caches
+(crafted-pattern epochs, aliasing-pair tables, cross-run charge masks)
+must never change a trace — hot and cold runs are bit-identical for BEEP
+and the hybrid — and the memoized artifacts must actually be shared
+across words that use the same code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.atrisk import solve_charge_assignment
+from repro.analysis.memo import (
+    CraftedEpoch,
+    beep_expansion_cache,
+    cached_aliasing_pairs,
+    cached_crafted_assignment,
+    clear_analysis_caches,
+    code_caches,
+    crafted_pattern_cache,
+)
+from repro.ecc.code_analysis import aliasing_pairs_for_target
+from repro.ecc.hamming import random_sec_code
+from repro.experiments.runner import clear_engine_caches
+from repro.memory.error_model import sample_word_profile
+from repro.profiling import PROFILER_REGISTRY
+from repro.profiling.runner import simulate_word
+
+ADAPTIVE = ("BEEP", "HARP-A+BEEP")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_engine_caches()
+    clear_analysis_caches()
+    yield
+    clear_engine_caches()
+    clear_analysis_caches()
+
+
+def _trace(profiler_name, code, profile, rounds=64, seed=17):
+    profiler = PROFILER_REGISTRY[profiler_name](code, seed=seed)
+    return simulate_word(profiler, profile, rounds, seed)
+
+
+class TestHotColdBitIdentity:
+    @pytest.mark.parametrize("profiler_name", ADAPTIVE)
+    def test_trace_identical_with_warm_caches(self, profiler_name):
+        code = random_sec_code(32, np.random.default_rng(3))
+        profile = sample_word_profile(code, 5, 0.75, np.random.default_rng(4))
+        cold = _trace(profiler_name, code, profile)
+        assert crafted_pattern_cache.stats.misses > 0
+        hot = _trace(profiler_name, code, profile)
+        assert cold.identified_per_round == hot.identified_per_round
+        assert cold.observed_per_round == hot.observed_per_round
+        assert cold.failures_per_round == hot.failures_per_round
+
+    @pytest.mark.parametrize("profiler_name", ADAPTIVE)
+    def test_trace_survives_cache_flush_between_runs(self, profiler_name):
+        """Clearing every cache between runs must not change results."""
+        code = random_sec_code(32, np.random.default_rng(5))
+        profile = sample_word_profile(code, 4, 0.5, np.random.default_rng(6))
+        first = _trace(profiler_name, code, profile)
+        clear_engine_caches()
+        clear_analysis_caches()
+        second = _trace(profiler_name, code, profile)
+        assert first.identified_per_round == second.identified_per_round
+        assert first.failures_per_round == second.failures_per_round
+
+
+class TestCraftedPatternMemo:
+    def test_assignment_matches_straight_solver(self):
+        code = random_sec_code(16, np.random.default_rng(8))
+        anchors = (1, 3, 6)
+        for pair in aliasing_pairs_for_target(code, 2):
+            cached = cached_crafted_assignment(code, anchors, pair)
+            direct = solve_charge_assignment(code, set(anchors) | set(pair))
+            if direct is None:
+                assert cached is None
+            else:
+                assert np.array_equal(cached, direct)
+
+    def test_epoch_shared_across_lookups(self):
+        code = random_sec_code(16, np.random.default_rng(9))
+        epoch_a = code_caches(code).crafted_epoch((2, 5))
+        epoch_b = code_caches(code).crafted_epoch((2, 5))
+        assert epoch_a is epoch_b
+        assert crafted_pattern_cache.stats.hits == 1
+
+    def test_epoch_fast_path_matches_generic(self):
+        """All-data systems short-circuit; the result must be canonical."""
+        code = random_sec_code(24, np.random.default_rng(10))
+        anchors = (0, 4, 7)
+        data_pair = (2, 9)
+        parity_pair = (1, code.k + 1)
+        epoch = CraftedEpoch(code, anchors)
+        for pair in (data_pair, parity_pair):
+            expected = solve_charge_assignment(code, set(anchors) | set(pair))
+            got = epoch.assignment(pair)
+            if expected is None:
+                assert got is None
+            else:
+                assert np.array_equal(got, expected)
+
+    def test_assignments_are_read_only_and_copied_by_beep(self):
+        code = random_sec_code(16, np.random.default_rng(11))
+        anchors = (1, 2)
+        pair = aliasing_pairs_for_target(code, 0)[0]
+        shared = cached_crafted_assignment(code, anchors, pair)
+        if shared is not None:
+            with pytest.raises(ValueError):
+                shared[0] = 1 - shared[0]
+
+    def test_beep_patterns_are_defensive_copies(self):
+        code = random_sec_code(32, np.random.default_rng(12))
+        profiler = PROFILER_REGISTRY["BEEP"](code, seed=1)
+        profiler.observe(0, np.zeros(code.k, dtype=np.uint8), frozenset({3}))
+        first = profiler.pattern_for_round(1)
+        first[:] = 1 - first  # mutating the returned pattern...
+        profiler._next_hypothesis -= 1  # ...and re-requesting the same slot
+        second = profiler.pattern_for_round(1)
+        assert not np.array_equal(first, second)
+
+    def test_epoch_base_is_shared_across_pairs(self):
+        """One eliminated base serves every hypothesis pair of an epoch."""
+        code = random_sec_code(16, np.random.default_rng(13))
+        epoch = code_caches(code).crafted_epoch((1, 4))
+        epoch.assignment((2, code.k))
+        base = epoch._base
+        assert base is not None
+        epoch.assignment((3, code.k + 1))
+        assert epoch._base is base
+
+
+class TestAliasingPairMemo:
+    def test_matches_pure_function(self):
+        code = random_sec_code(16, np.random.default_rng(14))
+        for target in range(code.n):
+            assert cached_aliasing_pairs(code, target) == aliasing_pairs_for_target(
+                code, target
+            )
+
+    def test_shared_across_words_of_one_code(self):
+        """Two BEEP instances on one code expand each target only once."""
+        code = random_sec_code(32, np.random.default_rng(15))
+        zeros = np.zeros(code.k, dtype=np.uint8)
+        first = PROFILER_REGISTRY["BEEP"](code, seed=1)
+        first.observe(0, zeros, frozenset({2, 6}))
+        misses = beep_expansion_cache.stats.misses
+        assert misses == 2
+        second = PROFILER_REGISTRY["BEEP"](code, seed=2)
+        second.observe(0, zeros, frozenset({2, 6}))
+        assert beep_expansion_cache.stats.misses == misses
+        assert beep_expansion_cache.stats.hits >= 2
+        assert first._hypotheses == second._hypotheses
+
+    def test_rejects_out_of_range_target(self):
+        code = random_sec_code(16, np.random.default_rng(16))
+        with pytest.raises(IndexError):
+            aliasing_pairs_for_target(code, code.n)
+
+    def test_pairs_explain_the_target_syndrome(self):
+        code = random_sec_code(16, np.random.default_rng(17))
+        for target in (0, code.k, code.n - 1):
+            for a, b in aliasing_pairs_for_target(code, target):
+                assert a < b
+                assert code.column_int(a) ^ code.column_int(b) == code.column_int(target)

@@ -58,6 +58,13 @@ class TestExecution:
         parallel = capsys.readouterr().out
         assert serial == parallel
 
+    def test_fig10_parallel_matches_serial(self, capsys):
+        assert main(["fig10", "--scale", "unit"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig10", "--scale", "unit", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
     def test_timings_flag_appends_table(self, capsys):
         assert main(["fig6", "--scale", "unit", "--timings"]) == 0
         assert "Sweep timings" in capsys.readouterr().out

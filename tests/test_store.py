@@ -75,3 +75,45 @@ class TestMerge:
         a = coverage_curve(sweep, 3, 0.5, "Naive")[-1]
         b = coverage_curve(other, 3, 0.5, "Naive")[-1]
         assert min(a, b) - 1e-9 <= merged_final <= max(a, b) + 1e-9
+
+
+class TestTimings:
+    """Per-cell timings must round-trip through JSON and merge additively."""
+
+    def test_timings_survive_roundtrip(self, sweep):
+        assert sweep.timings  # the engine records them
+        restored = sweep_from_json(sweep_to_json(sweep))
+        assert restored.timings == sweep.timings
+
+    def test_missing_timings_roundtrip_as_empty(self, sweep):
+        import json
+
+        document = sweep_to_json(sweep)
+        payload = json.loads(document)
+        for cell in payload["cells"]:
+            cell.pop("seconds", None)
+        restored = sweep_from_json(json.dumps(payload))
+        assert restored.timings == {}
+        assert restored.cells.keys() == sweep.cells.keys()
+
+    def test_merge_sums_shared_cells(self, sweep):
+        other = run_sweep(replace(CONFIG, seed=CONFIG.seed + 1))
+        merged = merge_sweeps([sweep, other])
+        for key in sweep.timings:
+            expected = sweep.timings[key] + other.timings.get(key, 0.0)
+            assert merged.timings[key] == pytest.approx(expected)
+
+    def test_merge_keeps_one_sided_timings(self, sweep):
+        bare = sweep_from_json(sweep_to_json(sweep))
+        bare.timings = {}
+        merged = merge_sweeps([sweep, bare])
+        assert merged.timings == sweep.timings
+        # Word lists still concatenated even though one side lacks timings.
+        for key in sweep.cells:
+            assert len(merged.cells[key].words) == 2 * len(sweep.cells[key].words)
+
+    def test_merged_timings_roundtrip(self, sweep):
+        other = run_sweep(replace(CONFIG, seed=CONFIG.seed + 2))
+        merged = merge_sweeps([sweep, other])
+        restored = sweep_from_json(sweep_to_json(merged))
+        assert restored.timings == pytest.approx(merged.timings)
