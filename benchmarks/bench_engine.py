@@ -288,3 +288,91 @@ def test_engine_matches_legacy_and_meets_speedup(sweep_scaling):
     assert legacy.cells.keys() == engine.cells.keys()
     for key in legacy.cells:
         assert legacy.cells[key].words == engine.cells[key].words, key
+
+
+# ----------------------------------------------------------------------
+# Metrics-reduction micro-bench (batched numpy set-ops vs per-word loop)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def metrics_cell():
+    """A BENCH-shaped cell of traces: 48 words x 128 rounds per profiler."""
+    from repro.analysis.memo import cached_ground_truth
+
+    rng = np.random.default_rng(2021)
+    code = random_sec_code(64, rng)
+    cells = {}
+    for name in ("Naive", "HARP-U", "HARP-A"):
+        runs, truths = [], []
+        for trial in range(48):
+            profile = sample_word_profile(code, 4, 0.5, rng)
+            truths.append(cached_ground_truth(code, profile.positions))
+            profiler = PROFILER_REGISTRY[name](code, seed=trial)
+            runs.append(simulate_word(profiler, profile, 128, word_seed=trial))
+        cells[name] = (runs, truths)
+    return cells
+
+
+def test_metrics_reduction_batched_speedup(metrics_cell, sweep_scaling):
+    """The batched reduction must be bit-identical and >=1.2x the loop.
+
+    ``metrics_for_run`` is the pinned per-word reference;
+    ``metrics_for_words`` amortizes the numpy set-ops over a whole
+    cell's words.  CPU time over many repetitions keeps the ratio
+    stable on shared hosts.
+    """
+    from repro.experiments.runner import metrics_for_words
+
+    for runs, truths in metrics_cell.values():
+        for run, truth, batched in zip(
+            runs, truths, metrics_for_words(runs, truths, 128)
+        ):
+            assert batched == metrics_for_run(run, truth, 128)
+
+    repetitions = 20
+    started = time.process_time()
+    for _ in range(repetitions):
+        for runs, truths in metrics_cell.values():
+            for run, truth in zip(runs, truths):
+                metrics_for_run(run, truth, 128)
+    loop_seconds = time.process_time() - started
+    started = time.process_time()
+    for _ in range(repetitions):
+        for runs, truths in metrics_cell.values():
+            metrics_for_words(runs, truths, 128)
+    batched_seconds = time.process_time() - started
+    sweep_scaling["metrics-loop-cpu"] = loop_seconds
+    sweep_scaling["metrics-batched-cpu"] = batched_seconds
+    speedup = loop_seconds / batched_seconds
+    assert speedup >= 1.2, f"batched metrics reduction {speedup:.2f}x < 1.2x over loop"
+
+
+# ----------------------------------------------------------------------
+# PAPER-preset wall-clock (one grid slice, extrapolated to the full grid)
+# ----------------------------------------------------------------------
+
+
+def test_run_sweep_paper_slice(sweep_scaling):
+    """Wall-clock of a one-probability slice of the PAPER grid.
+
+    Runs every (error count, profiler) cell at the full 2500 words/cell
+    of the PAPER preset for a single probability — a quarter of the
+    grid, covering the exponential ground-truth cost growth across
+    error counts 2..5 that a single-error-count slice would understate.
+    The conftest extrapolates the full-grid estimate by the probability
+    count only (the probability just rescales failure draws, it does
+    not change per-cell cost).  Excluded from CI (see the workflow's
+    -k filter); run locally via
+    ``pytest benchmarks/bench_engine.py -k paper_slice``.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.config import PAPER
+
+    slice_config = replace(PAPER, probabilities=(0.5,))
+    result = _timed("paper-slice", sweep_scaling, run_sweep, slice_config)
+    assert len(result.cells) == len(PAPER.error_counts) * len(PAPER.profilers)
+    sweep_scaling["paper-grid-estimate"] = sweep_scaling["paper-slice"] * len(
+        PAPER.probabilities
+    )

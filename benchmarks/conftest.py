@@ -92,7 +92,11 @@ def sweep_scaling(results_dir: pathlib.Path) -> dict[str, float]:
     yield record
     if not record:
         return
-    lines = [f"{label}: {seconds:.3f} s" for label, seconds in sorted(record.items())]
+    lines = [
+        f"{label}: {seconds:.3f} s"
+        for label, seconds in sorted(record.items())
+        if not label.endswith("-estimate")  # derived, rendered below
+    ]
     if "legacy-serial" in record and "engine-serial" in record:
         ratio = record["legacy-serial"] / record["engine-serial"]
         lines.append(f"engine speedup vs legacy (serial wall-clock): {ratio:.2f}x")
@@ -102,6 +106,22 @@ def sweep_scaling(results_dir: pathlib.Path) -> dict[str, float]:
     if "engine-serial" in record and "engine-parallel" in record:
         ratio = record["engine-serial"] / record["engine-parallel"]
         lines.append(f"parallel speedup vs engine-serial (wall-clock): {ratio:.2f}x")
+    if "metrics-loop-cpu" in record and "metrics-batched-cpu" in record:
+        ratio = record["metrics-loop-cpu"] / record["metrics-batched-cpu"]
+        lines.append(f"batched metrics reduction speedup vs per-word loop (CPU): {ratio:.2f}x")
+    if "paper-grid-estimate" in record:
+        from repro.experiments.config import PAPER
+
+        paper_cells = (
+            len(PAPER.error_counts) * len(PAPER.probabilities) * len(PAPER.profilers)
+        )
+        lines.append(
+            f"PAPER preset: full {paper_cells}-cell grid estimate "
+            f"{record['paper-grid-estimate'] / 60:.1f} min serial "
+            "(measured every error-count cell at one probability, "
+            f"x{len(PAPER.probabilities)} probabilities; divide by the "
+            "worker count for the socket/process backends)"
+        )
     path = results_dir / "sweep_scaling.txt"
     path.write_text("\n".join(lines) + "\n")
     print(f"\n[sweep scaling saved to {path}]")

@@ -6,22 +6,46 @@ Usage::
     python -m repro fig10 --seed 7
     python -m repro all --scale unit
     python -m repro fig6 --scale full --jobs 4 --timings
+    python -m repro fig6 --scale paper --backend socket://0.0.0.0:7071 \\
+        --jobs 0 --resume fig6.shards.jsonl
+    python -m repro worker --connect HOST:7071
 
-Each subcommand prints the exhibit's text rendition (the same output the
-benchmark harness saves under ``benchmarks/results/``).
+Each exhibit subcommand prints the exhibit's text rendition (the same
+output the benchmark harness saves under ``benchmarks/results/``).
 
-``--jobs N`` fans the Monte-Carlo work out over ``N`` worker processes
-(``0`` = one per CPU); results are bit-identical to a serial run.  It
-applies to every sweep-based exhibit (fig6/7/8/9, ext-patterns,
-ext-codelength, headline) and to the sharded fig10 case study, and is
-ignored by the closed-form ones.  ``--timings`` appends the engine's
-per-cell wall-clock table for the exhibits that expose a sweep result
-(fig6/7/8/9 and headline); other exhibits ignore it.
+Execution knobs (every choice is bit-identical to a serial run):
+
+* ``--jobs N`` fans the Monte-Carlo work out over ``N`` worker processes
+  (``0`` = one per CPU).  It applies to every sweep-based exhibit
+  (fig6/7/8/9, ext-patterns, ext-codelength, headline) and to the
+  sharded fig10 case study, and is ignored by the closed-form ones.
+* ``--backend`` picks where shards execute: ``serial`` (in-process),
+  ``process`` (local worker pool, the default for ``--jobs > 1``),
+  ``socket`` (loopback socket server spawning ``--jobs`` local worker
+  processes), or ``socket://HOST:PORT`` (socket server that also
+  accepts remote workers started on other machines with
+  ``python -m repro worker --connect HOST:PORT``; ``--jobs 0`` spawns
+  no local workers and waits entirely for remote ones).
+* ``--resume PATH`` streams each completed sweep cell to a JSONL shard
+  store at ``PATH`` and, on restart, skips every cell already persisted
+  there — an interrupted paper-scale sweep continues where it stopped.
+  Applies to the sweep exhibits (fig6/7/8/9 and headline's sweep);
+  other exhibits ignore it.
+* ``--timings`` appends the engine's per-cell wall-clock table for the
+  exhibits that expose a sweep result (fig6/7/8/9 and headline).
+
+The ``worker`` subcommand turns the process into a socket-backend
+worker: it connects to a running ``--backend socket://...`` server and
+executes shard chunks.  Multi-sweep exhibits (ext-patterns, headline,
+``all``) run one socket map per sweep, so after a server drains the
+worker keeps retrying the address for ``--linger`` seconds (default 10)
+and joins the next sweep before exiting.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from dataclasses import replace
 from typing import Callable
 
@@ -43,13 +67,14 @@ from repro.experiments import (
     headline,
     table2,
 )
-from repro.experiments.config import BENCH, FULL, UNIT, CaseStudyConfig, SweepConfig
+from repro.experiments.backends import run_worker
+from repro.experiments.config import BENCH, FULL, PAPER, UNIT, CaseStudyConfig, SweepConfig
 from repro.experiments.reporting import timing_table
 from repro.experiments.runner import run_sweep
 
 __all__ = ["main", "build_parser"]
 
-SCALES: dict[str, SweepConfig] = {"unit": UNIT, "bench": BENCH, "full": FULL}
+SCALES: dict[str, SweepConfig] = {"unit": UNIT, "bench": BENCH, "full": FULL, "paper": PAPER}
 
 #: Case-study scales matching the sweep presets.
 CASE_SCALES: dict[str, CaseStudyConfig] = {
@@ -58,6 +83,7 @@ CASE_SCALES: dict[str, CaseStudyConfig] = {
     ),
     "bench": CaseStudyConfig(num_codes=3, words_per_stratum=4, num_rounds=128, max_at_risk=5),
     "full": CaseStudyConfig(num_codes=6, words_per_stratum=10, num_rounds=128),
+    "paper": CaseStudyConfig(num_codes=12, words_per_stratum=20, num_rounds=128),
 }
 
 
@@ -85,7 +111,9 @@ def _run_fig4(args: argparse.Namespace) -> str:
 
 def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
     def runner(args: argparse.Namespace) -> str:
-        sweep = run_sweep(_sweep_config(args), jobs=args.jobs)
+        sweep = run_sweep(
+            _sweep_config(args), jobs=args.jobs, backend=args.backend, resume=args.resume
+        )
         text = module.render(module.from_sweep(sweep))
         if args.timings:
             text += "\n\n" + timing_table(sweep)
@@ -95,12 +123,14 @@ def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
 
 
 def _run_fig10(args: argparse.Namespace) -> str:
-    return fig10.render(fig10.run(_case_config(args), jobs=args.jobs))
+    return fig10.render(fig10.run(_case_config(args), jobs=args.jobs, backend=args.backend))
 
 
 def _run_headline(args: argparse.Namespace) -> str:
-    sweep = run_sweep(_sweep_config(args), jobs=args.jobs)
-    case = fig10.run(_case_config(args), jobs=args.jobs)
+    sweep = run_sweep(
+        _sweep_config(args), jobs=args.jobs, backend=args.backend, resume=args.resume
+    )
+    case = fig10.run(_case_config(args), jobs=args.jobs, backend=args.backend)
     text = headline.render(
         active=headline.active_speedups(sweep),
         case_study=headline.case_study_speedups(case),
@@ -111,7 +141,7 @@ def _run_headline(args: argparse.Namespace) -> str:
 
 
 def _run_ext_patterns(args: argparse.Namespace) -> str:
-    return ext_patterns.render(ext_patterns.run(jobs=args.jobs))
+    return ext_patterns.render(ext_patterns.run(jobs=args.jobs, backend=args.backend))
 
 
 def _run_ext_dec(args: argparse.Namespace) -> str:
@@ -119,7 +149,7 @@ def _run_ext_dec(args: argparse.Namespace) -> str:
 
 
 def _run_ext_code_length(args: argparse.Namespace) -> str:
-    return ext_code_length.render(ext_code_length.run(jobs=args.jobs))
+    return ext_code_length.render(ext_code_length.run(jobs=args.jobs, backend=args.backend))
 
 
 def _run_ext_heterogeneous(args: argparse.Namespace) -> str:
@@ -175,8 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=list(COMMANDS) + ["all"],
-        help="exhibit to regenerate ('all' runs every one)",
+        choices=list(COMMANDS) + ["all", "worker"],
+        help="exhibit to regenerate ('all' runs every one; 'worker' joins "
+        "a socket-backend server instead of rendering an exhibit)",
     )
     parser.add_argument(
         "--scale",
@@ -188,9 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs",
         type=_jobs_type,
-        default=1,
-        help="sweep worker processes (0 = one per CPU; results are "
-        "bit-identical to --jobs 1)",
+        default=None,
+        help="sweep worker processes (0 = one per CPU; unset runs serial, "
+        "except --backend process/socket default to one worker per CPU; "
+        "results are bit-identical for every setting)",
     )
     parser.add_argument(
         "--timings",
@@ -198,11 +230,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the sweep engine's per-cell wall-clock table "
         "(fig6/7/8/9 and headline; ignored elsewhere)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend: serial, process, socket, or "
+        "socket://HOST:PORT (default: serial for --jobs 1, else a "
+        "process pool; all backends are bit-identical)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="stream completed sweep cells to a JSONL shard store and "
+        "skip cells already persisted there (fig6/7/8/9 and headline's "
+        "sweep; ignored elsewhere)",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="socket-backend server to join (worker subcommand only)",
+    )
+    parser.add_argument(
+        "--linger",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="after a server drains, keep retrying the address this long "
+        "so the worker joins an exhibit's next sweep (worker subcommand "
+        "only; 0 exits after one session)",
+    )
+    parser.add_argument(
+        # Set by SocketBackend on the workers it spawns itself: an idle
+        # spawned worker (siblings drained the queue first) is normal
+        # and must not alarm-exit like an operator-started one.
+        "--spawned",
+        action="store_true",
+        help=argparse.SUPPRESS,
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "worker":
+        if not args.connect:
+            raise SystemExit("worker requires --connect HOST:PORT")
+        executed, reached = run_worker(args.connect, linger=args.linger)
+        if executed == 0 and not reached and not args.spawned:
+            # Never reaching a server is almost always a typo'd address
+            # — make that visible instead of exiting 0 silently across a
+            # whole fleet.  A clean session with an already-empty queue
+            # (e.g. joining a mostly-resumed sweep late) is healthy and
+            # exits 0.
+            print(
+                f"worker never reached a server at {args.connect}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     names = list(COMMANDS) if args.command == "all" else [args.command]
     for name in names:
         description, runner = COMMANDS[name]

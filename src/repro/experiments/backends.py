@@ -1,0 +1,676 @@
+"""Pluggable execution backends for the Monte-Carlo shard engine.
+
+The paper's artifact parallelizes its Monte-Carlo jobs across machines
+and aggregates raw output files afterwards (§A.7).  This module is the
+"across machines" half for the Python reproduction: every exhibit's work
+decomposes into self-contained, picklable shards (see
+:mod:`repro.experiments.runner`), and a backend decides *where* a shard
+executes.  Because shards re-derive all state from seeds, the results
+are bit-identical regardless of backend, worker count, or scheduling
+order.
+
+Backends
+========
+
+* :class:`SerialBackend` — in-process loop (``--backend serial``).
+* :class:`ProcessPoolBackend` — a local
+  ``concurrent.futures.ProcessPoolExecutor`` (``--backend process``,
+  the default whenever ``jobs > 1``).
+* :class:`SocketBackend` — a TCP work server.  Shards travel to worker
+  processes as length-prefixed pickle frames; workers are either
+  spawned locally by the backend (``spawn_workers=N``) or started on
+  any machine with the repo installed via::
+
+      python -m repro worker --connect HOST:PORT
+
+  Workers pull chunks of shards, execute them with their own warm
+  process-local caches, and stream results back; a worker that
+  disconnects mid-chunk has its chunk requeued for the survivors.
+
+Every backend yields results **in shard order** through
+:meth:`ExecutionBackend.imap`, so callers can stream completed cells to
+a :class:`~repro.experiments.store.ShardStore` while later shards are
+still in flight.
+
+Security note: the socket protocol exchanges pickles and is meant for
+trusted clusters only (the paper's artifact assumes the same); the
+default bind address is loopback.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterator, Sequence
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SocketBackend",
+    "resolve_backend",
+    "resolve_jobs",
+    "run_worker",
+]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` knob: ``None``→1, ``0``→one per CPU."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _chunked(shards: Sequence, chunksize: int) -> list[list]:
+    chunksize = max(1, int(chunksize))
+    return [list(shards[i : i + chunksize]) for i in range(0, len(shards), chunksize)]
+
+
+class ExecutionBackend(ABC):
+    """Strategy for mapping a picklable worker function over shards.
+
+    ``worker`` must be a module-level pure function of one shard so it
+    pickles by reference; results come back in shard order for every
+    backend, making the backends interchangeable behind
+    :func:`~repro.experiments.runner.run_sweep`.
+    """
+
+    #: Short name used by CLI ``--backend`` and reprs.
+    name: str = "abstract"
+
+    @abstractmethod
+    def imap(self, worker: Callable, shards: Sequence, chunksize: int = 1) -> Iterator:
+        """Yield ``worker(shard)`` for each shard, in shard order.
+
+        Results are yielded as soon as the ordered prefix completes, so
+        callers can persist them incrementally; ``chunksize`` groups
+        contiguous shards onto one worker to keep their shared
+        process-local caches together.
+        """
+
+    def map(self, worker: Callable, shards: Sequence, chunksize: int = 1) -> list:
+        """Like :meth:`imap` but materialized."""
+        return list(self.imap(worker, shards, chunksize=chunksize))
+
+    def imap_unordered(
+        self, worker: Callable, shards: Sequence, chunksize: int = 1
+    ) -> Iterator[tuple[int, object]]:
+        """Yield ``(shard_index, result)`` pairs as completions arrive.
+
+        Parallel backends override this to surface results in completion
+        order, so a streaming consumer (the shard store) can make every
+        finished shard durable immediately instead of waiting for the
+        ordered prefix; the base implementation simply numbers
+        :meth:`imap`.
+        """
+        for index, result in enumerate(self.imap(worker, shards, chunksize=chunksize)):
+            yield index, result
+
+    def worker_hint(self) -> int:
+        """Expected concurrent workers (callers size chunks from this)."""
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every shard in the calling process (bit-identical reference)."""
+
+    name = "serial"
+
+    def imap(self, worker: Callable, shards: Sequence, chunksize: int = 1) -> Iterator:
+        for shard in shards:
+            yield worker(shard)
+
+
+def _run_chunk(worker: Callable, chunk: list) -> list:
+    """Pool task: execute one chunk of shards (module-level, picklable)."""
+    return [worker(shard) for shard in chunk]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan shards out over a local ``ProcessPoolExecutor``.
+
+    This is the pre-refactor ``jobs > 1`` behaviour, now one strategy
+    among several.  ``pool.map`` already yields lazily in submission
+    order, so streaming consumers see completed cells as the ordered
+    prefix finishes; :meth:`imap_unordered` surfaces them in completion
+    order instead.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int | None = 0) -> None:
+        self.jobs = resolve_jobs(jobs)
+
+    def worker_hint(self) -> int:
+        return self.jobs
+
+    def imap(self, worker: Callable, shards: Sequence, chunksize: int = 1) -> Iterator:
+        if len(shards) <= 1 or self.jobs <= 1:
+            yield from SerialBackend().imap(worker, shards, chunksize)
+            return
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            yield from pool.map(worker, shards, chunksize=max(1, chunksize))
+        finally:
+            # A consumer that stops early (e.g. the shard store hit a
+            # disk error) must not wait for the rest of the grid:
+            # cancel everything not yet running before joining.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def imap_unordered(
+        self, worker: Callable, shards: Sequence, chunksize: int = 1
+    ) -> Iterator[tuple[int, object]]:
+        if len(shards) <= 1 or self.jobs <= 1:
+            yield from ExecutionBackend.imap_unordered(self, worker, shards, chunksize)
+            return
+        chunksize = max(1, int(chunksize))
+        chunks = _chunked(shards, chunksize)
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            futures = {
+                pool.submit(_run_chunk, worker, chunk): index
+                for index, chunk in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                base = futures[future] * chunksize
+                for offset, result in enumerate(future.result()):
+                    yield base + offset, result
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Socket backend: length-prefixed pickle protocol
+# ----------------------------------------------------------------------
+
+_LENGTH = struct.Struct(">Q")
+
+
+def _send_msg(sock: socket.socket, message: tuple) -> None:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes, or ``None`` on a clean EOF at byte 0."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ConnectionError("socket closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_msg(sock: socket.socket) -> tuple | None:
+    """Read one length-prefixed frame, or ``None`` on clean EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ConnectionError("socket closed between header and payload")
+    return pickle.loads(payload)
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (IPv4/hostname) into a connectable tuple."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def _worker_session(host: str, port: int) -> tuple[int, bool]:
+    """Serve one server connection until it shuts the worker down.
+
+    Returns ``(chunks executed, session ended cleanly)``.  Chunks done
+    before the server drops the connection still count — the caller's
+    idle detection must not mistake a hard-killed server for a worker
+    that never did anything.
+    """
+    executed = 0
+    try:
+        with socket.create_connection((host, port)) as sock:
+            _send_msg(sock, ("hello", os.getpid()))
+            while True:
+                try:
+                    message = _recv_msg(sock)
+                except OSError:
+                    raise
+                except Exception:
+                    # A frame that fails to *unpickle* (version skew
+                    # between the server's repo and this worker's, or a
+                    # worker function whose module isn't importable
+                    # here) must surface as an error the server aborts
+                    # on — crashing instead would just make the server
+                    # requeue the chunk onto the next identically-skewed
+                    # worker forever.  The frame was fully read, so the
+                    # stream stays aligned.
+                    _send_msg(
+                        sock,
+                        (
+                            "error",
+                            -1,
+                            "worker could not unpickle a task frame (code skew "
+                            f"between server and worker?):\n{traceback.format_exc()}",
+                        ),
+                    )
+                    continue
+                if message is None or message[0] == "shutdown":
+                    break
+                try:
+                    kind, index, worker, chunk = message
+                    if kind != "task":
+                        raise ValueError(f"unexpected frame kind {kind!r}")
+                except (ValueError, TypeError):
+                    # Same rationale as the unpickle guard: a frame of
+                    # the wrong shape (protocol skew) must abort the
+                    # server's map, not crash this worker into an
+                    # infinite requeue loop.
+                    _send_msg(
+                        sock,
+                        (
+                            "error",
+                            -1,
+                            "worker received a malformed task frame (protocol "
+                            f"skew between server and worker?):\n{traceback.format_exc()}",
+                        ),
+                    )
+                    continue
+                try:
+                    results = [worker(shard) for shard in chunk]
+                except Exception:
+                    _send_msg(sock, ("error", index, traceback.format_exc()))
+                else:
+                    _send_msg(sock, ("result", index, results))
+                    executed += 1
+    except OSError:
+        return executed, False
+    return executed, True
+
+
+def run_worker(address: str, linger: float = 0.0) -> tuple[int, bool]:
+    """Socket-backend worker loop: ``python -m repro worker --connect ...``.
+
+    Connects to a :class:`SocketBackend` server, then pulls ``task``
+    frames (a chunk of shards plus the module-level worker function,
+    pickled by reference), executes them, and streams ``result`` frames
+    back until the server sends ``shutdown``.  Exceptions inside a task
+    are reported as ``error`` frames with the formatted traceback and do
+    not kill the worker.  Returns ``(chunks executed, reached)`` where
+    ``reached`` records whether any session drained cleanly — the CLI
+    uses it to tell "server unreachable" (alarm) from "queue was
+    legitimately empty" (healthy) when the count is zero.
+
+    ``linger`` keeps the worker alive across *servers*: multi-sweep
+    exhibits (ext-patterns, headline, ``all``) run one socket map per
+    sweep, each draining its workers with ``shutdown``, so after a
+    session ends the worker keeps retrying the address for ``linger``
+    seconds and joins the next map that binds it.  ``0`` exits after the
+    first session (or immediately if no server is listening).
+    """
+    host, port = parse_address(address)
+    executed = 0
+    reached = False
+    deadline = time.monotonic() + max(0.0, linger)
+    while True:
+        chunks, clean = _worker_session(host, port)
+        executed += chunks
+        reached = reached or clean
+        if chunks or clean:
+            # A session that served chunks or drained cleanly refreshes
+            # the window: the next map of the same exhibit usually
+            # starts within moments.  A server that was never reachable
+            # does not — the linger clock keeps running.
+            deadline = time.monotonic() + max(0.0, linger)
+        if time.monotonic() >= deadline:
+            return executed, reached
+        time.sleep(0.2)
+
+
+class _RemoteTaskError(RuntimeError):
+    """A task raised on a worker; carries the remote traceback."""
+
+
+class SocketBackend(ExecutionBackend):
+    """Ship shards to worker processes over TCP.
+
+    Args:
+        bind: ``HOST:PORT`` to listen on.  Port ``0`` picks an ephemeral
+            port (the resolved address is available as ``self.address``
+            while a map is running).  Bind a routable host to accept
+            workers from other machines.
+        spawn_workers: local worker processes to launch per map call
+            (each runs ``python -m repro worker --connect``); ``0``
+            relies entirely on externally-started workers.
+        timeout: overall seconds to wait for results before failing
+            (``None`` waits forever — the distributed default, matching
+            the artifact's "come back when the machines are done").
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        bind: str = "127.0.0.1:0",
+        spawn_workers: int = 1,
+        timeout: float | None = None,
+    ) -> None:
+        self.bind_host, self.bind_port = parse_address(bind)
+        if spawn_workers < 0:
+            raise ValueError("spawn_workers must be >= 0")
+        self.spawn_workers = spawn_workers
+        self.timeout = timeout
+        #: Resolved ``(host, port)`` of the live listener (set per map).
+        self.address: tuple[str, int] | None = None
+
+    def worker_hint(self) -> int:
+        """Expected workers: exact for spawn-only, padded when remote-capable.
+
+        A loopback bind with spawned workers is effectively a local pool
+        of known size.  A routable bind (or a remote-only server,
+        ``spawn_workers=0``) can't know how many ``--connect`` workers
+        will join; a generous over-estimate keeps chunks small enough
+        that late joiners still find work and a dropped worker requeues
+        little — it must in particular exceed typical error-count block
+        counts (~4), or :func:`~repro.experiments.runner._sweep_chunksize`
+        would never split blocks and fleets larger than the block count
+        would starve.
+        """
+        if self.spawn_workers and self.bind_host in ("127.0.0.1", "localhost", "::1"):
+            return self.spawn_workers
+        return max(self.spawn_workers, 16)
+
+    # -- worker process management ------------------------------------
+
+    def _spawn_local_workers(self, port: int) -> list[subprocess.Popen]:
+        """Launch local workers pointed at the live listener.
+
+        A worker must unpickle whatever module-level function the parent
+        maps — :mod:`repro` itself however it was found (installed,
+        ``PYTHONPATH=src``, a pytest path hack), but also caller-defined
+        workers — so the child inherits the parent's full ``sys.path``
+        via ``PYTHONPATH``, matching the visibility a forked pool worker
+        would have.  (Remote workers are started by hand and only need
+        :mod:`repro` importable.)
+        """
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(entry for entry in sys.path if entry)
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            # Spawned workers are per-map: exit with the session instead
+            # of lingering for a next server like hand-started ones, and
+            # don't alarm when siblings drained the queue first.
+            "--linger",
+            "0",
+            "--spawned",
+        ]
+        return [
+            subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+            for _ in range(self.spawn_workers)
+        ]
+
+    # -- server ---------------------------------------------------------
+
+    def imap(self, worker: Callable, shards: Sequence, chunksize: int = 1) -> Iterator:
+        for _, result in self._execute(worker, shards, chunksize, ordered=True):
+            yield result
+
+    def imap_unordered(
+        self, worker: Callable, shards: Sequence, chunksize: int = 1
+    ) -> Iterator[tuple[int, object]]:
+        yield from self._execute(worker, shards, chunksize, ordered=False)
+
+    def _execute(
+        self, worker: Callable, shards: Sequence, chunksize: int, ordered: bool
+    ) -> Iterator[tuple[int, object]]:
+        """Serve the map; yield ``(shard_index, result)`` pairs.
+
+        ``ordered`` yields the shard-order prefix as it completes;
+        unordered yields whole chunks in completion order, which lets
+        streaming consumers persist every finished shard immediately.
+        """
+        if not len(shards):
+            return
+        chunksize = max(1, int(chunksize))
+        chunks = _chunked(shards, chunksize)
+        total = len(chunks)
+        pending: deque[int] = deque(range(total))
+        completed: dict[int, list] = {}
+        state = {"error": None, "handlers": 0, "done": 0}
+        condition = threading.Condition()
+        done = threading.Event()
+
+        def handle(conn: socket.socket) -> None:
+            """Serve one worker connection until the whole map completes.
+
+            An idle handler (queue momentarily empty) must *wait*, not
+            dismiss its worker: another worker may still fail mid-chunk
+            and requeue work that only this one can pick up.
+            """
+            current: int | None = None
+            try:
+                with conn:
+                    # A connection that never speaks (port scan, health
+                    # probe) must not park this handler forever: while
+                    # it counts in state["handlers"], the all-workers-
+                    # died fail-fast is suppressed.  Bound the hello.
+                    conn.settimeout(5)
+                    hello = _recv_msg(conn)
+                    if not hello or hello[0] != "hello":
+                        return
+                    conn.settimeout(None)
+                    while True:
+                        with condition:
+                            while (
+                                not pending
+                                and state["error"] is None
+                                and state["done"] < total
+                                and not done.is_set()
+                            ):
+                                condition.wait(0.1)
+                            if (
+                                done.is_set()  # consumer abandoned the map
+                                or state["error"] is not None
+                                or state["done"] >= total
+                            ):
+                                break
+                            current = pending.popleft()
+                        _send_msg(conn, ("task", current, worker, chunks[current]))
+                        reply = _recv_msg(conn)
+                        if reply is None:
+                            raise ConnectionError("worker hung up mid-task")
+                        kind, index, payload = reply
+                        with condition:
+                            if kind == "error":
+                                state["error"] = _RemoteTaskError(
+                                    f"shard chunk {index} failed on a socket worker:\n{payload}"
+                                )
+                            else:
+                                completed[index] = payload
+                                state["done"] += 1
+                            current = None
+                            condition.notify_all()
+                    try:
+                        _send_msg(conn, ("shutdown",))
+                    except OSError:
+                        pass
+            except Exception:
+                # Any handler failure — a dropped connection, but also a
+                # malformed or unpicklable reply frame — must give the
+                # in-flight chunk back to surviving workers, or the map
+                # would wait forever on a chunk nobody owns.
+                with condition:
+                    if current is not None:
+                        pending.appendleft(current)
+                    condition.notify_all()
+            finally:
+                with condition:
+                    state["handlers"] -= 1
+                    condition.notify_all()
+
+        def accept_loop(listener: socket.socket) -> None:
+            listener.settimeout(0.1)
+            while not done.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                with condition:
+                    state["handlers"] += 1
+                threading.Thread(target=handle, args=(conn,), daemon=True).start()
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        acceptor = threading.Thread(target=accept_loop, args=(listener,), daemon=True)
+        workers: list[subprocess.Popen] = []
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        served = 0
+        next_chunk = 0
+        # Everything after the socket exists runs under the finally: a
+        # failure while binding, starting the acceptor, or spawning
+        # workers must still release the port, stop the acceptor, and
+        # reap whatever processes already launched — a leaked listener
+        # would EADDRINUSE every later map on a fixed socket:// port.
+        try:
+            listener.bind((self.bind_host, self.bind_port))
+            listener.listen()
+            self.address = listener.getsockname()[:2]
+            acceptor.start()
+            workers = self._spawn_local_workers(self.address[1])
+            while served < total:
+                with condition:
+                    while state["error"] is None and not (
+                        next_chunk in completed if ordered else completed
+                    ):
+                        self._check_liveness(workers, state, total)
+                        if deadline is not None and time.monotonic() > deadline:
+                            raise TimeoutError(
+                                f"socket backend timed out with {total - state['done']}"
+                                " chunk(s) outstanding"
+                            )
+                        condition.wait(timeout=0.1)
+                    if state["error"] is not None:
+                        raise state["error"]
+                    # Pop so the backend holds only the unconsumed
+                    # chunks, not every chunk of the map.
+                    if ordered:
+                        index = next_chunk
+                        results = completed.pop(index)
+                        next_chunk += 1
+                    else:
+                        index, results = completed.popitem()
+                served += 1
+                base = index * chunksize
+                for offset, result in enumerate(results):
+                    yield base + offset, result
+        finally:
+            # Reached on normal completion AND when the consumer closes
+            # the generator early (e.g. the shard store hit a disk
+            # error): handlers see the event, stop dispatching pending
+            # chunks, and shut their workers down instead of burning
+            # cluster CPU on an abandoned map.
+            done.set()
+            with condition:
+                condition.notify_all()
+            listener.close()
+            if acceptor.ident is not None:  # never started if bind failed
+                acceptor.join(timeout=5)
+            for process in workers:
+                try:
+                    process.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover - cleanup
+                    process.kill()
+            self.address = None
+
+    def _check_liveness(self, workers, state, total) -> None:
+        """Fail fast when every possible worker is gone but work remains.
+
+        Only applies when the backend spawned its own workers: a server
+        awaiting external ``--connect`` workers legitimately idles.
+        """
+        if not workers or state["handlers"] > 0:
+            return
+        if state["done"] >= total:
+            return
+        if all(process.poll() is not None for process in workers):
+            state["error"] = RuntimeError(
+                "all spawned socket workers exited with "
+                f"{total - state['done']} chunk(s) outstanding "
+                f"(exit codes: {[process.returncode for process in workers]})"
+            )
+
+
+def resolve_backend(
+    backend: ExecutionBackend | str | None, jobs: int | None = None
+) -> ExecutionBackend:
+    """Materialize a backend from a spec string, instance, or ``jobs`` knob.
+
+    Accepted specs (the CLI's ``--backend`` values):
+
+    * ``None`` — infer from ``jobs``: serial for ``jobs in (None, 1)``,
+      otherwise a process pool of ``jobs`` workers (back-compatible with
+      the pre-backend ``run_sweep(jobs=...)`` contract).
+    * ``"serial"`` / ``"process"`` — the corresponding local backend.
+    * ``"socket"`` — loopback socket server spawning ``jobs`` local
+      workers (at least one).
+    * ``"socket://HOST:PORT"`` — socket server bound to ``HOST:PORT``;
+      spawns ``jobs`` local workers, and *additionally* accepts external
+      ``python -m repro worker --connect HOST:PORT`` processes.  With
+      ``jobs=0`` it spawns none and waits entirely for remote workers.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        worker_count = resolve_jobs(jobs)
+        return SerialBackend() if worker_count == 1 else ProcessPoolBackend(worker_count)
+    spec = str(backend).strip().lower()
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "process":
+        return ProcessPoolBackend(jobs if jobs is not None else 0)
+    if spec == "socket":
+        # An unset jobs knob means "use the machine" for an explicitly
+        # parallel backend, matching the process-pool spec below.
+        return SocketBackend(spawn_workers=max(1, resolve_jobs(0 if jobs is None else jobs)))
+    if spec.startswith("socket://"):
+        address = spec[len("socket://") :]
+        # jobs=0 here means "no local workers, remote only" — unlike the
+        # local backends, where 0 means one worker per CPU; unset jobs
+        # spawns one per CPU, matching the bare "socket" spec above.
+        spawn = 0 if jobs == 0 else resolve_jobs(0 if jobs is None else jobs)
+        return SocketBackend(bind=address, spawn_workers=spawn)
+    raise ValueError(
+        f"unknown backend {backend!r} (expected serial, process, socket, or socket://HOST:PORT)"
+    )

@@ -6,14 +6,20 @@ library exposes the same experiments with a configurable scale.  Presets:
 * ``UNIT`` — seconds; used by the integration test-suite.
 * ``BENCH`` — tens of seconds; used by the benchmark harness to print each
   exhibit's rows.
-* ``FULL`` — minutes-to-hours; closest to the paper's statistical power.
+* ``FULL`` — minutes-to-hours; the single-machine default for real runs.
+* ``PAPER`` — paper-scale statistical power; sized for the distributed
+  socket backend plus the streaming shard store (``run_sweep(config,
+  backend="socket://...", resume=PATH)``), where cells parallelize
+  across machines and each finished cell becomes durable on disk the
+  moment a worker delivers it.  Wall-clock is tracked in
+  ``benchmarks/results/sweep_scaling.txt``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["SweepConfig", "CaseStudyConfig", "UNIT", "BENCH", "FULL", "scaled"]
+__all__ = ["SweepConfig", "CaseStudyConfig", "UNIT", "BENCH", "FULL", "PAPER", "scaled"]
 
 #: Profilers evaluated in the paper's coverage figures (Figs 6-9).
 DEFAULT_PROFILERS = ("Naive", "BEEP", "HARP-U", "HARP-A", "HARP-A+BEEP")
@@ -88,8 +94,14 @@ UNIT = SweepConfig(
 #: Benchmark scale: full parameter grid, reduced Monte-Carlo samples.
 BENCH = SweepConfig(num_codes=5, words_per_code=8, num_rounds=128)
 
-#: Closest to the paper (still far below its 14 CPU-years).
+#: Single-machine scale (still far below the paper's 14 CPU-years).
 FULL = SweepConfig(num_codes=30, words_per_code=40, num_rounds=128)
+
+#: Paper-scale statistical power: 2500 Monte-Carlo words per cell (>2x
+#: FULL), enough that every Fig 6-9 curve's 95% binomial half-width
+#: drops below one percentage point.  Meant for the distributed
+#: backends with a ``--resume`` shard store, not a single process.
+PAPER = SweepConfig(num_codes=50, words_per_code=50, num_rounds=128)
 
 
 def scaled(config: SweepConfig, factor: float) -> SweepConfig:

@@ -35,11 +35,13 @@ def run(
     base_config: SweepConfig | None = None,
     geometries: tuple[tuple[str, int], ...] = PAPER_GEOMETRIES,
     jobs: int | None = None,
+    backend=None,
 ) -> CodeLengthResult:
     """Run the direct-coverage cell at each geometry.
 
-    ``jobs`` is forwarded to :func:`~repro.experiments.runner.run_sweep`
-    (worker processes per sweep; results are bit-identical).
+    ``jobs`` and ``backend`` are forwarded to
+    :func:`~repro.experiments.runner.run_sweep` (execution backend per
+    sweep; results are bit-identical for every choice).
     """
     config = base_config or SweepConfig(
         num_codes=3,
@@ -51,7 +53,7 @@ def run(
     )
     rows: dict[tuple[str, str], tuple[float, int | None]] = {}
     for label, k in geometries:
-        sweep = run_sweep(replace(config, k=k), jobs=jobs)
+        sweep = run_sweep(replace(config, k=k), jobs=jobs, backend=backend)
         for profiler in config.profilers:
             curve = coverage_curve(
                 sweep, config.error_counts[0], config.probabilities[0], profiler

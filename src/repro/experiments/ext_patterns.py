@@ -43,11 +43,13 @@ def run(
     base_config: SweepConfig | None = None,
     patterns: tuple[str, ...] = ABLATION_PATTERNS,
     jobs: int | None = None,
+    backend=None,
 ) -> PatternAblationResult:
     """Run the direct-coverage sweep once per data pattern.
 
-    ``jobs`` is forwarded to :func:`~repro.experiments.runner.run_sweep`
-    (worker processes per sweep; results are bit-identical).
+    ``jobs`` and ``backend`` are forwarded to
+    :func:`~repro.experiments.runner.run_sweep` (execution backend per
+    sweep; results are bit-identical for every choice).
     """
     config = base_config or SweepConfig(
         num_codes=3,
@@ -59,7 +61,7 @@ def run(
     )
     final: dict[tuple[str, str, int, float], float] = {}
     for pattern in patterns:
-        sweep = run_sweep(replace(config, pattern=pattern), jobs=jobs)
+        sweep = run_sweep(replace(config, pattern=pattern), jobs=jobs, backend=backend)
         for error_count in config.error_counts:
             for probability in config.probabilities:
                 for profiler in config.profilers:

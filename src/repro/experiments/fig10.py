@@ -170,19 +170,31 @@ def _first_zero_round(analyzer: WordBerAnalyzer, trace: list[frozenset[int]]) ->
     return None
 
 
-def run(config: CaseStudyConfig = CaseStudyConfig(), jobs: int | None = None) -> Fig10Result:
+def run(
+    config: CaseStudyConfig = CaseStudyConfig(),
+    jobs: int | None = None,
+    backend=None,
+) -> Fig10Result:
     """Execute the case study over the full (probability, RBER) grid.
 
     Args:
         config: the case-study configuration.
         jobs: worker processes for shard execution (``None``/``1`` serial,
             ``0`` one per CPU); every setting is bit-identical.
+        backend: execution backend instance or spec string (``serial``,
+            ``process``, ``socket``, ``socket://HOST:PORT``) — the
+            :class:`Fig10Shard` units ship over the socket protocol just
+            like sweep shards; ``None`` infers from ``jobs``.
     """
     ticks = tuple(log_round_ticks(config.num_rounds))
     shards = shard_case_study(config)
     # One chunk = one code's strata, keeping its caches on one worker.
     results = execute_shards(
-        run_case_shard, shards, jobs, chunksize=max(1, config.max_at_risk - 1)
+        run_case_shard,
+        shards,
+        jobs,
+        chunksize=max(1, config.max_at_risk - 1),
+        backend=backend,
     )
     #: (probability, count, profiler) -> per-word trajectories, in the
     #: serial loop's (code, word) order.

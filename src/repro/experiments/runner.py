@@ -9,14 +9,29 @@ Architecture
 ============
 
 The grid decomposes into self-contained, picklable work units — one
-:class:`SweepShard` per cell — executed either in-process (``jobs=1``) or
-across a ``concurrent.futures.ProcessPoolExecutor`` (``jobs>1``, or
-``jobs=0`` for one worker per CPU).  Every quantity a shard needs is
-re-derived from the experiment seed through the
+:class:`SweepShard` per cell — executed by a pluggable
+:class:`~repro.experiments.backends.ExecutionBackend`: in-process
+(``SerialBackend``), across a local
+``concurrent.futures.ProcessPoolExecutor`` (``ProcessPoolBackend``,
+what ``jobs>1`` selects, with ``jobs=0`` meaning one worker per CPU),
+or shipped to worker processes on any machine over the
+``SocketBackend``'s length-prefixed pickle protocol
+(``python -m repro worker --connect HOST:PORT``).  Every quantity a
+shard needs is re-derived from the experiment seed through the
 :func:`~repro.utils.rng.derive_seed` key-path scheme, so results are
-bit-identical regardless of worker count, scheduling order, or start
-method; ``run_sweep(config, jobs=N)`` equals ``run_sweep(config)`` cell
-for cell.
+bit-identical regardless of backend, worker count, scheduling order, or
+start method; ``run_sweep(config, jobs=N)`` and
+``run_sweep(config, backend=...)`` equal ``run_sweep(config)`` cell for
+cell.
+
+Completed cells stream: backends yield results as the ordered prefix
+finishes, and ``run_sweep(config, resume=PATH)`` appends each cell to a
+:class:`~repro.experiments.store.ShardStore` JSONL file the moment it
+arrives — an interrupted sweep rerun with the same ``resume`` path
+skips every persisted cell and merges the store's cells with the newly
+computed ones via :func:`~repro.experiments.store.merge_sweeps`,
+reproducing the paper artifact's "parallelize across machines,
+aggregate the raw files afterwards" workflow (§A.7).
 
 Redundant work is eliminated by two layers of process-local caches:
 
@@ -56,15 +71,16 @@ it with identical determinism guarantees.
 
 from __future__ import annotations
 
-import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any
 
+import numpy as np
+
 from repro.analysis.atrisk import GroundTruth, max_simultaneous_post_errors
 from repro.analysis.memo import cached_ground_truth
+from repro.experiments.backends import ExecutionBackend, resolve_backend
 from repro.ecc.hamming import random_sec_code
 from repro.ecc.linear_code import SystematicCode
 from repro.memory.error_model import WordErrorProfile, sample_word_profile
@@ -88,6 +104,7 @@ __all__ = [
     "run_sweep",
     "execute_shards",
     "metrics_for_run",
+    "metrics_for_words",
     "clear_engine_caches",
 ]
 
@@ -156,6 +173,11 @@ def metrics_for_run(
     The required-capability metric is recomputed only at rounds where the
     identified set actually grows (identification is monotonic), keeping
     the reduction linear in practice.
+
+    This is the single-word reference reduction; the engine reduces all
+    words of a cell at once through the bit-identical batched
+    :func:`metrics_for_words`, whose numpy set-ops amortize across the
+    cell.
     """
     direct = ground_truth.direct_at_risk
     indirect = ground_truth.indirect_at_risk
@@ -194,6 +216,142 @@ def metrics_for_run(
         capability=tuple(capability),
         first_direct_round=first_direct,
     )
+
+
+def metrics_for_words(
+    runs: list[WordRunResult],
+    ground_truths: list[GroundTruth],
+    num_rounds: int,
+) -> list[WordMetrics]:
+    """Batched :func:`metrics_for_run` over every word of a cell.
+
+    Identification is monotonic, so each trace collapses into segments
+    of identical identified sets; the per-round set intersections that
+    the reference loop evaluates 4x per round become numpy set-ops over
+    the *whole cell*: every metric member's first-seen segment lands in
+    one global ``bincount``/``cumsum`` (counting, per segment, how many
+    of the word's at-risk positions are identified so far), and the
+    per-segment counts expand back to per-round series with one
+    ``repeat`` per metric.  The exponential required-capability metric
+    is evaluated once per segment, exactly as often as the reference.
+    Outputs are bit-identical to ``[metrics_for_run(r, t, num_rounds)
+    for r, t in zip(runs, ground_truths)]`` — property-tested, and the
+    speedup is pinned in ``benchmarks/bench_engine.py``.
+    """
+    words = list(zip(runs, ground_truths))
+    if not words:
+        return []
+    seg_starts_per_word: list[list[int]] = []
+    segs_per_word: list[int] = []
+    trace_lengths: list[int] = []
+    seg_end_parts: list[int] = []  # each word's starts[1:] + trace length
+    first_seen_direct: list[int] = []  # global segment index per member, -1 = never
+    first_seen_indirect: list[int] = []
+    first_seen_post: list[int] = []
+    indirect_totals: list[int] = []
+    capability_parts: list[int] = []
+    base = 0
+    for run, truth in words:
+        trace = run.identified_per_round
+        starts = [0] if len(trace) else []
+        if starts:
+            previous_set = trace[0]
+            for round_index in range(1, len(trace)):
+                identified = trace[round_index]
+                if identified is not previous_set and identified != previous_set:
+                    starts.append(round_index)
+                    previous_set = identified
+        segment_sets = [trace[index] for index in starts]
+        seg_starts_per_word.append(starts)
+        segs_per_word.append(len(starts))
+        trace_lengths.append(len(trace))
+        if starts:
+            seg_end_parts.extend(starts[1:])
+            seg_end_parts.append(len(trace))
+        post = truth.post_correction_at_risk
+        first_seen: dict[int, int] = {}
+        previous: frozenset[int] = frozenset()
+        for segment_index, identified in enumerate(segment_sets):
+            for position in identified - previous:
+                first_seen[position] = segment_index
+            previous = identified
+            capability_parts.append(max_simultaneous_post_errors(truth, post - identified))
+        get = first_seen.get
+        first_seen_direct.extend(
+            base + local if local >= 0 else -1
+            for local in (get(p, -1) for p in truth.direct_at_risk)
+        )
+        first_seen_indirect.extend(
+            base + local if local >= 0 else -1
+            for local in (get(p, -1) for p in truth.indirect_at_risk)
+        )
+        first_seen_post.extend(
+            base + local if local >= 0 else -1 for local in (get(p, -1) for p in post)
+        )
+        indirect_totals.append(len(truth.indirect_at_risk))
+        base += len(starts)
+
+    total_segments = base
+    segs = np.asarray(segs_per_word, dtype=np.int64)
+    word_base = np.concatenate(([0], np.cumsum(segs)[:-1]))
+    starts_flat = np.asarray(
+        [start for starts in seg_starts_per_word for start in starts], dtype=np.int64
+    )
+    seg_lengths = np.asarray(seg_end_parts, dtype=np.int64) - starts_flat
+
+    def segment_counts(first_seen_global: list[int]) -> Any:
+        """Per-segment identified-member counts, all words at once.
+
+        ``cumsum(bincount(first seen))`` counts, for every global
+        segment, the members first identified at or before it; each
+        word's own counts are that running total minus the total at the
+        word's base segment.
+        """
+        seen = np.asarray(first_seen_global, dtype=np.int64)
+        seen = seen[seen >= 0]
+        running = np.cumsum(np.bincount(seen, minlength=total_segments))
+        if not total_segments:
+            return running
+        preceding = np.concatenate(([0], running))[word_base]
+        return running - np.repeat(preceding, segs)
+
+    direct_segment = segment_counts(first_seen_direct)
+    indirect_segment = np.repeat(
+        np.asarray(indirect_totals, dtype=np.int64), segs
+    ) - segment_counts(first_seen_indirect)
+    post_segment = segment_counts(first_seen_post)
+    capability_segment = np.asarray(capability_parts, dtype=np.int64)
+
+    boundaries = np.cumsum(trace_lengths)[:-1]
+    direct_rounds = np.split(np.repeat(direct_segment, seg_lengths), boundaries)
+    indirect_rounds = np.split(np.repeat(indirect_segment, seg_lengths), boundaries)
+    post_rounds = np.split(np.repeat(post_segment, seg_lengths), boundaries)
+    capability_rounds = np.split(np.repeat(capability_segment, seg_lengths), boundaries)
+
+    metrics: list[WordMetrics] = []
+    cursor = 0
+    for word_index, (run, truth) in enumerate(words):
+        count = segs_per_word[word_index]
+        hit_segments = np.flatnonzero(direct_segment[cursor : cursor + count])
+        first_direct = (
+            seg_starts_per_word[word_index][int(hit_segments[0])] + 1
+            if hit_segments.size
+            else num_rounds
+        )
+        metrics.append(
+            WordMetrics(
+                direct_total=len(truth.direct_at_risk),
+                direct_identified=tuple(direct_rounds[word_index].tolist()),
+                indirect_total=len(truth.indirect_at_risk),
+                indirect_missed=tuple(indirect_rounds[word_index].tolist()),
+                post_total=len(truth.post_correction_at_risk),
+                post_identified=tuple(post_rounds[word_index].tolist()),
+                capability=tuple(capability_rounds[word_index].tolist()),
+                first_direct_round=first_direct,
+            )
+        )
+        cursor += count
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -346,26 +504,43 @@ def shard_grid(config) -> list[SweepShard]:
     ]
 
 
+#: Words reduced per :func:`metrics_for_words` call inside a shard: large
+#: enough to amortize the numpy set-ops, small enough that a PAPER-scale
+#: cell (2500 words) never holds every simulation trace at once.
+_METRICS_BATCH = 256
+
+
 def run_shard(shard: SweepShard) -> tuple[SweepCell, float]:
-    """Execute one cell shard, returning its cell and wall-clock seconds."""
+    """Execute one cell shard, returning its cell and wall-clock seconds.
+
+    Words simulate and reduce in :data:`_METRICS_BATCH`-sized groups so a
+    worker's peak memory holds one group's traces, not the whole cell's.
+    """
     started = time.perf_counter()
     config = shard.config
     words = _words_for(config, shard.error_count)
     profiler_cls = PROFILER_REGISTRY[shard.profiler]
     metrics: list[WordMetrics] = []
-    for ctx in words:
-        profile = WordErrorProfile(
-            ctx.positions, tuple(shard.probability for _ in ctx.positions)
+    for start in range(0, len(words), _METRICS_BATCH):
+        group = words[start : start + _METRICS_BATCH]
+        runs: list[WordRunResult] = []
+        for ctx in group:
+            profile = WordErrorProfile(
+                ctx.positions, tuple(shard.probability for _ in ctx.positions)
+            )
+            profiler = profiler_cls(ctx.code, seed=ctx.word_seed, pattern=config.pattern)
+            runs.append(
+                simulate_word(
+                    profiler,
+                    profile,
+                    config.num_rounds,
+                    ctx.word_seed,
+                    artifacts=_artifacts_for(ctx, config),
+                )
+            )
+        metrics.extend(
+            metrics_for_words(runs, [ctx.ground_truth for ctx in group], config.num_rounds)
         )
-        profiler = profiler_cls(ctx.code, seed=ctx.word_seed, pattern=config.pattern)
-        run = simulate_word(
-            profiler,
-            profile,
-            config.num_rounds,
-            ctx.word_seed,
-            artifacts=_artifacts_for(ctx, config),
-        )
-        metrics.append(metrics_for_run(run, ctx.ground_truth, config.num_rounds))
     cell = SweepCell(
         error_count=shard.error_count,
         probability=shard.probability,
@@ -375,65 +550,133 @@ def run_shard(shard: SweepShard) -> tuple[SweepCell, float]:
     return cell, time.perf_counter() - started
 
 
-def _resolve_jobs(jobs: int | None) -> int:
-    if jobs is None:
-        return 1
-    jobs = int(jobs)
-    if jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise ValueError(f"jobs must be >= 0, got {jobs}")
-    return jobs
-
-
-def execute_shards(worker, shards, jobs: int | None = None, chunksize: int = 1) -> list:
-    """Map ``worker`` over picklable shards, serially or across a pool.
+def execute_shards(
+    worker,
+    shards,
+    jobs: int | None = None,
+    chunksize: int = 1,
+    backend: ExecutionBackend | str | None = None,
+) -> list:
+    """Map ``worker`` over picklable shards on a pluggable backend.
 
     The generic execution core shared by :func:`run_sweep` and the Fig 10
     case-study runner: ``worker`` must be a module-level (picklable) pure
     function of one shard.  Results come back in shard order, and because
     every shard re-derives its state from seeds alone, the output is
-    bit-identical for every ``jobs`` setting.  ``chunksize`` groups
-    contiguous shards onto one worker so shards sharing per-process cache
-    state (same code, same words) stay together.
+    bit-identical for every backend and ``jobs`` setting.  ``chunksize``
+    groups contiguous shards onto one worker so shards sharing
+    per-process cache state (same code, same words) stay together.
+
+    ``backend`` accepts an :class:`~repro.experiments.backends.ExecutionBackend`
+    instance or a spec string (``serial``, ``process``, ``socket``,
+    ``socket://HOST:PORT``); when omitted, ``jobs`` picks between the
+    serial and process-pool backends exactly as before.
     """
-    worker_count = _resolve_jobs(jobs)
-    if worker_count > 1 and len(shards) > 1:
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            return list(pool.map(worker, shards, chunksize=chunksize))
-    return [worker(shard) for shard in shards]
+    return resolve_backend(backend, jobs).map(worker, shards, chunksize=chunksize)
 
 
-def run_sweep(config, jobs: int | None = None) -> SweepResult:
+def _sweep_chunksize(config, num_shards: int, worker_count: int) -> int:
+    """Chunk size aligning pool chunks to whole error-count blocks.
+
+    Grid order is error-count-major, so a block's word sampling and
+    exponential ground-truth enumeration stay on one worker; when there
+    are fewer blocks than workers, each block splits as evenly as
+    possible instead of starving the pool.
+    """
+    blocks = max(1, len(config.error_counts))
+    block_size = max(1, num_shards // blocks)
+    if blocks >= worker_count:
+        return block_size
+    splits_per_block = -(-worker_count // blocks)  # ceil division
+    return max(1, block_size // splits_per_block)
+
+
+def run_sweep(
+    config,
+    jobs: int | None = None,
+    backend: ExecutionBackend | str | None = None,
+    resume: str | None = None,
+) -> SweepResult:
     """Execute the full (error count x probability x profiler) grid.
 
     Args:
         config: a :class:`~repro.experiments.config.SweepConfig` (or any
             compatible object; it must be hashable — and picklable for
-            ``jobs > 1`` — because word sampling is cached per config).
+            any multi-process backend — because word sampling is cached
+            per config).
         jobs: worker processes.  ``None``/``1`` runs serially in-process;
             ``N > 1`` uses a pool of ``N``; ``0`` uses one per CPU.  The
             result is bit-identical for every setting.
+        backend: execution backend instance or spec string (``serial``,
+            ``process``, ``socket``, ``socket://HOST:PORT``); ``None``
+            infers serial/process-pool from ``jobs``.  Bit-identical
+            across all backends.
+        resume: path to a :class:`~repro.experiments.store.ShardStore`
+            JSONL file.  Completed cells stream to it as they finish,
+            already-persisted cells are skipped on restart, and the
+            returned result merges stored and fresh cells — equal to an
+            uninterrupted run, cell for cell.
     """
+    from repro.experiments.store import ShardStore, config_to_dict, merge_sweeps
+
+    if resume is not None and config_to_dict(config) is None:
+        raise ValueError(
+            "resume requires the library SweepConfig: an opaque config "
+            "cannot be verified against the store, so stale cells from a "
+            "different experiment could silently leak into the result"
+        )
     shards = shard_grid(config)
-    worker_count = _resolve_jobs(jobs)
-    # Align chunks to whole error-count blocks (grid order is
-    # error-count-major) so a block's word sampling and exponential
-    # ground-truth enumeration stay on one worker; when there are
-    # fewer blocks than workers, split each block as evenly as
-    # possible instead of starving the pool.
-    blocks = max(1, len(config.error_counts))
-    block_size = max(1, len(shards) // blocks)
-    if blocks >= worker_count:
-        chunksize = block_size
-    else:
-        splits_per_block = -(-worker_count // blocks)  # ceil division
-        chunksize = max(1, block_size // splits_per_block)
+    # Resolve (and validate) the backend before any store side effects:
+    # a bad spec must not leave a header-only store file behind.
+    executor = resolve_backend(backend, jobs)
+    store: ShardStore | None = None
+    persisted = SweepResult(config=None, cells={}, timings={})
+    if resume is not None:
+        store = ShardStore(resume)
+        persisted = store.load()
+        if persisted.cells and persisted.config is None:
+            raise ValueError(
+                f"{resume} holds cells but does not record the sweep config "
+                "that produced them; refusing to reuse cells that cannot be "
+                "verified (use a fresh --resume path)"
+            )
+        if persisted.config is not None and persisted.config != config:
+            raise ValueError(
+                f"{resume} was written by a different sweep config; "
+                "refusing to mix results (use a fresh --resume path)"
+            )
+        store.open(config)
+    pending = [shard for shard in shards if shard.key not in persisted.cells]
+
+    # Chunk size derives from the *full* grid even when resuming.  On a
+    # fresh run the chunks then align to whole error-count blocks,
+    # keeping a block's word sampling and ground-truth enumeration on
+    # one worker; on a resume the holes left by persisted cells can
+    # shift boundaries so a chunk straddles two blocks — a bounded,
+    # accepted cost, since long-lived workers memoize each block they
+    # touch via the process-local ``_words_for`` cache anyway.
+    chunksize = _sweep_chunksize(config, len(shards), executor.worker_hint())
     cells: dict[tuple[int, float, str], SweepCell] = {}
     timings: dict[tuple[int, float, str], float] = {}
-    for shard, (cell, elapsed) in zip(
-        shards, execute_shards(run_shard, shards, jobs, chunksize=chunksize)
-    ):
-        cells[shard.key] = cell
-        timings[shard.key] = elapsed
-    return SweepResult(config=config, cells=cells, timings=timings)
+    try:
+        # Completion order, not shard order: every finished cell becomes
+        # durable the moment any worker delivers it, so a crash loses at
+        # most the chunks still in flight — never completed stragglers
+        # held back behind a slow ordered prefix.
+        for index, (cell, elapsed) in executor.imap_unordered(
+            run_shard, pending, chunksize=chunksize
+        ):
+            key = pending[index].key
+            cells[key] = cell
+            timings[key] = elapsed
+            if store is not None:
+                store.append(cell, elapsed)
+    finally:
+        if store is not None:
+            store.close()
+    fresh = SweepResult(config=config, cells=cells, timings=timings)
+    merged = merge_sweeps([persisted, fresh]) if persisted.cells else fresh
+    # Restore grid order (cells arrive in completion order, resumed ones
+    # first) so the result is indistinguishable from a serial run.
+    ordered = {shard.key: merged.cells[shard.key] for shard in shards if shard.key in merged.cells}
+    return SweepResult(config=config, cells=ordered, timings=merged.timings)

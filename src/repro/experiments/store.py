@@ -1,20 +1,49 @@
-"""Serialization of sweep results (artifact-workflow support).
+"""Serialization and streaming persistence of sweep results.
 
 The paper's artifact parallelizes Monte-Carlo jobs across machines and
 aggregates raw output files afterwards (§A.7).  This module provides the
-equivalent for the Python reproduction: :class:`SweepResult` objects
-round-trip through JSON, and results from independently-run shards (e.g.
-different seeds or disjoint cells) merge into one result for the
-reduction layer.
+equivalent for the Python reproduction, in two layers:
+
+* **Documents** — :class:`SweepResult` objects round-trip through JSON
+  (``repro-sweep-v2``: cells, per-cell timings, *and* the sweep config,
+  so a shard file is self-describing; ``v1`` files without a config
+  still load), and results from independently-run shards merge into one
+  result via :func:`merge_sweeps`.
+* **Streams** — :class:`ShardStore` appends each completed cell to a
+  JSONL file the moment it finishes, so a killed sweep loses nothing:
+  an interrupted run resumes from the cells already on disk
+  (``run_sweep(..., resume=PATH)``), and downstream consumers can read
+  the records line by line without loading a full result.  (The driver
+  itself still assembles the complete in-memory :class:`SweepResult` it
+  returns — the store bounds *loss*, not driver memory.)  A record is
+  one line; a crash mid-append leaves at most one damaged final line,
+  which loading tolerates and appending repairs or trims.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import IO, Iterable
 
+from repro.experiments.config import SweepConfig
 from repro.experiments.runner import SweepCell, SweepResult, WordMetrics
 
-__all__ = ["sweep_to_json", "sweep_from_json", "merge_sweeps"]
+__all__ = [
+    "sweep_to_json",
+    "sweep_from_json",
+    "merge_sweeps",
+    "config_to_dict",
+    "config_from_dict",
+    "ShardStore",
+]
+
+#: Current on-disk format tag (header of both documents and JSONL stores).
+FORMAT_V2 = "repro-sweep-v2"
+#: PR 1 format: cells and timings only, no config.
+FORMAT_V1 = "repro-sweep-v1"
 
 
 def _metrics_to_dict(metrics: WordMetrics) -> dict:
@@ -43,57 +72,108 @@ def _metrics_from_dict(payload: dict) -> WordMetrics:
     )
 
 
-def sweep_to_json(sweep: SweepResult) -> str:
-    """Serialize a sweep's cells and per-cell timings (not its config) to JSON.
+def config_to_dict(config) -> dict | None:
+    """JSON-safe dict of a :class:`SweepConfig` (``None`` if not one).
 
-    A cell's wall-clock seconds ride along as its ``seconds`` field when
-    the engine recorded them, so aggregated shard files keep the cost
-    accounting the streaming/distributed backends need.
+    Sweeps may run with any hashable config-like object; only the
+    library's own frozen dataclass is given a guaranteed round-trip.
+    """
+    if not isinstance(config, SweepConfig):
+        return None
+    payload = asdict(config)
+    for key, value in payload.items():
+        if isinstance(value, tuple):
+            payload[key] = list(value)
+    return payload
+
+
+def config_from_dict(payload: dict | None) -> SweepConfig | None:
+    """Inverse of :func:`config_to_dict` (``None`` passes through)."""
+    if payload is None:
+        return None
+    kwargs = dict(payload)
+    for key, value in kwargs.items():
+        if isinstance(value, list):
+            kwargs[key] = tuple(value)
+    return SweepConfig(**kwargs)
+
+
+def _cell_to_dict(cell: SweepCell, seconds: float | None = None) -> dict:
+    entry = {
+        "error_count": cell.error_count,
+        "probability": cell.probability,
+        "profiler": cell.profiler,
+        "words": [_metrics_to_dict(m) for m in cell.words],
+    }
+    if seconds is not None:
+        entry["seconds"] = seconds
+    return entry
+
+
+def _cell_from_dict(entry: dict) -> tuple[tuple[int, float, str], SweepCell, float | None]:
+    key = (int(entry["error_count"]), float(entry["probability"]), str(entry["profiler"]))
+    cell = SweepCell(
+        error_count=key[0],
+        probability=key[1],
+        profiler=key[2],
+        words=[_metrics_from_dict(m) for m in entry["words"]],
+    )
+    seconds = float(entry["seconds"]) if "seconds" in entry else None
+    return key, cell, seconds
+
+
+def sweep_to_json(sweep: SweepResult) -> str:
+    """Serialize a sweep — cells, per-cell timings, and config — to JSON.
+
+    Emits the self-describing ``repro-sweep-v2`` document: when the
+    sweep's config is the library's :class:`SweepConfig` it rides along
+    and :func:`sweep_from_json` restores it, fixing the v1 wart where a
+    shard file forgot what experiment produced it.  A cell's wall-clock
+    seconds ride along as its ``seconds`` field when the engine recorded
+    them, so aggregated shard files keep the cost accounting the
+    streaming/distributed backends need.
     """
     cells = []
-    for (error_count, probability, profiler), cell in sorted(sweep.cells.items()):
-        entry = {
-            "error_count": error_count,
-            "probability": probability,
-            "profiler": profiler,
-            "words": [_metrics_to_dict(m) for m in cell.words],
-        }
-        seconds = sweep.timings.get((error_count, probability, profiler))
-        if seconds is not None:
-            entry["seconds"] = seconds
-        cells.append(entry)
-    return json.dumps({"format": "repro-sweep-v1", "cells": cells})
+    for key, cell in sorted(sweep.cells.items()):
+        cells.append(_cell_to_dict(cell, sweep.timings.get(key)))
+    return json.dumps(
+        {"format": FORMAT_V2, "config": config_to_dict(sweep.config), "cells": cells}
+    )
 
 
 def sweep_from_json(document: str) -> SweepResult:
-    """Inverse of :func:`sweep_to_json` (config is not recoverable)."""
+    """Inverse of :func:`sweep_to_json`.
+
+    Accepts both ``repro-sweep-v2`` (config round-trips) and the legacy
+    ``repro-sweep-v1`` (config is ``None``) documents.
+    """
     payload = json.loads(document)
-    if payload.get("format") != "repro-sweep-v1":
+    version = payload.get("format")
+    if version not in (FORMAT_V1, FORMAT_V2):
         raise ValueError("not a repro sweep document")
+    config = config_from_dict(payload.get("config")) if version == FORMAT_V2 else None
     cells: dict[tuple[int, float, str], SweepCell] = {}
     timings: dict[tuple[int, float, str], float] = {}
     for entry in payload["cells"]:
-        key = (int(entry["error_count"]), float(entry["probability"]), str(entry["profiler"]))
-        cells[key] = SweepCell(
-            error_count=key[0],
-            probability=key[1],
-            profiler=key[2],
-            words=[_metrics_from_dict(m) for m in entry["words"]],
-        )
-        if "seconds" in entry:
-            timings[key] = float(entry["seconds"])
-    return SweepResult(config=None, cells=cells, timings=timings)
+        key, cell, seconds = _cell_from_dict(entry)
+        cells[key] = cell
+        if seconds is not None:
+            timings[key] = seconds
+    return SweepResult(config=config, cells=cells, timings=timings)
 
 
-def merge_sweeps(shards: list[SweepResult]) -> SweepResult:
+def merge_sweeps(shards: Iterable[SweepResult]) -> SweepResult:
     """Merge independently-run shards into one result.
 
     Cells present in several shards concatenate their word lists (the
     paper's "aggregate the raw data, regardless of how the ECC codes are
     partitioned") and *sum* their timings — the merged cell's cost is the
     total CPU spent on it across shards.  The merged result keeps the
-    first shard's config.
+    first shard's config, falling back to the first non-``None`` config
+    so a resumed store (config on disk) merged with a fresh run keeps a
+    usable config either way.
     """
+    shards = list(shards)
     if not shards:
         raise ValueError("need at least one shard")
     merged: dict[tuple[int, float, str], SweepCell] = {}
@@ -118,7 +198,10 @@ def merge_sweeps(shards: list[SweepResult]) -> SweepResult:
                 )
         for key, seconds in shard.timings.items():
             timings[key] = timings.get(key, 0.0) + seconds
-    return SweepResult(config=shards[0].config, cells=merged, timings=timings)
+    config = shards[0].config
+    if config is None:
+        config = next((s.config for s in shards if s.config is not None), None)
+    return SweepResult(config=config, cells=merged, timings=timings)
 
 
 def _check_compatible(a: SweepCell, b: SweepCell) -> None:
@@ -128,3 +211,174 @@ def _check_compatible(a: SweepCell, b: SweepCell) -> None:
                 "cannot merge shards with different round counts "
                 f"({len(a.words[0].capability)} vs {len(b.words[0].capability)})"
             )
+
+
+class ShardStore:
+    """Append-only JSONL stream of completed sweep cells.
+
+    Layout: the first line is a ``repro-sweep-v2`` header record
+    carrying the sweep config; every following line is one completed
+    cell.  Appends flush and fsync per record, so after a crash the file
+    holds every fully-reported cell plus at most one truncated tail
+    line, which :meth:`load` skips (and a resume simply recomputes).
+
+    The store is the disk half of ``run_sweep(..., resume=PATH)``: the
+    engine appends cells as backends complete them and, on restart,
+    skips every shard whose key is already present.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+
+    # -- reading --------------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> SweepResult:
+        """Read every intact record; tolerate a truncated final line.
+
+        A torn write only ever affects the last line (appends are
+        sequential), so a JSON error anywhere earlier means real
+        corruption and raises.
+        """
+        config = None
+        cells: dict[tuple[int, float, str], SweepCell] = {}
+        timings: dict[tuple[int, float, str], float] = {}
+        if not self.path.exists():
+            return SweepResult(config=None, cells=cells, timings=timings)
+        lines = self.path.read_text().splitlines()
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines) - 1:
+                    break  # torn tail from an interrupted append
+                raise ValueError(
+                    f"{self.path}: corrupt shard record on line {number + 1}"
+                ) from None
+            if record.get("format") in (FORMAT_V1, FORMAT_V2) and "cells" in record:
+                # A whole sweep_to_json document, not a store: resuming
+                # onto it would ignore its cells and append records that
+                # corrupt it — refuse loudly instead.
+                raise ValueError(
+                    f"{self.path} is a sweep_to_json document, not a JSONL "
+                    "shard store; load it with sweep_from_json (and give "
+                    "--resume its own path)"
+                )
+            if record.get("format") == FORMAT_V2 and record.get("kind") == "header":
+                config = config_from_dict(record.get("config"))
+            elif record.get("kind") == "cell":
+                key, cell, seconds = _cell_from_dict(record)
+                cells[key] = cell  # duplicate keys: last append wins
+                if seconds is not None:
+                    timings[key] = seconds
+            else:
+                raise ValueError(f"{self.path}: unknown shard record on line {number + 1}")
+        return SweepResult(config=config, cells=cells, timings=timings)
+
+    def keys(self) -> set[tuple[int, float, str]]:
+        """Keys of every intact persisted cell."""
+        return set(self.load().cells)
+
+    # -- writing --------------------------------------------------------
+
+    def open(self, config=None) -> "ShardStore":
+        """Open for appending, writing the header record on a new file.
+
+        An existing file first has any torn tail line removed (records
+        are written newline-terminated in one call, so an interrupted
+        append is exactly a final line with no ``\\n``); appending after
+        the fragment without trimming would otherwise fuse the next
+        record onto it and corrupt both.
+        """
+        if self._handle is not None:
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            self._trim_torn_tail()
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._write_record(
+                {"format": FORMAT_V2, "kind": "header", "config": config_to_dict(config)}
+            )
+        return self
+
+    def _trim_torn_tail(self) -> None:
+        """Truncate an interrupted final append.
+
+        Mirrors exactly what :meth:`load` keeps, so nothing ever gets
+        appended *after* a record that loading would skip, and nothing
+        loading would *keep* is dropped: a final line missing its
+        newline is repaired in place when it still parses (the tear hit
+        only the terminator — ``load`` counts that record, so the disk
+        must too) and truncated otherwise; a newline-terminated final
+        line that does not parse (a crash between flush and fsync can
+        persist the trailing page, newline included, while losing an
+        earlier one) is truncated as well.
+        """
+        with open(self.path, "rb+") as handle:
+            size = handle.seek(0, os.SEEK_END)
+            if not size:
+                return
+            # A tear only ever affects the tail, so inspect a window off
+            # the end instead of reading a paper-scale store whole; the
+            # window grows until it spans the last few (possibly huge)
+            # records or the file start.
+            window = 1 << 16
+            while True:
+                start = max(0, size - window)
+                handle.seek(start)
+                data = handle.read(size - start)
+                if start == 0 or data.count(b"\n") >= 3:
+                    break
+                window <<= 1
+            if not data.endswith(b"\n"):
+                tail_start = data.rfind(b"\n") + 1  # 0 on a header-only tear
+                try:
+                    json.loads(data[tail_start:])
+                except json.JSONDecodeError:
+                    data = data[:tail_start]
+                    handle.truncate(start + tail_start)
+                else:
+                    handle.seek(0, os.SEEK_END)
+                    handle.write(b"\n")
+                    data += b"\n"
+            if not data:
+                return
+            last_start = data.rfind(b"\n", 0, len(data) - 1) + 1
+            if last_start == 0 and start > 0:
+                return  # one intact giant record fills the window: valid
+            try:
+                json.loads(data[last_start:])
+            except json.JSONDecodeError:
+                handle.truncate(start + last_start)
+
+    def append(self, cell: SweepCell, seconds: float | None = None) -> None:
+        """Durably append one completed cell (opens the store if needed)."""
+        if self._handle is None:
+            self.open()
+        record = _cell_to_dict(cell, seconds)
+        record["kind"] = "cell"
+        self._write_record(record)
+
+    def _write_record(self, record: dict) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ShardStore":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,338 @@
+"""Tests of the pluggable execution backends.
+
+Covers the backend contract (results in shard order, bit-identical
+across serial / process-pool / socket execution), the socket protocol's
+length-prefixed framing, the worker loop, remote-error propagation, and
+the backend spec strings the CLI forwards.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.experiments import fig10
+from repro.experiments.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketBackend,
+    _recv_msg,
+    _send_msg,
+    parse_address,
+    resolve_backend,
+    resolve_jobs,
+    run_worker,
+)
+from repro.experiments.config import CaseStudyConfig, SweepConfig
+from repro.experiments.runner import run_sweep
+
+CONFIG = SweepConfig(
+    num_codes=2,
+    words_per_code=2,
+    num_rounds=16,
+    error_counts=(2, 3),
+    probabilities=(0.5, 1.0),
+    profilers=("Naive", "HARP-U"),
+)
+
+#: Worker spawns are slow; keep the socket-backed sweeps on one grid.
+SOCKET_TIMEOUT = 120.0
+
+
+def _identity(value):
+    return value * 2
+
+
+def _boom(value):
+    raise ValueError(f"cannot process {value}")
+
+
+def _die_once_then_succeed(item):
+    """Hard-kills the first worker process that sees a ``kill-once`` item.
+
+    The marker file distinguishes the first attempt (die mid-chunk, no
+    reply frame) from the requeued retry on a surviving worker.
+    """
+    import os
+
+    kind, payload = item
+    if kind == "kill-once":
+        if not os.path.exists(payload):
+            open(payload, "w").close()
+            os._exit(1)
+        return ("survived", payload)
+    return ("ok", payload)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        left, right = socket.socketpair()
+        with left, right:
+            message = ("task", 3, _identity, [1, 2, 3])
+            _send_msg(left, message)
+            received = _recv_msg(right)
+        assert received[0] == "task"
+        assert received[1] == 3
+        assert received[2] is _identity
+        assert received[3] == [1, 2, 3]
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        right.close()
+        with left:
+            assert _recv_msg(left) is None
+
+    def test_mid_frame_eof_raises(self):
+        left, right = socket.socketpair()
+        with left:
+            left.sendall(b"\x00\x00\x00")  # partial length header
+            left.shutdown(socket.SHUT_WR)
+            with pytest.raises(ConnectionError):
+                _recv_msg(right)
+        right.close()
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.1:7071") == ("10.0.0.1", 7071)
+        assert parse_address(":9") == ("127.0.0.1", 9)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+        with pytest.raises(ValueError):
+            parse_address("host:seven")
+
+
+class TestResolveBackend:
+    def test_none_infers_from_jobs(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend(None, jobs=1), SerialBackend)
+        pool = resolve_backend(None, jobs=3)
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.jobs == 3
+
+    def test_spec_strings(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("process", jobs=2), ProcessPoolBackend)
+        sock = resolve_backend("socket", jobs=2)
+        assert isinstance(sock, SocketBackend)
+        assert sock.spawn_workers == 2
+
+    def test_explicitly_parallel_specs_default_to_cpu_count(self):
+        """--backend process/socket without --jobs must not run serial."""
+        import os
+
+        cpus = os.cpu_count() or 1
+        assert resolve_backend("process").jobs == cpus
+        assert resolve_backend("socket").spawn_workers == max(1, cpus)
+        assert resolve_backend("socket://127.0.0.1:7071").spawn_workers == cpus
+
+    def test_socket_url_binds_host(self):
+        backend = resolve_backend("socket://0.0.0.0:7071", jobs=0)
+        assert (backend.bind_host, backend.bind_port) == ("0.0.0.0", 7071)
+        assert backend.spawn_workers == 0  # remote-only server
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("carrier-pigeon")
+
+    def test_worker_hint_drives_chunking(self):
+        assert SerialBackend().worker_hint() == 1
+        assert ProcessPoolBackend(jobs=3).worker_hint() == 3
+        # Loopback spawn-only pools have an exactly-known size.
+        assert SocketBackend(spawn_workers=8).worker_hint() == 8
+        assert SocketBackend(spawn_workers=2).worker_hint() == 2
+        # Remote-capable servers can't know the fleet size; the estimate
+        # must exceed typical error-count block counts or chunking would
+        # never split blocks and larger fleets would starve.
+        assert SocketBackend(spawn_workers=0).worker_hint() > 4
+        assert SocketBackend(bind="0.0.0.0:7071", spawn_workers=2).worker_hint() > 4
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestBackendContract:
+    """Each backend maps a plain function over items in order."""
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            SerialBackend(),
+            ProcessPoolBackend(jobs=2),
+            SocketBackend(spawn_workers=2, timeout=SOCKET_TIMEOUT),
+        ],
+        ids=["serial", "process", "socket"],
+    )
+    def test_map_preserves_order(self, backend):
+        values = list(range(7))
+        assert backend.map(_identity, values, chunksize=2) == [v * 2 for v in values]
+
+    def test_empty_shards(self):
+        assert SerialBackend().map(_identity, []) == []
+        assert SocketBackend(spawn_workers=1, timeout=SOCKET_TIMEOUT).map(_identity, []) == []
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            SerialBackend(),
+            ProcessPoolBackend(jobs=2),
+            SocketBackend(spawn_workers=2, timeout=SOCKET_TIMEOUT),
+        ],
+        ids=["serial", "process", "socket"],
+    )
+    def test_imap_unordered_covers_every_shard_with_right_indices(self, backend):
+        """Completion order is free; the (index, result) pairing is not."""
+        values = list(range(7))
+        pairs = list(backend.imap_unordered(_identity, values, chunksize=2))
+        assert sorted(pairs) == [(i, v * 2) for i, v in enumerate(values)]
+
+    def test_socket_error_propagates(self):
+        backend = SocketBackend(spawn_workers=1, timeout=SOCKET_TIMEOUT)
+        with pytest.raises(RuntimeError, match="cannot process"):
+            backend.map(_boom, [1, 2])
+
+    def test_worker_death_mid_chunk_requeues_to_survivor(self, tmp_path):
+        """The module docstring's promise: a worker that dies mid-chunk
+        has that chunk requeued for the surviving workers."""
+        import os
+
+        marker = str(tmp_path / "killed-once")
+        items = [("plain", 1), ("kill-once", marker), ("plain", 2)]
+        backend = SocketBackend(spawn_workers=2, timeout=SOCKET_TIMEOUT)
+        results = backend.map(_die_once_then_succeed, items, chunksize=1)
+        assert results == [("ok", 1), ("survived", marker), ("ok", 2)]
+        assert os.path.exists(marker)  # the first attempt really died
+
+
+class TestSweepBitIdentity:
+    """Acceptance: serial, process-pool, and socket sweeps are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_sweep(CONFIG)
+
+    @pytest.mark.parametrize("spec", ["serial", "process"], ids=["serial", "process"])
+    def test_local_backends_match(self, serial, spec):
+        result = run_sweep(CONFIG, jobs=2, backend=spec)
+        assert result.cells.keys() == serial.cells.keys()
+        for key in serial.cells:
+            assert result.cells[key].words == serial.cells[key].words, key
+
+    def test_socket_end_to_end_matches_serial(self, serial):
+        """Spawn 2 local workers over the socket protocol (the CI smoke)."""
+        backend = SocketBackend(spawn_workers=2, timeout=SOCKET_TIMEOUT)
+        result = run_sweep(CONFIG, backend=backend)
+        assert result.cells.keys() == serial.cells.keys()
+        for key in serial.cells:
+            assert result.cells[key].words == serial.cells[key].words, key
+
+    def test_seeded_variants_match(self):
+        """Property-style spot check across config variations."""
+        from dataclasses import replace
+
+        for variant in (
+            replace(CONFIG, seed=7),
+            replace(CONFIG, pattern="charged"),
+        ):
+            reference = run_sweep(variant)
+            parallel = run_sweep(variant, jobs=2)
+            for key in reference.cells:
+                assert parallel.cells[key].words == reference.cells[key].words, key
+
+
+class TestFig10OverSocket:
+    def test_case_study_matches_serial(self):
+        config = CaseStudyConfig(
+            num_codes=2,
+            words_per_stratum=2,
+            num_rounds=32,
+            probabilities=(0.5,),
+            rbers=(1e-4,),
+            max_at_risk=3,
+            profilers=("Naive", "HARP-U"),
+        )
+        serial = fig10.run(config)
+        remote = fig10.run(
+            config, backend=SocketBackend(spawn_workers=2, timeout=SOCKET_TIMEOUT)
+        )
+        assert remote.before == serial.before
+        assert remote.after == serial.after
+        assert remote.rounds_to_zero == serial.rounds_to_zero
+
+
+class TestExternalWorker:
+    """A worker process started by hand (the multi-machine path)."""
+
+    def test_run_worker_joins_listening_server(self):
+        backend = SocketBackend(spawn_workers=0, timeout=SOCKET_TIMEOUT)
+        executed = {}
+
+        def join_when_listening():
+            while backend.address is None:
+                pass
+            host, port = backend.address
+            executed["chunks"] = run_worker(f"{host}:{port}")
+
+        worker = threading.Thread(target=join_when_listening, daemon=True)
+        worker.start()
+        results = backend.map(_identity, list(range(5)), chunksize=2)
+        worker.join(timeout=SOCKET_TIMEOUT)
+        assert results == [v * 2 for v in range(5)]
+        assert executed["chunks"] == (3, True)  # 3 chunks, clean session
+
+    def test_unreachable_server_reports_not_reached(self):
+        executed, reached = run_worker("127.0.0.1:9", linger=0.0)
+        assert executed == 0
+        assert reached is False
+
+    def test_silent_probe_connection_does_not_stall_the_map(self):
+        """A port scan / health check that connects and says nothing must
+        neither hang its handler forever nor starve the real workers."""
+        backend = SocketBackend(spawn_workers=1, timeout=SOCKET_TIMEOUT)
+        probes = []
+
+        def probe_when_listening():
+            while backend.address is None:
+                pass
+            probe = socket.create_connection(backend.address)
+            probes.append(probe)  # connect, send nothing, hold open
+
+        threading.Thread(target=probe_when_listening, daemon=True).start()
+        assert backend.map(_identity, list(range(4)), chunksize=1) == [
+            v * 2 for v in range(4)
+        ]
+        for probe in probes:
+            probe.close()
+
+    def test_lingering_worker_serves_consecutive_maps(self):
+        """Multi-sweep exhibits drain workers per sweep; linger rejoins.
+
+        One fixed port, two separate maps (as ext-patterns or headline
+        would run), one external worker with a linger window: it must
+        execute chunks of both.
+        """
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        worker = threading.Thread(
+            target=run_worker,
+            args=(f"127.0.0.1:{port}",),
+            kwargs={"linger": SOCKET_TIMEOUT / 2},
+            daemon=True,
+        )
+        worker.start()
+        first = SocketBackend(
+            bind=f"127.0.0.1:{port}", spawn_workers=0, timeout=SOCKET_TIMEOUT
+        ).map(_identity, [1, 2], chunksize=1)
+        second = SocketBackend(
+            bind=f"127.0.0.1:{port}", spawn_workers=0, timeout=SOCKET_TIMEOUT
+        ).map(_identity, [3, 4], chunksize=1)
+        assert first == [2, 4]
+        assert second == [6, 8]

@@ -23,7 +23,9 @@ class TestParser:
         assert args.jobs == 2
         assert args.timings is True
         defaults = build_parser().parse_args(["fig6"])
-        assert defaults.jobs == 1
+        # Unset jobs lets the backend decide: serial by default, one
+        # worker per CPU for the explicitly parallel backends.
+        assert defaults.jobs is None
         assert defaults.timings is False
 
     def test_unknown_command_rejected(self):
@@ -90,3 +92,59 @@ class TestExecution:
     def test_ext_dec(self, capsys):
         assert main(["ext-dec"]) == 0
         assert "DEC extension" in capsys.readouterr().out
+
+
+class TestBackendAndResumeFlags:
+    def test_backend_and_resume_parse(self):
+        args = build_parser().parse_args(
+            ["fig6", "--backend", "socket://0.0.0.0:7071", "--resume", "cells.jsonl"]
+        )
+        assert args.backend == "socket://0.0.0.0:7071"
+        assert args.resume == "cells.jsonl"
+        defaults = build_parser().parse_args(["fig6"])
+        assert defaults.backend is None
+        assert defaults.resume is None
+
+    def test_worker_subcommand_parses(self):
+        args = build_parser().parse_args(["worker", "--connect", "10.0.0.2:7071"])
+        assert args.command == "worker"
+        assert args.connect == "10.0.0.2:7071"
+        assert args.linger == 10.0
+        args = build_parser().parse_args(
+            ["worker", "--connect", ":7071", "--linger", "0"]
+        )
+        assert args.linger == 0.0
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+
+    def test_paper_scale_parses(self):
+        args = build_parser().parse_args(["fig6", "--scale", "paper"])
+        assert args.scale == "paper"
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(ValueError, match="unknown backend"):
+            main(["fig6", "--scale", "unit", "--backend", "carrier-pigeon"])
+        capsys.readouterr()
+
+    def test_fig6_socket_backend_matches_serial(self, capsys):
+        """End-to-end: 2 spawned worker processes, bit-identical exhibit."""
+        assert main(["fig6", "--scale", "unit", "--backend", "serial"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig6", "--scale", "unit", "--backend", "socket", "--jobs", "2"]) == 0
+        socket_run = capsys.readouterr().out
+        assert serial == socket_run
+
+    def test_fig6_resume_roundtrip(self, capsys, tmp_path):
+        """A resumed rerun reads the store and renders identically."""
+        store = tmp_path / "fig6.jsonl"
+        assert main(["fig6", "--scale", "unit"]) == 0
+        fresh = capsys.readouterr().out
+        assert main(["fig6", "--scale", "unit", "--resume", str(store)]) == 0
+        first = capsys.readouterr().out
+        size_after_first = store.stat().st_size
+        assert main(["fig6", "--scale", "unit", "--resume", str(store)]) == 0
+        second = capsys.readouterr().out
+        assert fresh == first == second
+        assert store.stat().st_size == size_after_first  # all cells reused

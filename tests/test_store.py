@@ -1,5 +1,6 @@
-"""Tests for sweep-result serialization and shard merging."""
+"""Tests for sweep-result serialization, shard merging, and the JSONL store."""
 
+import json
 from dataclasses import replace
 
 import pytest
@@ -7,7 +8,14 @@ import pytest
 from repro.experiments.config import SweepConfig
 from repro.experiments.fig6 import coverage_curve
 from repro.experiments.runner import run_sweep
-from repro.experiments.store import merge_sweeps, sweep_from_json, sweep_to_json
+from repro.experiments.store import (
+    ShardStore,
+    config_from_dict,
+    config_to_dict,
+    merge_sweeps,
+    sweep_from_json,
+    sweep_to_json,
+)
 
 CONFIG = SweepConfig(
     num_codes=2,
@@ -117,3 +125,226 @@ class TestTimings:
         merged = merge_sweeps([sweep, other])
         restored = sweep_from_json(sweep_to_json(merged))
         assert restored.timings == pytest.approx(merged.timings)
+
+
+class TestConfigRoundtrip:
+    """repro-sweep-v2 documents are self-describing."""
+
+    def test_config_dict_roundtrip(self):
+        assert config_from_dict(config_to_dict(CONFIG)) == CONFIG
+
+    def test_non_sweep_config_serializes_as_none(self):
+        assert config_to_dict(("opaque", "config")) is None
+        assert config_from_dict(None) is None
+
+    def test_document_restores_config(self, sweep):
+        restored = sweep_from_json(sweep_to_json(sweep))
+        assert restored.config == CONFIG
+
+    def test_v1_documents_still_load(self, sweep):
+        payload = json.loads(sweep_to_json(sweep))
+        payload["format"] = "repro-sweep-v1"
+        del payload["config"]
+        restored = sweep_from_json(json.dumps(payload))
+        assert restored.config is None
+        assert restored.cells.keys() == sweep.cells.keys()
+        for key in sweep.cells:
+            assert restored.cells[key].words == sweep.cells[key].words
+
+
+class TestShardStore:
+    def test_append_load_roundtrip(self, sweep, tmp_path):
+        store = ShardStore(tmp_path / "cells.jsonl")
+        with store.open(CONFIG):
+            for key, cell in sweep.cells.items():
+                store.append(cell, sweep.timings.get(key))
+        loaded = store.load()
+        assert loaded.config == CONFIG
+        assert loaded.cells.keys() == sweep.cells.keys()
+        for key in sweep.cells:
+            assert loaded.cells[key].words == sweep.cells[key].words
+        assert loaded.timings == pytest.approx(sweep.timings)
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = ShardStore(tmp_path / "absent.jsonl")
+        assert not store.exists()
+        loaded = store.load()
+        assert loaded.cells == {} and loaded.config is None
+
+    def test_truncated_final_line_tolerated(self, sweep, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        store = ShardStore(path)
+        with store.open(CONFIG):
+            for key, cell in sweep.cells.items():
+                store.append(cell, sweep.timings.get(key))
+        intact = store.load()
+        # Crash mid-append: the final record is cut somewhere inside.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 40])
+        survivors = ShardStore(path).load()
+        assert len(survivors.cells) == len(intact.cells) - 1
+        for key, cell in survivors.cells.items():
+            assert cell.words == intact.cells[key].words
+
+    def test_valid_tail_missing_newline_repaired_not_dropped(self, sweep, tmp_path):
+        """A tear that ate only the final newline must not lose the record:
+        load() parses it (so resume skips the cell), hence open() has to
+        repair the terminator rather than truncate."""
+        path = tmp_path / "cells.jsonl"
+        cells = list(sweep.cells.values())
+        store = ShardStore(path)
+        with store.open(CONFIG):
+            store.append(cells[0])
+            store.append(cells[1])
+        text = path.read_text()
+        assert text.endswith("\n")
+        path.write_text(text[:-1])  # tear exactly the terminator
+        assert len(ShardStore(path).keys()) == 2  # load still counts it
+        with ShardStore(path) as reopened:
+            pass  # open() must repair, not trim
+        loaded = ShardStore(path).load()
+        assert len(loaded.cells) == 2
+        assert loaded.cells[
+            (cells[1].error_count, cells[1].probability, cells[1].profiler)
+        ].words == cells[1].words
+
+    def test_newline_terminated_corrupt_tail_trimmed_on_append(self, sweep, tmp_path):
+        """A crash can persist the tail's newline while losing earlier
+        bytes of the record; appending must trim it exactly like load()
+        skips it, or the next append buries corruption mid-file."""
+        path = tmp_path / "cells.jsonl"
+        cells = list(sweep.cells.values())
+        store = ShardStore(path)
+        with store.open(CONFIG):
+            store.append(cells[0])
+            store.append(cells[1])
+        lines = path.read_text().splitlines()
+        lines[-1] = lines[-1][:30]  # corrupt record, newline kept
+        path.write_text("\n".join(lines) + "\n")
+        with ShardStore(path) as reopened:
+            reopened.append(cells[1])
+        loaded = ShardStore(path).load()  # must not raise mid-file corruption
+        assert len(loaded.cells) == 2
+        assert loaded.cells[
+            (cells[1].error_count, cells[1].probability, cells[1].profiler)
+        ].words == cells[1].words
+
+    def test_corrupt_middle_line_raises(self, sweep, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        store = ShardStore(path)
+        with store.open(CONFIG):
+            for key, cell in sweep.cells.items():
+                store.append(cell, sweep.timings.get(key))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-20]  # torn record *before* the tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            ShardStore(path).load()
+
+    def test_duplicate_keys_last_append_wins(self, sweep, tmp_path):
+        key = next(iter(sweep.cells))
+        other = run_sweep(replace(CONFIG, seed=CONFIG.seed + 1))
+        store = ShardStore(tmp_path / "cells.jsonl")
+        with store.open(CONFIG):
+            store.append(sweep.cells[key])
+            store.append(other.cells[key])
+        loaded = store.load()
+        assert loaded.cells[key].words == other.cells[key].words
+
+
+class TestResume:
+    """run_sweep(..., resume=PATH) streams cells and skips persisted ones."""
+
+    def test_first_run_persists_every_cell(self, tmp_path):
+        path = tmp_path / "resume.jsonl"
+        result = run_sweep(CONFIG, resume=str(path))
+        stored = ShardStore(path).load()
+        assert stored.config == CONFIG
+        assert stored.cells.keys() == result.cells.keys()
+
+    def test_interrupted_sweep_resumes_bit_identical(self, sweep, tmp_path):
+        path = tmp_path / "resume.jsonl"
+        run_sweep(CONFIG, resume=str(path))
+        # Interrupt: drop the last persisted cell plus leave a torn tail,
+        # exactly what a kill -9 mid-append leaves behind.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:25])
+        before = ShardStore(path).keys()
+        resumed = run_sweep(CONFIG, resume=str(path))
+        assert len(before) == len(sweep.cells) - 1
+        assert list(resumed.cells) == list(sweep.cells)  # grid order restored
+        for key in sweep.cells:
+            assert resumed.cells[key].words == sweep.cells[key].words, key
+        # The store now holds the full grid for the next resume.
+        assert ShardStore(path).keys() == set(sweep.cells)
+
+    def test_complete_store_skips_all_work(self, sweep, tmp_path):
+        path = tmp_path / "resume.jsonl"
+        run_sweep(CONFIG, resume=str(path))
+        size_before = path.stat().st_size
+        again = run_sweep(CONFIG, resume=str(path))
+        assert path.stat().st_size == size_before  # nothing re-appended
+        for key in sweep.cells:
+            assert again.cells[key].words == sweep.cells[key].words
+
+    def test_resume_onto_sweep_document_rejected(self, sweep, tmp_path):
+        """--resume pointed at a sweep_to_json artifact must refuse, not
+        silently ignore its cells and append records that corrupt it."""
+        path = tmp_path / "sweep.json"
+        path.write_text(sweep_to_json(sweep) + "\n")
+        with pytest.raises(ValueError, match="sweep_to_json document"):
+            run_sweep(CONFIG, resume=str(path))
+        # The artifact is untouched and still loads as a document.
+        restored = sweep_from_json(path.read_text())
+        assert restored.cells.keys() == sweep.cells.keys()
+
+    def test_configless_store_with_cells_rejected(self, sweep, tmp_path):
+        """A store that holds cells but no config (hand-built or written
+        without one) cannot be verified — resume must refuse, not merge."""
+        path = tmp_path / "foreign.jsonl"
+        store = ShardStore(path)
+        with store.open():  # header with null config
+            store.append(next(iter(sweep.cells.values())))
+        with pytest.raises(ValueError, match="does not record the sweep config"):
+            run_sweep(CONFIG, resume=str(path))
+
+    def test_opaque_config_resume_rejected(self, tmp_path):
+        """The config-mismatch guard cannot verify a non-SweepConfig, so
+        resuming with one must refuse instead of silently mixing cells."""
+        with pytest.raises(ValueError, match="opaque config"):
+            run_sweep(("not", "a", "sweep-config"), resume=str(tmp_path / "x.jsonl"))
+        assert not (tmp_path / "x.jsonl").exists()
+
+    def test_trim_scans_only_a_tail_window_of_giant_records(self, tmp_path):
+        """Paper-scale cell records exceed the initial 64 KiB tail window;
+        the scan must grow past them and still repair/trim correctly."""
+        path = tmp_path / "giant.jsonl"
+        big = json.dumps({"kind": "blob", "payload": "x" * 200_000})
+        path.write_text(big + "\n" + big + "\n" + big + "\n" + '{"torn": ')
+        ShardStore(path)._trim_torn_tail()
+        assert path.read_text() == big + "\n" + big + "\n" + big + "\n"
+        # A giant *valid* tail missing only its newline gets repaired.
+        path.write_text(big + "\n" + big)
+        ShardStore(path)._trim_torn_tail()
+        assert path.read_text() == big + "\n" + big + "\n"
+
+    def test_bad_backend_spec_leaves_no_store_behind(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_sweep(CONFIG, backend="carrier-pigeon", resume=str(path))
+        assert not path.exists()
+
+    def test_mismatched_config_rejected(self, tmp_path):
+        path = tmp_path / "resume.jsonl"
+        run_sweep(CONFIG, resume=str(path))
+        with pytest.raises(ValueError, match="different sweep config"):
+            run_sweep(replace(CONFIG, seed=CONFIG.seed + 1), resume=str(path))
+
+    def test_resume_composes_with_parallel_backend(self, sweep, tmp_path):
+        path = tmp_path / "resume.jsonl"
+        run_sweep(CONFIG, resume=str(path))
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")
+        resumed = run_sweep(CONFIG, jobs=2, resume=str(path))
+        for key in sweep.cells:
+            assert resumed.cells[key].words == sweep.cells[key].words, key

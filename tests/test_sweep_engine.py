@@ -68,6 +68,14 @@ class TestParallelBitIdentity:
         for key in serial.cells:
             assert serial.cells[key].words == parallel.cells[key].words, key
 
+    def test_parallel_result_keeps_grid_order(self):
+        """Cells arrive in completion order but the result must present
+        them in grid order, exactly like a serial run."""
+        from repro.experiments.runner import shard_grid
+
+        result = run_sweep(CONFIG, jobs=2)
+        assert list(result.cells) == [shard.key for shard in shard_grid(CONFIG)]
+
     def test_jobs_zero_means_per_cpu(self):
         result = run_sweep(CONFIG, jobs=0)
         reference = run_sweep(CONFIG)
@@ -351,3 +359,123 @@ class TestVectorizedProbabilityMatrix:
         code = random_sec_code(16, np.random.default_rng(13))
         engine = BatchInjectionEngine(code, [WordErrorProfile((), ())] * 2)
         assert not engine._probability.any()
+
+
+class TestVectorizedMetricsReduction:
+    """Batched ``metrics_for_words`` is bit-identical to the per-word loop.
+
+    The reference below is the single-word per-round reduction, pinned
+    verbatim; every profiler's cell of traces must reduce to the exact
+    same records through the batched numpy set-op path (the speedup is
+    pinned in ``benchmarks/bench_engine.py``).
+    """
+
+    @staticmethod
+    def _reference(run, ground_truth, num_rounds):
+        from repro.analysis.atrisk import max_simultaneous_post_errors
+        from repro.experiments.runner import WordMetrics
+
+        direct = ground_truth.direct_at_risk
+        indirect = ground_truth.indirect_at_risk
+        post = ground_truth.post_correction_at_risk
+        direct_identified, indirect_missed = [], []
+        post_identified, capability = [], []
+        first_direct = num_rounds
+        previous = None
+        previous_capability = 0
+        for round_index, identified in enumerate(run.identified_per_round):
+            if previous is None or identified != previous:
+                missed = post - identified
+                previous_capability = max_simultaneous_post_errors(ground_truth, missed)
+                previous = identified
+            direct_hits = len(identified & direct)
+            direct_identified.append(direct_hits)
+            indirect_missed.append(len(indirect - identified))
+            post_identified.append(len(identified & post))
+            capability.append(previous_capability)
+            if direct_hits and first_direct == num_rounds:
+                first_direct = round_index + 1
+        return WordMetrics(
+            direct_total=len(direct),
+            direct_identified=tuple(direct_identified),
+            indirect_total=len(indirect),
+            indirect_missed=tuple(indirect_missed),
+            post_total=len(post),
+            post_identified=tuple(post_identified),
+            capability=tuple(capability),
+            first_direct_round=first_direct,
+        )
+
+    def _cell(self, profiler_name, num_words=6, num_rounds=24):
+        from repro.experiments.runner import metrics_for_words
+
+        rng = np.random.default_rng(29)
+        code = random_sec_code(16, rng)
+        runs, truths = [], []
+        for trial in range(num_words):
+            profile = sample_word_profile(code, 3, 0.5, rng)
+            truths.append(cached_ground_truth(code, profile.positions))
+            profiler = PROFILER_REGISTRY[profiler_name](code, seed=trial)
+            runs.append(simulate_word(profiler, profile, num_rounds, word_seed=trial))
+        return runs, truths, metrics_for_words(runs, truths, num_rounds)
+
+    @pytest.mark.parametrize("profiler_name", sorted(PROFILER_REGISTRY))
+    def test_matches_reference_loop(self, profiler_name):
+        runs, truths, batched = self._cell(profiler_name)
+        assert len(batched) == len(runs)
+        for run, truth, metrics in zip(runs, truths, batched):
+            assert metrics == self._reference(run, truth, 24)
+
+    @pytest.mark.parametrize("profiler_name", sorted(PROFILER_REGISTRY))
+    def test_matches_metrics_for_run(self, profiler_name):
+        from repro.experiments.runner import metrics_for_run
+
+        runs, truths, batched = self._cell(profiler_name)
+        for run, truth, metrics in zip(runs, truths, batched):
+            assert metrics == metrics_for_run(run, truth, 24)
+
+    def test_python_ints_in_output(self):
+        """JSON serialization requires plain ints, not numpy scalars."""
+        import json
+
+        _, _, batched = self._cell("HARP-U", num_words=2, num_rounds=8)
+        for metrics in batched:
+            json.dumps(
+                [
+                    list(metrics.direct_identified),
+                    list(metrics.indirect_missed),
+                    list(metrics.post_identified),
+                    list(metrics.capability),
+                    metrics.first_direct_round,
+                ]
+            )
+
+    def test_shard_batching_is_invisible(self, monkeypatch):
+        """run_shard reduces words in fixed-size groups (memory bound);
+        a tiny forced batch size must not change any cell."""
+        import repro.experiments.runner as runner_module
+        from repro.experiments.runner import run_shard, shard_grid
+
+        shard = shard_grid(CONFIG)[0]
+        reference, _ = run_shard(shard)
+        monkeypatch.setattr(runner_module, "_METRICS_BATCH", 3)
+        batched, _ = run_shard(shard)
+        assert batched.words == reference.words
+
+    def test_empty_inputs(self):
+        from repro.experiments.runner import metrics_for_words
+        from repro.profiling.runner import WordRunResult
+
+        assert metrics_for_words([], [], 4) == []
+        rng = np.random.default_rng(37)
+        code = random_sec_code(16, rng)
+        profile = sample_word_profile(code, 2, 1.0, rng)
+        truth = cached_ground_truth(code, profile.positions)
+        empty = WordRunResult(
+            identified_per_round=[], observed_per_round=[], failures_per_round=[]
+        )
+        real = simulate_word(PROFILER_REGISTRY["Naive"](code, seed=1), profile, 8, word_seed=1)
+        batched = metrics_for_words([empty, real], [truth, truth], 8)
+        assert batched[0].direct_identified == ()
+        assert batched[0].first_direct_round == 8
+        assert batched[1] == self._reference(real, truth, 8)
