@@ -7,8 +7,10 @@ Usage::
     python -m repro all --scale unit
     python -m repro fig6 --scale full --jobs 4 --timings
     python -m repro fig6 --scale paper --backend socket://0.0.0.0:7071 \\
-        --jobs 0 --resume fig6.shards.jsonl
+        --jobs 0 --workers-expected 8 --resume fig6.shards.jsonl
+    python -m repro fig10 --scale paper --resume fig10.shards.jsonl
     python -m repro worker --connect HOST:7071
+    python -m repro store fig6.shards.jsonl summary
 
 Each exhibit subcommand prints the exhibit's text rendition (the same
 output the benchmark harness saves under ``benchmarks/results/``).
@@ -26,13 +28,30 @@ Execution knobs (every choice is bit-identical to a serial run):
   accepts remote workers started on other machines with
   ``python -m repro worker --connect HOST:PORT``; ``--jobs 0`` spawns
   no local workers and waits entirely for remote ones).
-* ``--resume PATH`` streams each completed sweep cell to a JSONL shard
-  store at ``PATH`` and, on restart, skips every cell already persisted
-  there — an interrupted paper-scale sweep continues where it stopped.
-  Applies to the sweep exhibits (fig6/7/8/9 and headline's sweep);
-  other exhibits ignore it.
+* ``--resume PATH`` streams each completed work unit to a JSONL shard
+  store at ``PATH`` and, on restart, skips everything already persisted
+  there — an interrupted paper-scale run continues where it stopped.
+  Applies to the sweep exhibits (fig6/7/8/9), to fig10 (which persists
+  its case-study shards), and to headline (sweep cells at ``PATH``, its
+  case-study shards at ``PATH.fig10``); other exhibits ignore it.  An
+  ``all`` run shares ``PATH`` across the sweep exhibits (they run one
+  config) and routes fig10's shards to ``PATH.fig10`` too.
 * ``--timings`` appends the engine's per-cell wall-clock table for the
   exhibits that expose a sweep result (fig6/7/8/9 and headline).
+
+Socket-fleet hardening (``--backend socket[://HOST:PORT]`` only; see
+``docs/distributed.md`` for the campaign runbook):
+
+* ``--auth-token SECRET`` requires every worker to present the same
+  shared secret when joining (workers pass ``--auth-token`` too, or set
+  ``REPRO_AUTH_TOKEN``; the server reads the variable as its default as
+  well, and hands the secret to self-spawned workers through it).
+* ``--workers-expected N`` holds all task dispatch until ``N`` workers
+  have joined, so a paper-scale campaign cannot start against a
+  half-booted fleet.
+* ``--heartbeat-timeout SECONDS`` requeues a chunk whose worker has
+  been silent this long (workers heartbeat at a quarter of it;
+  ``0`` disables the deadline and waits forever).
 
 The ``worker`` subcommand turns the process into a socket-backend
 worker: it connects to a running ``--backend socket://...`` server and
@@ -40,11 +59,17 @@ executes shard chunks.  Multi-sweep exhibits (ext-patterns, headline,
 ``all``) run one socket map per sweep, so after a server drains the
 worker keeps retrying the address for ``--linger`` seconds (default 10)
 and joins the next sweep before exiting.
+
+The ``store`` subcommand is the shard-store toolbox
+(:mod:`repro.experiments.storetools`): ``python -m repro store PATH
+{summary,compact,merge}`` summarizes, dedupes, or merges the JSONL
+files ``--resume`` leaves behind, streaming record by record.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from typing import Callable
@@ -67,7 +92,12 @@ from repro.experiments import (
     headline,
     table2,
 )
-from repro.experiments.backends import run_worker
+from repro.experiments.backends import (
+    AUTH_TOKEN_ENV,
+    WorkerRejectedError,
+    resolve_backend,
+    run_worker,
+)
 from repro.experiments.config import BENCH, FULL, PAPER, UNIT, CaseStudyConfig, SweepConfig
 from repro.experiments.reporting import timing_table
 from repro.experiments.runner import run_sweep
@@ -95,6 +125,64 @@ def _case_config(args: argparse.Namespace) -> CaseStudyConfig:
     return replace(CASE_SCALES[args.scale], seed=args.seed)
 
 
+def _execution_backend(args: argparse.Namespace):
+    """The ``backend=`` value runners forward: a spec string or an instance.
+
+    The campaign-hardening flags only exist on the socket backend, so
+    when any of them is set the spec resolves to a configured
+    :class:`~repro.experiments.backends.SocketBackend` here; otherwise
+    the raw spec (or ``None``) passes through and the engine resolves it
+    as before.  An *explicit* hardening flag with a non-socket backend
+    is an error — silently ignoring ``--auth-token`` would run an open
+    fleet.  The ambient ``REPRO_AUTH_TOKEN`` variable, by contrast, only
+    takes effect when a socket backend is actually in play: exporting it
+    for a campaign must not break ordinary serial runs in the same
+    shell.
+    """
+    explicit = [
+        flag
+        for flag, given in (
+            ("--auth-token", args.auth_token is not None),
+            ("--workers-expected", bool(args.workers_expected)),
+            ("--heartbeat-timeout", args.heartbeat_timeout is not None),
+        )
+        if given
+    ]
+    spec = args.backend
+    # Match resolve_backend's normalization, or a capitalized spec would
+    # be classified non-socket here yet still resolve to a socket server
+    # downstream — with the env token silently unapplied.
+    if spec is None or not str(spec).strip().lower().startswith("socket"):
+        if explicit:
+            raise SystemExit(
+                f"{'/'.join(explicit)} harden the socket fleet and require "
+                "--backend socket or socket://HOST:PORT"
+            )
+        return spec
+    options: dict = {}
+    token = args.auth_token
+    if token is None:
+        token = os.environ.get(AUTH_TOKEN_ENV)
+    if token is not None:
+        if not token:
+            # An empty secret is a failed shell substitution, not a
+            # request for an open fleet.
+            raise SystemExit(
+                "the fleet auth token is empty (--auth-token \"\" or a blank "
+                f"{AUTH_TOKEN_ENV}); refusing to run an unauthenticated fleet "
+                "by accident — unset it or provide a real secret"
+            )
+        options["auth_token"] = token
+    if args.workers_expected:
+        options["workers_expected"] = args.workers_expected
+    if args.heartbeat_timeout is not None:
+        # 0 disables the deadline entirely (wait forever on every peer).
+        options["heartbeat_timeout"] = args.heartbeat_timeout or None
+    if not options:
+        return spec
+    return resolve_backend(spec, args.jobs, **options)
+
+
 def _run_fig2(args: argparse.Namespace) -> str:
     return fig2.render(fig2.run())
 
@@ -112,7 +200,10 @@ def _run_fig4(args: argparse.Namespace) -> str:
 def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
     def runner(args: argparse.Namespace) -> str:
         sweep = run_sweep(
-            _sweep_config(args), jobs=args.jobs, backend=args.backend, resume=args.resume
+            _sweep_config(args),
+            jobs=args.jobs,
+            backend=_execution_backend(args),
+            resume=args.resume,
         )
         text = module.render(module.from_sweep(sweep))
         if args.timings:
@@ -123,14 +214,27 @@ def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
 
 
 def _run_fig10(args: argparse.Namespace) -> str:
-    return fig10.render(fig10.run(_case_config(args), jobs=args.jobs, backend=args.backend))
+    return fig10.render(
+        fig10.run(
+            _case_config(args),
+            jobs=args.jobs,
+            backend=_execution_backend(args),
+            resume=args.resume,
+        )
+    )
 
 
 def _run_headline(args: argparse.Namespace) -> str:
+    backend = _execution_backend(args)
     sweep = run_sweep(
-        _sweep_config(args), jobs=args.jobs, backend=args.backend, resume=args.resume
+        _sweep_config(args), jobs=args.jobs, backend=backend, resume=args.resume
     )
-    case = fig10.run(_case_config(args), jobs=args.jobs, backend=args.backend)
+    # The sweep cells and the case-study shards are different record
+    # kinds; give the case study its own sibling store.
+    case_resume = f"{args.resume}.fig10" if args.resume else None
+    case = fig10.run(
+        _case_config(args), jobs=args.jobs, backend=backend, resume=case_resume
+    )
     text = headline.render(
         active=headline.active_speedups(sweep),
         case_study=headline.case_study_speedups(case),
@@ -141,7 +245,7 @@ def _run_headline(args: argparse.Namespace) -> str:
 
 
 def _run_ext_patterns(args: argparse.Namespace) -> str:
-    return ext_patterns.render(ext_patterns.run(jobs=args.jobs, backend=args.backend))
+    return ext_patterns.render(ext_patterns.run(jobs=args.jobs, backend=_execution_backend(args)))
 
 
 def _run_ext_dec(args: argparse.Namespace) -> str:
@@ -149,7 +253,9 @@ def _run_ext_dec(args: argparse.Namespace) -> str:
 
 
 def _run_ext_code_length(args: argparse.Namespace) -> str:
-    return ext_code_length.render(ext_code_length.run(jobs=args.jobs, backend=args.backend))
+    return ext_code_length.render(
+        ext_code_length.run(jobs=args.jobs, backend=_execution_backend(args))
+    )
 
 
 def _run_ext_heterogeneous(args: argparse.Namespace) -> str:
@@ -205,9 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=list(COMMANDS) + ["all", "worker"],
+        choices=list(COMMANDS) + ["all", "worker", "store"],
         help="exhibit to regenerate ('all' runs every one; 'worker' joins "
-        "a socket-backend server instead of rendering an exhibit)",
+        "a socket-backend server instead of rendering an exhibit; 'store' "
+        "is the shard-store toolbox — see python -m repro store --help)",
     )
     parser.add_argument(
         "--scale",
@@ -241,9 +348,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         default=None,
         metavar="PATH",
-        help="stream completed sweep cells to a JSONL shard store and "
-        "skip cells already persisted there (fig6/7/8/9 and headline's "
-        "sweep; ignored elsewhere)",
+        help="stream completed work units to a JSONL shard store and "
+        "skip everything already persisted there (fig6/7/8/9, fig10, and "
+        "headline — whose case-study shards land at PATH.fig10; ignored "
+        "elsewhere)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="SECRET",
+        help="shared secret for the socket fleet: servers require it from "
+        "every joining worker, workers present it when connecting "
+        f"(falls back to the {AUTH_TOKEN_ENV} environment variable "
+        "whenever a socket backend is used)",
+    )
+    parser.add_argument(
+        "--workers-expected",
+        type=int,
+        default=0,
+        metavar="N",
+        help="socket backend only: hold every task until N workers have "
+        "joined, so a campaign cannot start against a half-booted fleet "
+        "(default: dispatch to the first worker)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="socket backend only: requeue a chunk whose worker has been "
+        "silent this long; workers heartbeat at a quarter of it "
+        "(default: 60; 0 disables the deadline)",
     )
     parser.add_argument(
         "--connect",
@@ -272,11 +407,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        # The store toolbox has its own positional grammar (PATH ACTION
+        # [MORE...]); dispatch before the exhibit parser sees it.
+        from repro.experiments.storetools import store_main
+
+        return store_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.command == "store":
+        # Reachable only when options precede the subcommand (the plain
+        # `repro store ...` spelling is dispatched above, before this
+        # parser runs, because the toolbox has its own positional
+        # grammar).
+        raise SystemExit(
+            "the store toolbox takes no exhibit options; invoke it as "
+            "`python -m repro store PATH {summary,compact,merge}` with "
+            "'store' first"
+        )
     if args.command == "worker":
         if not args.connect:
             raise SystemExit("worker requires --connect HOST:PORT")
-        executed, reached = run_worker(args.connect, linger=args.linger)
+        try:
+            executed, reached = run_worker(
+                args.connect,
+                linger=args.linger,
+                auth_token=args.auth_token or os.environ.get(AUTH_TOKEN_ENV) or None,
+            )
+        except WorkerRejectedError as error:
+            # A wrong secret will be wrong on every retry; fail loudly
+            # so a misconfigured fleet is one glance at stderr, not a
+            # silently idle campaign.
+            print(
+                f"worker rejected by server at {args.connect}: {error}",
+                file=sys.stderr,
+            )
+            return 1
         if executed == 0 and not reached and not args.spawned:
             # Never reaching a server is almost always a typo'd address
             # — make that visible instead of exiting 0 silently across a
@@ -289,13 +456,32 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         return 0
-    names = list(COMMANDS) if args.command == "all" else [args.command]
-    for name in names:
-        description, runner = COMMANDS[name]
-        print(f"== {description} ==")
-        print(runner(args))
-        print()
+    if args.command == "all":
+        for name in COMMANDS:
+            description, runner = COMMANDS[name]
+            print(f"== {description} ==")
+            print(runner(_args_for_all(name, args)))
+            print()
+        return 0
+    description, runner = COMMANDS[args.command]
+    print(f"== {description} ==")
+    print(runner(args))
+    print()
     return 0
+
+
+def _args_for_all(name: str, args: argparse.Namespace) -> argparse.Namespace:
+    """Per-exhibit argument view for an ``all`` run sharing one ``--resume``.
+
+    The sweep exhibits all run the same config, so sharing one sweep
+    store is exactly right — but fig10's store is a different record
+    family, and handing it the sweep path would refuse to load.  Give it
+    the same ``PATH.fig10`` sibling headline already uses (the two then
+    share the case-study shards, which also run the same config).
+    """
+    if name != "fig10" or not args.resume:
+        return args
+    return argparse.Namespace(**{**vars(args), "resume": f"{args.resume}.fig10"})
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -32,9 +32,41 @@ Every backend yields results **in shard order** through
 a :class:`~repro.experiments.store.ShardStore` while later shards are
 still in flight.
 
+Campaign hardening (socket backend)
+===================================
+
+Paper-scale campaigns run for hours across many machines, so the socket
+backend carries four operational safeguards on top of the base
+protocol (see ``docs/distributed.md`` for the runbook):
+
+* **Auth token** — when the server is constructed with ``auth_token``
+  (CLI ``--auth-token``, or the ``REPRO_AUTH_TOKEN`` environment
+  variable), the worker must present the same secret in its ``hello``
+  frame; mismatches receive a ``reject`` frame and are dropped before
+  any pickle from the connection is trusted with work.
+* **Heartbeats** — a worker streams ``heartbeat`` frames while it
+  executes a chunk (the server tells it the cadence in the ``welcome``
+  frame).  A server that hears nothing for ``heartbeat_timeout``
+  seconds presumes the worker dead — hard-killed, network-partitioned,
+  or wedged — and requeues its chunk for the survivors, instead of
+  blocking forever on a TCP peer that will never answer.
+* **Retry budget** — every requeue of a chunk spends one unit of its
+  ``max_chunk_retries`` budget.  A chunk that keeps killing workers
+  (a poison shard) is quarantined once the budget is exhausted: the
+  map aborts with the chunk's identity instead of feeding every worker
+  that joins into the same crash loop.  (With ``--resume``, every cell
+  completed before the abort is already durable.)
+* **Start barrier** — ``workers_expected=N`` (CLI
+  ``--workers-expected N``) holds all task dispatch until ``N`` workers
+  have joined, so a paper-scale campaign cannot silently start grinding
+  on a single straggler while the rest of the fleet is still booting.
+
 Security note: the socket protocol exchanges pickles and is meant for
 trusted clusters only (the paper's artifact assumes the same); the
-default bind address is loopback.
+default bind address is loopback.  The auth token gates *accidental*
+joins (a stray worker pointed at the wrong port, a port scanner) — it
+is not a substitute for network-level isolation, because pickles are
+code.
 """
 
 from __future__ import annotations
@@ -58,10 +90,20 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "SocketBackend",
+    "WorkerRejectedError",
     "resolve_backend",
     "resolve_jobs",
     "run_worker",
 ]
+
+#: Environment variable both server and worker read for the shared secret.
+AUTH_TOKEN_ENV = "REPRO_AUTH_TOKEN"
+
+#: Seconds of silence from a busy worker before its chunk is requeued.
+DEFAULT_HEARTBEAT_TIMEOUT = 60.0
+
+#: Requeues a chunk may spend on worker deaths before being quarantined.
+DEFAULT_CHUNK_RETRIES = 2
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -244,76 +286,129 @@ def parse_address(address: str) -> tuple[str, int]:
     return (host or "127.0.0.1", int(port))
 
 
-def _worker_session(host: str, port: int) -> tuple[int, bool]:
+class WorkerRejectedError(RuntimeError):
+    """The server refused this worker's join handshake (bad auth token)."""
+
+
+def _worker_session(
+    host: str, port: int, auth_token: str | None = None
+) -> tuple[int, bool]:
     """Serve one server connection until it shuts the worker down.
 
     Returns ``(chunks executed, session ended cleanly)``.  Chunks done
     before the server drops the connection still count — the caller's
     idle detection must not mistake a hard-killed server for a worker
-    that never did anything.
+    that never did anything.  Raises :class:`WorkerRejectedError` when
+    the server refuses the handshake: retrying cannot help, so the
+    caller must not linger.
+
+    While a chunk executes, a companion thread streams ``heartbeat``
+    frames at the cadence the server's ``welcome`` frame requested, so
+    the server can tell "still computing" from "hard-killed" and
+    requeue only the latter.
     """
     executed = 0
     try:
         with socket.create_connection((host, port)) as sock:
-            _send_msg(sock, ("hello", os.getpid()))
-            while True:
-                try:
-                    message = _recv_msg(sock)
-                except OSError:
-                    raise
-                except Exception:
-                    # A frame that fails to *unpickle* (version skew
-                    # between the server's repo and this worker's, or a
-                    # worker function whose module isn't importable
-                    # here) must surface as an error the server aborts
-                    # on — crashing instead would just make the server
-                    # requeue the chunk onto the next identically-skewed
-                    # worker forever.  The frame was fully read, so the
-                    # stream stays aligned.
-                    _send_msg(
-                        sock,
-                        (
-                            "error",
-                            -1,
-                            "worker could not unpickle a task frame (code skew "
-                            f"between server and worker?):\n{traceback.format_exc()}",
-                        ),
-                    )
-                    continue
-                if message is None or message[0] == "shutdown":
-                    break
-                try:
-                    kind, index, worker, chunk = message
-                    if kind != "task":
-                        raise ValueError(f"unexpected frame kind {kind!r}")
-                except (ValueError, TypeError):
-                    # Same rationale as the unpickle guard: a frame of
-                    # the wrong shape (protocol skew) must abort the
-                    # server's map, not crash this worker into an
-                    # infinite requeue loop.
-                    _send_msg(
-                        sock,
-                        (
-                            "error",
-                            -1,
-                            "worker received a malformed task frame (protocol "
-                            f"skew between server and worker?):\n{traceback.format_exc()}",
-                        ),
-                    )
-                    continue
-                try:
-                    results = [worker(shard) for shard in chunk]
-                except Exception:
-                    _send_msg(sock, ("error", index, traceback.format_exc()))
-                else:
-                    _send_msg(sock, ("result", index, results))
-                    executed += 1
+            # Heartbeats interleave with result frames on one socket;
+            # the lock keeps each length-prefixed frame atomic.
+            send_lock = threading.Lock()
+
+            def send(message: tuple) -> None:
+                with send_lock:
+                    _send_msg(sock, message)
+
+            send(("hello", os.getpid(), auth_token))
+            busy = threading.Event()
+            stop = threading.Event()
+            interval = [DEFAULT_HEARTBEAT_TIMEOUT / 4]
+
+            def beat() -> None:
+                while not stop.is_set():
+                    if not busy.wait(timeout=0.2):
+                        continue
+                    try:
+                        send(("heartbeat",))
+                    except OSError:
+                        return
+                    stop.wait(interval[0])
+
+            heartbeats = threading.Thread(target=beat, daemon=True)
+            heartbeats.start()
+            try:
+                while True:
+                    try:
+                        message = _recv_msg(sock)
+                    except OSError:
+                        raise
+                    except Exception:
+                        # A frame that fails to *unpickle* (version skew
+                        # between the server's repo and this worker's, or a
+                        # worker function whose module isn't importable
+                        # here) must surface as an error the server aborts
+                        # on — crashing instead would just make the server
+                        # requeue the chunk onto the next identically-skewed
+                        # worker forever.  The frame was fully read, so the
+                        # stream stays aligned.
+                        send(
+                            (
+                                "error",
+                                -1,
+                                "worker could not unpickle a task frame (code skew "
+                                f"between server and worker?):\n{traceback.format_exc()}",
+                            )
+                        )
+                        continue
+                    if message is None or message[0] == "shutdown":
+                        break
+                    if message[0] == "welcome":
+                        # The server dictates the heartbeat cadence so one
+                        # knob (its timeout) governs both sides.
+                        if len(message) > 1:
+                            interval[0] = max(0.05, float(message[1]))
+                        continue
+                    if message[0] == "reject":
+                        reason = message[1] if len(message) > 1 else "rejected by server"
+                        raise WorkerRejectedError(str(reason))
+                    try:
+                        kind, index, worker, chunk = message
+                        if kind != "task":
+                            raise ValueError(f"unexpected frame kind {kind!r}")
+                    except (ValueError, TypeError):
+                        # Same rationale as the unpickle guard: a frame of
+                        # the wrong shape (protocol skew) must abort the
+                        # server's map, not crash this worker into an
+                        # infinite requeue loop.
+                        send(
+                            (
+                                "error",
+                                -1,
+                                "worker received a malformed task frame (protocol "
+                                f"skew between server and worker?):\n{traceback.format_exc()}",
+                            )
+                        )
+                        continue
+                    busy.set()
+                    try:
+                        results = [worker(shard) for shard in chunk]
+                    except Exception:
+                        busy.clear()
+                        send(("error", index, traceback.format_exc()))
+                    else:
+                        busy.clear()
+                        send(("result", index, results))
+                        executed += 1
+            finally:
+                stop.set()
+                busy.clear()
     except OSError:
         return executed, False
     return executed, True
 
 
-def run_worker(address: str, linger: float = 0.0) -> tuple[int, bool]:
+def run_worker(
+    address: str, linger: float = 0.0, auth_token: str | None = None
+) -> tuple[int, bool]:
     """Socket-backend worker loop: ``python -m repro worker --connect ...``.
 
     Connects to a :class:`SocketBackend` server, then pulls ``task``
@@ -325,6 +420,14 @@ def run_worker(address: str, linger: float = 0.0) -> tuple[int, bool]:
     ``reached`` records whether any session drained cleanly — the CLI
     uses it to tell "server unreachable" (alarm) from "queue was
     legitimately empty" (healthy) when the count is zero.
+
+    ``auth_token`` is presented in the join handshake; a server that
+    requires a different secret answers with a ``reject`` frame, which
+    raises :class:`WorkerRejectedError` immediately (no linger retries —
+    a wrong secret will be wrong next time too).  The CLI reads the
+    token from ``--auth-token`` or the ``REPRO_AUTH_TOKEN`` environment
+    variable, which is also how a server passes the secret to the
+    workers it spawns itself.
 
     ``linger`` keeps the worker alive across *servers*: multi-sweep
     exhibits (ext-patterns, headline, ``all``) run one socket map per
@@ -338,7 +441,7 @@ def run_worker(address: str, linger: float = 0.0) -> tuple[int, bool]:
     reached = False
     deadline = time.monotonic() + max(0.0, linger)
     while True:
-        chunks, clean = _worker_session(host, port)
+        chunks, clean = _worker_session(host, port, auth_token=auth_token)
         executed += chunks
         reached = reached or clean
         if chunks or clean:
@@ -370,6 +473,23 @@ class SocketBackend(ExecutionBackend):
         timeout: overall seconds to wait for results before failing
             (``None`` waits forever — the distributed default, matching
             the artifact's "come back when the machines are done").
+        auth_token: shared secret a worker must present in its ``hello``
+            frame; ``None`` accepts every worker.  Spawned local workers
+            inherit the secret through the ``REPRO_AUTH_TOKEN``
+            environment variable (never the command line, which ``ps``
+            would show); remote workers pass ``--auth-token`` or set the
+            same variable.
+        workers_expected: hold every task until this many workers have
+            joined (the start barrier for paper-scale fleets); ``0``
+            dispatches to the first worker that shows up.
+        heartbeat_timeout: seconds of silence from a worker that owns a
+            chunk before it is presumed dead and its chunk requeued.
+            Workers are told to heartbeat at a quarter of this, so a
+            healthy-but-slow chunk never trips it.  ``None`` disables
+            the deadline (the pre-hardening behaviour: wait forever).
+        max_chunk_retries: worker deaths one chunk may survive before it
+            is quarantined as a poison shard and the map aborts, instead
+            of crash-looping every worker that joins.
     """
 
     name = "socket"
@@ -379,14 +499,34 @@ class SocketBackend(ExecutionBackend):
         bind: str = "127.0.0.1:0",
         spawn_workers: int = 1,
         timeout: float | None = None,
+        auth_token: str | None = None,
+        workers_expected: int = 0,
+        heartbeat_timeout: float | None = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_chunk_retries: int = DEFAULT_CHUNK_RETRIES,
     ) -> None:
         self.bind_host, self.bind_port = parse_address(bind)
         if spawn_workers < 0:
             raise ValueError("spawn_workers must be >= 0")
+        if workers_expected < 0:
+            raise ValueError("workers_expected must be >= 0")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive (or None)")
+        if max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
         self.spawn_workers = spawn_workers
         self.timeout = timeout
+        self.auth_token = auth_token
+        self.workers_expected = workers_expected
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_chunk_retries = max_chunk_retries
         #: Resolved ``(host, port)`` of the live listener (set per map).
         self.address: tuple[str, int] | None = None
+
+    def _heartbeat_interval(self) -> float:
+        """Cadence workers are told to beat at (quarter of the deadline)."""
+        if self.heartbeat_timeout is None:
+            return DEFAULT_HEARTBEAT_TIMEOUT / 4
+        return max(0.05, self.heartbeat_timeout / 4)
 
     def worker_hint(self) -> int:
         """Expected workers: exact for spawn-only, padded when remote-capable.
@@ -420,6 +560,11 @@ class SocketBackend(ExecutionBackend):
         """
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(entry for entry in sys.path if entry)
+        if self.auth_token is not None:
+            # The environment, not the command line: `ps` shows argv to
+            # every user on the box, while the child's environment stays
+            # private to it.
+            env[AUTH_TOKEN_ENV] = self.auth_token
         command = [
             sys.executable,
             "-m",
@@ -466,7 +611,9 @@ class SocketBackend(ExecutionBackend):
         total = len(chunks)
         pending: deque[int] = deque(range(total))
         completed: dict[int, list] = {}
-        state = {"error": None, "handlers": 0, "done": 0}
+        #: Worker deaths charged against each chunk's retry budget.
+        attempts: dict[int, int] = {}
+        state = {"error": None, "handlers": 0, "done": 0, "joined": 0}
         condition = threading.Condition()
         done = threading.Event()
 
@@ -488,11 +635,28 @@ class SocketBackend(ExecutionBackend):
                     hello = _recv_msg(conn)
                     if not hello or hello[0] != "hello":
                         return
-                    conn.settimeout(None)
+                    token = hello[2] if len(hello) > 2 else None
+                    if self.auth_token is not None and token != self.auth_token:
+                        # Reject *before* the connection is trusted with
+                        # any task frame; the worker surfaces the reason
+                        # and exits instead of linger-retrying.
+                        try:
+                            _send_msg(conn, ("reject", "bad or missing auth token"))
+                        except OSError:
+                            pass
+                        return
+                    _send_msg(conn, ("welcome", self._heartbeat_interval()))
+                    # While a chunk is in flight every frame — heartbeat
+                    # or reply — must arrive within the deadline, or the
+                    # worker is presumed dead and the chunk requeued.
+                    conn.settimeout(self.heartbeat_timeout)
+                    with condition:
+                        state["joined"] += 1
+                        condition.notify_all()
                     while True:
                         with condition:
                             while (
-                                not pending
+                                (not pending or state["joined"] < self.workers_expected)
                                 and state["error"] is None
                                 and state["done"] < total
                                 and not done.is_set()
@@ -506,9 +670,12 @@ class SocketBackend(ExecutionBackend):
                                 break
                             current = pending.popleft()
                         _send_msg(conn, ("task", current, worker, chunks[current]))
-                        reply = _recv_msg(conn)
-                        if reply is None:
-                            raise ConnectionError("worker hung up mid-task")
+                        while True:
+                            reply = _recv_msg(conn)
+                            if reply is None:
+                                raise ConnectionError("worker hung up mid-task")
+                            if reply[0] != "heartbeat":
+                                break
                         kind, index, payload = reply
                         with condition:
                             if kind == "error":
@@ -525,13 +692,27 @@ class SocketBackend(ExecutionBackend):
                     except OSError:
                         pass
             except Exception:
-                # Any handler failure — a dropped connection, but also a
-                # malformed or unpicklable reply frame — must give the
-                # in-flight chunk back to surviving workers, or the map
-                # would wait forever on a chunk nobody owns.
+                # Any handler failure — a dropped connection, a missed
+                # heartbeat deadline, but also a malformed or unpicklable
+                # reply frame — must give the in-flight chunk back to
+                # surviving workers, or the map would wait forever on a
+                # chunk nobody owns.  Each requeue spends retry budget:
+                # a chunk that keeps killing workers is quarantined
+                # instead of crash-looping the whole fleet.
                 with condition:
                     if current is not None:
-                        pending.appendleft(current)
+                        attempts[current] = attempts.get(current, 0) + 1
+                        if attempts[current] > self.max_chunk_retries:
+                            state["error"] = RuntimeError(
+                                f"shard chunk {current} was lost by "
+                                f"{attempts[current]} worker(s) in a row; retry "
+                                f"budget ({self.max_chunk_retries}) exhausted — "
+                                "quarantining it as a poison chunk.  Investigate "
+                                "the shard (or raise max_chunk_retries); cells "
+                                "already streamed to a --resume store are safe."
+                            )
+                        else:
+                            pending.appendleft(current)
                     condition.notify_all()
             finally:
                 with condition:
@@ -576,9 +757,15 @@ class SocketBackend(ExecutionBackend):
                     ):
                         self._check_liveness(workers, state, total)
                         if deadline is not None and time.monotonic() > deadline:
+                            barrier = (
+                                f" (start barrier: {state['joined']} of "
+                                f"{self.workers_expected} expected workers joined)"
+                                if state["joined"] < self.workers_expected
+                                else ""
+                            )
                             raise TimeoutError(
                                 f"socket backend timed out with {total - state['done']}"
-                                " chunk(s) outstanding"
+                                f" chunk(s) outstanding{barrier}"
                             )
                         condition.wait(timeout=0.1)
                     if state["error"] is not None:
@@ -633,7 +820,9 @@ class SocketBackend(ExecutionBackend):
 
 
 def resolve_backend(
-    backend: ExecutionBackend | str | None, jobs: int | None = None
+    backend: ExecutionBackend | str | None,
+    jobs: int | None = None,
+    **socket_options,
 ) -> ExecutionBackend:
     """Materialize a backend from a spec string, instance, or ``jobs`` knob.
 
@@ -649,13 +838,34 @@ def resolve_backend(
       spawns ``jobs`` local workers, and *additionally* accepts external
       ``python -m repro worker --connect HOST:PORT`` processes.  With
       ``jobs=0`` it spawns none and waits entirely for remote workers.
+
+    ``socket_options`` forwards the campaign-hardening knobs
+    (``auth_token``, ``workers_expected``, ``heartbeat_timeout``,
+    ``max_chunk_retries``) to a socket spec's :class:`SocketBackend`;
+    supplying them with a non-socket spec or a pre-built instance is an
+    error, because they would be silently dropped.
     """
     if isinstance(backend, ExecutionBackend):
+        if socket_options:
+            raise ValueError(
+                "socket options cannot be applied to a pre-built backend "
+                "instance; construct the SocketBackend with them instead"
+            )
         return backend
     if backend is None:
+        if socket_options:
+            raise ValueError(
+                "socket options (auth_token, workers_expected, ...) require "
+                "a socket backend spec"
+            )
         worker_count = resolve_jobs(jobs)
         return SerialBackend() if worker_count == 1 else ProcessPoolBackend(worker_count)
     spec = str(backend).strip().lower()
+    if spec in ("serial", "process") and socket_options:
+        raise ValueError(
+            "socket options (auth_token, workers_expected, ...) require "
+            f"a socket backend spec, not {spec!r}"
+        )
     if spec == "serial":
         return SerialBackend()
     if spec == "process":
@@ -663,14 +873,17 @@ def resolve_backend(
     if spec == "socket":
         # An unset jobs knob means "use the machine" for an explicitly
         # parallel backend, matching the process-pool spec below.
-        return SocketBackend(spawn_workers=max(1, resolve_jobs(0 if jobs is None else jobs)))
+        return SocketBackend(
+            spawn_workers=max(1, resolve_jobs(0 if jobs is None else jobs)),
+            **socket_options,
+        )
     if spec.startswith("socket://"):
         address = spec[len("socket://") :]
         # jobs=0 here means "no local workers, remote only" — unlike the
         # local backends, where 0 means one worker per CPU; unset jobs
         # spawns one per CPU, matching the bare "socket" spec above.
         spawn = 0 if jobs == 0 else resolve_jobs(0 if jobs is None else jobs)
-        return SocketBackend(bind=address, spawn_workers=spawn)
+        return SocketBackend(bind=address, spawn_workers=spawn, **socket_options)
     raise ValueError(
         f"unknown backend {backend!r} (expected serial, process, socket, or socket://HOST:PORT)"
     )

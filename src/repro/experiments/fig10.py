@@ -15,14 +15,21 @@ its binomial probability — this is what lets RBER = 1e-8 be measured
 without 10^8 words.  BER is evaluated under the all-charged (0xFF)
 operating pattern, the true-cell worst case.
 
-Execution rides the sweep shard engine
-(:func:`repro.experiments.runner.execute_shards`): the grid decomposes
-into picklable :class:`Fig10Shard` work units — one per (per-bit
-probability, code, at-risk stratum) — each re-deriving its words from the
-experiment seed alone, so ``run(config, jobs=N)`` is bit-identical to the
-serial loop for every worker count.  Contiguous shards share a code, so
-chunked scheduling keeps a code's crafted-pattern and ground-truth caches
-on one worker.
+Execution rides the sweep shard engine: the grid decomposes into
+picklable :class:`Fig10Shard` work units — one per (per-bit probability,
+code, at-risk stratum) — each re-deriving its words from the experiment
+seed alone, so ``run(config, jobs=N)`` is bit-identical to the serial
+loop for every worker count and
+:class:`~repro.experiments.backends.ExecutionBackend`.  Contiguous
+shards share a code, so chunked scheduling keeps a code's
+crafted-pattern and ground-truth caches on one worker.
+
+Like the sweep path, the case study streams and resumes:
+``run(config, resume=PATH)`` appends each completed shard to a
+:class:`~repro.experiments.store.Fig10Store` JSONL file the moment a
+backend delivers it, and a rerun with the same path skips every
+persisted shard — a ``--scale paper`` case study killed mid-campaign
+continues where it stopped, bit-identically to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -35,9 +42,9 @@ import numpy as np
 
 from repro.analysis.probabilities import WordBerAnalyzer
 from repro.ecc.hamming import random_sec_code
+from repro.experiments.backends import resolve_backend
 from repro.experiments.config import CaseStudyConfig
 from repro.experiments.reporting import log_round_ticks, percent, profiler_order
-from repro.experiments.runner import execute_shards
 from repro.memory.error_model import sample_word_profile
 from repro.profiling import PROFILER_REGISTRY
 from repro.profiling.runner import simulate_word
@@ -170,10 +177,16 @@ def _first_zero_round(analyzer: WordBerAnalyzer, trace: list[frozenset[int]]) ->
     return None
 
 
+def _shard_key(shard: Fig10Shard) -> tuple[float, int, int]:
+    """A shard's store key: its (probability, code, stratum) coordinates."""
+    return (shard.probability, shard.code_index, shard.count)
+
+
 def run(
     config: CaseStudyConfig = CaseStudyConfig(),
     jobs: int | None = None,
     backend=None,
+    resume: str | None = None,
 ) -> Fig10Result:
     """Execute the case study over the full (probability, RBER) grid.
 
@@ -185,23 +198,69 @@ def run(
             ``process``, ``socket``, ``socket://HOST:PORT``) — the
             :class:`Fig10Shard` units ship over the socket protocol just
             like sweep shards; ``None`` infers from ``jobs``.
+        resume: path to a :class:`~repro.experiments.store.Fig10Store`
+            JSONL file.  Completed shards stream to it as backends
+            deliver them, already-persisted shards are skipped on
+            restart, and the aggregated result is bit-identical to an
+            uninterrupted run.
     """
+    from repro.experiments.store import Fig10Store, case_config_to_dict
+
     ticks = tuple(log_round_ticks(config.num_rounds))
     shards = shard_case_study(config)
-    # One chunk = one code's strata, keeping its caches on one worker.
-    results = execute_shards(
-        run_case_shard,
-        shards,
-        jobs,
-        chunksize=max(1, config.max_at_risk - 1),
-        backend=backend,
-    )
+    # Resolve (and validate) the backend before any store side effects:
+    # a bad spec must not leave a header-only store file behind.
+    executor = resolve_backend(backend, jobs)
+    store: Fig10Store | None = None
+    persisted: dict[tuple[float, int, int], tuple] = {}
+    if resume is not None:
+        if case_config_to_dict(config) is None:
+            raise ValueError(
+                "resume requires the library CaseStudyConfig: an opaque "
+                "config cannot be verified against the store, so stale "
+                "shards from a different experiment could silently leak "
+                "into the result"
+            )
+        store = Fig10Store(resume)
+        stored_config, persisted = store.load()
+        if persisted and stored_config is None:
+            raise ValueError(
+                f"{resume} holds shards but does not record the case-study "
+                "config that produced them; refusing to reuse shards that "
+                "cannot be verified (use a fresh --resume path)"
+            )
+        if stored_config is not None and stored_config != config:
+            raise ValueError(
+                f"{resume} was written by a different case-study config; "
+                "refusing to mix results (use a fresh --resume path)"
+            )
+        store.open(config)
+    pending = [shard for shard in shards if _shard_key(shard) not in persisted]
+    results_by_key: dict[tuple[float, int, int], tuple] = dict(persisted)
+    try:
+        # One chunk = one code's strata, keeping its caches on one
+        # worker; completion order, so every finished shard becomes
+        # durable immediately (mirrors run_sweep).
+        for index, result in executor.imap_unordered(
+            run_case_shard, pending, chunksize=max(1, config.max_at_risk - 1)
+        ):
+            key = _shard_key(pending[index])
+            results_by_key[key] = result
+            if store is not None:
+                store.append(key, result)
+    finally:
+        if store is not None:
+            store.close()
+
     #: (probability, count, profiler) -> per-word trajectories, in the
     #: serial loop's (code, word) order.
     stratum_before: dict[tuple[float, int, str], list[list[float]]] = {}
     stratum_after: dict[tuple[float, int, str], list[list[float]]] = {}
     to_zero: dict[tuple[float, str], list[int | None]] = {}
-    for shard, (shard_before, shard_after, shard_zero) in zip(shards, results):
+    # Aggregate in grid order regardless of completion or resume order,
+    # so the result is indistinguishable from a serial run.
+    for shard in shards:
+        shard_before, shard_after, shard_zero = results_by_key[_shard_key(shard)]
         for name in config.profilers:
             stratum_before.setdefault((shard.probability, shard.count, name), []).extend(
                 shard_before[name]

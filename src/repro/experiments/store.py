@@ -1,4 +1,4 @@
-"""Serialization and streaming persistence of sweep results.
+"""Serialization and streaming persistence of campaign results.
 
 The paper's artifact parallelizes Monte-Carlo jobs across machines and
 aggregates raw output files afterwards (§A.7).  This module provides the
@@ -9,15 +9,31 @@ equivalent for the Python reproduction, in two layers:
   so a shard file is self-describing; ``v1`` files without a config
   still load), and results from independently-run shards merge into one
   result via :func:`merge_sweeps`.
-* **Streams** — :class:`ShardStore` appends each completed cell to a
-  JSONL file the moment it finishes, so a killed sweep loses nothing:
-  an interrupted run resumes from the cells already on disk
-  (``run_sweep(..., resume=PATH)``), and downstream consumers can read
-  the records line by line without loading a full result.  (The driver
-  itself still assembles the complete in-memory :class:`SweepResult` it
-  returns — the store bounds *loss*, not driver memory.)  A record is
-  one line; a crash mid-append leaves at most one damaged final line,
-  which loading tolerates and appending repairs or trims.
+* **Streams** — the :class:`JsonlStore` family appends each completed
+  work unit to a JSONL file the moment it finishes, so a killed
+  campaign loses nothing.  :class:`ShardStore` holds sweep cells
+  (``run_sweep(..., resume=PATH)``), and :class:`Fig10Store` holds the
+  case study's per-(probability, code, stratum) shard results
+  (``fig10.run(..., resume=PATH)``); both skip already-persisted keys
+  on restart, so an interrupted run resumes bit-identically.
+  Downstream consumers can read the records line by line without
+  loading a full result — that is what the ``python -m repro store``
+  toolbox (:mod:`repro.experiments.storetools`) does to summarize,
+  compact, and merge stores.  (The drivers still assemble the complete
+  in-memory result they return — the store bounds *loss*, not driver
+  memory.)  A record is one line; a crash mid-append leaves at most one
+  damaged final line, which loading tolerates and appending repairs or
+  trims.
+
+On-disk record kinds (one JSON object per line):
+
+========  =======================================================
+kind      contents
+========  =======================================================
+header    file format tag + the config that produced the records
+cell      one completed sweep cell (``ShardStore``)
+fig10     one completed case-study shard (``Fig10Store``)
+========  =======================================================
 """
 
 from __future__ import annotations
@@ -26,9 +42,9 @@ import json
 import os
 from dataclasses import asdict
 from pathlib import Path
-from typing import IO, Iterable
+from typing import IO, Iterable, Iterator
 
-from repro.experiments.config import SweepConfig
+from repro.experiments.config import CaseStudyConfig, SweepConfig
 from repro.experiments.runner import SweepCell, SweepResult, WordMetrics
 
 __all__ = [
@@ -37,13 +53,19 @@ __all__ = [
     "merge_sweeps",
     "config_to_dict",
     "config_from_dict",
+    "case_config_to_dict",
+    "case_config_from_dict",
+    "JsonlStore",
     "ShardStore",
+    "Fig10Store",
 ]
 
 #: Current on-disk format tag (header of both documents and JSONL stores).
 FORMAT_V2 = "repro-sweep-v2"
 #: PR 1 format: cells and timings only, no config.
 FORMAT_V1 = "repro-sweep-v1"
+#: Fig 10 case-study store format tag.
+FORMAT_FIG10 = "repro-fig10-v1"
 
 
 def _metrics_to_dict(metrics: WordMetrics) -> dict:
@@ -96,6 +118,32 @@ def config_from_dict(payload: dict | None) -> SweepConfig | None:
         if isinstance(value, list):
             kwargs[key] = tuple(value)
     return SweepConfig(**kwargs)
+
+
+def case_config_to_dict(config) -> dict | None:
+    """JSON-safe dict of a :class:`CaseStudyConfig` (``None`` if not one).
+
+    The case-study twin of :func:`config_to_dict`: only the library's
+    own frozen dataclass gets a guaranteed round-trip.
+    """
+    if not isinstance(config, CaseStudyConfig):
+        return None
+    payload = asdict(config)
+    for key, value in payload.items():
+        if isinstance(value, tuple):
+            payload[key] = list(value)
+    return payload
+
+
+def case_config_from_dict(payload: dict | None) -> CaseStudyConfig | None:
+    """Inverse of :func:`case_config_to_dict` (``None`` passes through)."""
+    if payload is None:
+        return None
+    kwargs = dict(payload)
+    for key, value in kwargs.items():
+        if isinstance(value, list):
+            kwargs[key] = tuple(value)
+    return CaseStudyConfig(**kwargs)
 
 
 def _cell_to_dict(cell: SweepCell, seconds: float | None = None) -> dict:
@@ -213,19 +261,23 @@ def _check_compatible(a: SweepCell, b: SweepCell) -> None:
             )
 
 
-class ShardStore:
-    """Append-only JSONL stream of completed sweep cells.
+class JsonlStore:
+    """Append-only, torn-tail-tolerant JSONL record file (base machinery).
 
-    Layout: the first line is a ``repro-sweep-v2`` header record
-    carrying the sweep config; every following line is one completed
-    cell.  Appends flush and fsync per record, so after a crash the file
-    holds every fully-reported cell plus at most one truncated tail
-    line, which :meth:`load` skips (and a resume simply recomputes).
-
-    The store is the disk half of ``run_sweep(..., resume=PATH)``: the
-    engine appends cells as backends complete them and, on restart,
-    skips every shard whose key is already present.
+    One JSON object per line; appends flush and fsync per record, so
+    after a crash the file holds every fully-reported record plus at
+    most one truncated tail line, which reading skips and appending
+    repairs or trims.  Subclasses define what the records *mean* —
+    :class:`ShardStore` for sweep cells, :class:`Fig10Store` for
+    case-study shards — by setting :attr:`format` and implementing
+    :meth:`_header_record` / ``load``.  The
+    :mod:`~repro.experiments.storetools` toolbox operates on the raw
+    records of either kind.
     """
+
+    #: Format tag written into (and required of) the header record;
+    #: set by subclasses.
+    format: str
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
@@ -236,57 +288,52 @@ class ShardStore:
     def exists(self) -> bool:
         return self.path.exists()
 
-    def load(self) -> SweepResult:
-        """Read every intact record; tolerate a truncated final line.
+    def iter_records(self, include_torn: bool = False) -> Iterator[tuple[int, dict | None]]:
+        """Stream ``(line_number, record)`` pairs without loading the file.
 
         A torn write only ever affects the last line (appends are
-        sequential), so a JSON error anywhere earlier means real
-        corruption and raises.
+        sequential), so a JSON error on the final line is silently
+        dropped — an interrupted append, recomputed on resume — while
+        an error anywhere earlier means real corruption and raises.
+        With ``include_torn``, the torn final line is yielded as
+        ``(line_number, None)`` instead of dropped, so a streaming
+        consumer (the ``repro store`` toolbox) can report it from the
+        same single pass.
         """
-        config = None
-        cells: dict[tuple[int, float, str], SweepCell] = {}
-        timings: dict[tuple[int, float, str], float] = {}
         if not self.path.exists():
-            return SweepResult(config=None, cells=cells, timings=timings)
-        lines = self.path.read_text().splitlines()
-        for number, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                if number == len(lines) - 1:
-                    break  # torn tail from an interrupted append
-                raise ValueError(
-                    f"{self.path}: corrupt shard record on line {number + 1}"
-                ) from None
-            if record.get("format") in (FORMAT_V1, FORMAT_V2) and "cells" in record:
-                # A whole sweep_to_json document, not a store: resuming
-                # onto it would ignore its cells and append records that
-                # corrupt it — refuse loudly instead.
-                raise ValueError(
-                    f"{self.path} is a sweep_to_json document, not a JSONL "
-                    "shard store; load it with sweep_from_json (and give "
-                    "--resume its own path)"
-                )
-            if record.get("format") == FORMAT_V2 and record.get("kind") == "header":
-                config = config_from_dict(record.get("config"))
-            elif record.get("kind") == "cell":
-                key, cell, seconds = _cell_from_dict(record)
-                cells[key] = cell  # duplicate keys: last append wins
-                if seconds is not None:
-                    timings[key] = seconds
-            else:
-                raise ValueError(f"{self.path}: unknown shard record on line {number + 1}")
-        return SweepResult(config=config, cells=cells, timings=timings)
+            return
+        held: tuple[int, str] | None = None
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for number, raw in enumerate(handle):
+                if not raw.strip():
+                    continue
+                if held is not None:
+                    yield held[0], self._parse_line(*held)
+                held = (number, raw)
+            if held is not None:
+                try:
+                    record = json.loads(held[1])
+                except json.JSONDecodeError:
+                    if include_torn:
+                        yield held[0], None
+                    return  # torn tail from an interrupted append
+                yield held[0], record
 
-    def keys(self) -> set[tuple[int, float, str]]:
-        """Keys of every intact persisted cell."""
-        return set(self.load().cells)
+    def _parse_line(self, number: int, raw: str) -> dict:
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError:
+            raise ValueError(
+                f"{self.path}: corrupt shard record on line {number + 1}"
+            ) from None
 
     # -- writing --------------------------------------------------------
 
-    def open(self, config=None) -> "ShardStore":
+    def _header_record(self, config) -> dict:
+        """Header written on a fresh file (subclasses serialize config)."""
+        raise NotImplementedError
+
+    def open(self, config=None) -> "JsonlStore":
         """Open for appending, writing the header record on a new file.
 
         An existing file first has any torn tail line removed (records
@@ -303,9 +350,7 @@ class ShardStore:
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         self._handle = open(self.path, "a", encoding="utf-8")
         if fresh:
-            self._write_record(
-                {"format": FORMAT_V2, "kind": "header", "config": config_to_dict(config)}
-            )
+            self._write_record(self._header_record(config))
         return self
 
     def _trim_torn_tail(self) -> None:
@@ -358,14 +403,6 @@ class ShardStore:
             except json.JSONDecodeError:
                 handle.truncate(start + last_start)
 
-    def append(self, cell: SweepCell, seconds: float | None = None) -> None:
-        """Durably append one completed cell (opens the store if needed)."""
-        if self._handle is None:
-            self.open()
-        record = _cell_to_dict(cell, seconds)
-        record["kind"] = "cell"
-        self._write_record(record)
-
     def _write_record(self, record: dict) -> None:
         assert self._handle is not None
         self._handle.write(json.dumps(record) + "\n")
@@ -377,8 +414,151 @@ class ShardStore:
             self._handle.close()
             self._handle = None
 
-    def __enter__(self) -> "ShardStore":
+    def __enter__(self) -> "JsonlStore":
         return self.open()
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class ShardStore(JsonlStore):
+    """Append-only JSONL stream of completed sweep cells.
+
+    Layout: the first line is a ``repro-sweep-v2`` header record
+    carrying the sweep config; every following line is one completed
+    cell.  Appends flush and fsync per record, so after a crash the file
+    holds every fully-reported cell plus at most one truncated tail
+    line, which :meth:`load` skips (and a resume simply recomputes).
+
+    The store is the disk half of ``run_sweep(..., resume=PATH)``: the
+    engine appends cells as backends complete them and, on restart,
+    skips every shard whose key is already present.
+    """
+
+    format = FORMAT_V2
+
+    def _header_record(self, config) -> dict:
+        return {"format": self.format, "kind": "header", "config": config_to_dict(config)}
+
+    def load(self) -> SweepResult:
+        """Read every intact record; tolerate a truncated final line."""
+        config = None
+        cells: dict[tuple[int, float, str], SweepCell] = {}
+        timings: dict[tuple[int, float, str], float] = {}
+        for number, record in self.iter_records():
+            if record.get("format") in (FORMAT_V1, FORMAT_V2) and "cells" in record:
+                # A whole sweep_to_json document, not a store: resuming
+                # onto it would ignore its cells and append records that
+                # corrupt it — refuse loudly instead.
+                raise ValueError(
+                    f"{self.path} is a sweep_to_json document, not a JSONL "
+                    "shard store; load it with sweep_from_json (and give "
+                    "--resume its own path)"
+                )
+            if record.get("kind") == "header":
+                if record.get("format") == FORMAT_FIG10:
+                    raise ValueError(
+                        f"{self.path} is a Fig 10 case-study store; load it "
+                        "with Fig10Store (and give each exhibit its own "
+                        "--resume path)"
+                    )
+                if record.get("format") == FORMAT_V2:
+                    config = config_from_dict(record.get("config"))
+            elif record.get("kind") == "cell":
+                key, cell, seconds = _cell_from_dict(record)
+                cells[key] = cell  # duplicate keys: last append wins
+                if seconds is not None:
+                    timings[key] = seconds
+            else:
+                raise ValueError(f"{self.path}: unknown shard record on line {number + 1}")
+        return SweepResult(config=config, cells=cells, timings=timings)
+
+    def keys(self) -> set[tuple[int, float, str]]:
+        """Keys of every intact persisted cell."""
+        return set(self.load().cells)
+
+    def append(self, cell: SweepCell, seconds: float | None = None) -> None:
+        """Durably append one completed cell (opens the store if needed)."""
+        if self._handle is None:
+            self.open()
+        record = _cell_to_dict(cell, seconds)
+        record["kind"] = "cell"
+        self._write_record(record)
+
+
+#: Key of one case-study shard: (probability, code_index, at-risk count).
+Fig10Key = tuple[float, int, int]
+
+#: One persisted case-study shard result, exactly as
+#: :func:`repro.experiments.fig10.run_case_shard` returns it:
+#: ``(before, after, to_zero)`` keyed by profiler name.
+Fig10ShardResult = tuple[dict, dict, dict]
+
+
+class Fig10Store(JsonlStore):
+    """Append-only JSONL stream of completed Fig 10 case-study shards.
+
+    The case-study twin of :class:`ShardStore`: the first line is a
+    ``repro-fig10-v1`` header carrying the
+    :class:`~repro.experiments.config.CaseStudyConfig`, and every
+    following line is one completed :class:`~repro.experiments.fig10.Fig10Shard`
+    result — the per-profiler BER trajectories of one (probability,
+    code, at-risk stratum) cell, self-describing via the shard's
+    coordinates.  ``fig10.run(..., resume=PATH)`` streams each shard
+    here as backends deliver it and skips persisted keys on restart, so
+    a killed ``--scale paper`` case study resumes bit-identically
+    (floats survive JSON exactly: Python serializes them via repr,
+    which round-trips).
+    """
+
+    format = FORMAT_FIG10
+
+    def _header_record(self, config) -> dict:
+        return {
+            "format": self.format,
+            "kind": "header",
+            "config": case_config_to_dict(config),
+        }
+
+    def load(self) -> tuple[CaseStudyConfig | None, dict[Fig10Key, Fig10ShardResult]]:
+        """Read ``(config, {shard key: shard result})``; tolerate a torn tail."""
+        config = None
+        shards: dict[Fig10Key, Fig10ShardResult] = {}
+        for number, record in self.iter_records():
+            if record.get("kind") == "header":
+                if record.get("format") != self.format:
+                    raise ValueError(
+                        f"{self.path} is not a Fig 10 case-study store "
+                        f"(header format {record.get('format')!r}); give each "
+                        "exhibit its own --resume path"
+                    )
+                config = case_config_from_dict(record.get("config"))
+            elif record.get("kind") == "fig10":
+                key = (
+                    float(record["probability"]),
+                    int(record["code_index"]),
+                    int(record["count"]),
+                )
+                # Duplicate keys: last append wins, same as ShardStore.
+                shards[key] = (record["before"], record["after"], record["to_zero"])
+            else:
+                raise ValueError(f"{self.path}: unknown shard record on line {number + 1}")
+        return config, shards
+
+    def append(self, key: Fig10Key, result: Fig10ShardResult) -> None:
+        """Durably append one completed shard (opens the store if needed)."""
+        if self._handle is None:
+            self.open()
+        probability, code_index, count = key
+        before, after, to_zero = result
+        self._write_record(
+            {
+                "kind": "fig10",
+                "probability": probability,
+                "code_index": code_index,
+                "count": count,
+                "before": before,
+                "after": after,
+                "to_zero": to_zero,
+            }
+        )

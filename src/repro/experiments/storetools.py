@@ -1,0 +1,409 @@
+"""Streaming maintenance toolbox for JSONL shard stores: ``repro store``.
+
+Long campaigns leave JSONL stores behind — sweep-cell stores from
+``run_sweep(..., resume=PATH)`` and case-study stores from
+``fig10.run(..., resume=PATH)`` — and paper-scale ones grow large:
+superseded records accumulate when a cell is recomputed (duplicate keys
+are resolved last-wins on load), kills leave torn tail lines, and
+multi-machine campaigns produce one store per server.  This module is
+the operator's toolbox for those files, exposed as
+``python -m repro store PATH {summary,compact,merge}``:
+
+* ``summary`` — one streaming pass: record counts, distinct keys,
+  superseded duplicates, torn tail, config, total cell seconds.  Never
+  materializes a :class:`~repro.experiments.runner.SweepResult`, so it
+  is safe on stores far larger than memory.
+* ``compact`` — rewrite the store keeping only the *winning* record per
+  key (the last append, exactly what loading would keep) and dropping
+  any torn tail.  Atomic (write-then-rename) and idempotent: compacting
+  a compacted store is a byte-identical no-op.
+* ``merge`` — fold several stores from the same campaign config into
+  one canonical file, last-input-wins across duplicate keys, mirroring
+  the paper artifact's "aggregate the raw output files afterwards"
+  (§A.7) without loading any of them whole.
+
+Every operation streams records line by line through
+:meth:`~repro.experiments.store.JsonlStore.iter_records`: peak memory
+holds one record plus the per-key line index, never a full sweep.
+Loading semantics are shared with the stores themselves — what
+``compact`` keeps is exactly what ``ShardStore.load`` /
+``Fig10Store.load`` would return.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.experiments.store import (
+    FORMAT_FIG10,
+    FORMAT_V1,
+    FORMAT_V2,
+    JsonlStore,
+)
+
+__all__ = [
+    "StoreSummary",
+    "summarize",
+    "render_summary",
+    "compact",
+    "merge",
+    "build_store_parser",
+    "store_main",
+]
+
+#: Record key kinds understood by the toolbox.
+_STORE_FORMATS = (FORMAT_V2, FORMAT_FIG10)
+
+
+def _record_key(path: Path, number: int, record: dict) -> tuple:
+    """Identity of a record for last-wins dedup (headers collapse to one)."""
+    kind = record.get("kind")
+    if kind == "header":
+        return ("header",)
+    if kind == "cell":
+        return (
+            "cell",
+            int(record["error_count"]),
+            float(record["probability"]),
+            str(record["profiler"]),
+        )
+    if kind == "fig10":
+        return (
+            "fig10",
+            float(record["probability"]),
+            int(record["code_index"]),
+            int(record["count"]),
+        )
+    if record.get("format") in (FORMAT_V1, FORMAT_V2) and "cells" in record:
+        raise ValueError(
+            f"{path} is a sweep_to_json document, not a JSONL shard store; "
+            "load it with sweep_from_json instead"
+        )
+    raise ValueError(f"{path}: unknown shard record on line {number + 1}")
+
+
+def _check_header(path: Path, record: dict) -> tuple[str, dict | None]:
+    """Validate a header record; return ``(format, config dict or None)``."""
+    store_format = record.get("format")
+    if store_format not in _STORE_FORMATS:
+        raise ValueError(
+            f"{path}: unknown store format {store_format!r} "
+            f"(expected one of {', '.join(_STORE_FORMATS)})"
+        )
+    return store_format, record.get("config")
+
+
+@dataclass
+class StoreSummary:
+    """One streaming pass over a store, without loading full results."""
+
+    path: str
+    size_bytes: int
+    format: str | None
+    config: dict | None
+    records: int
+    #: Distinct keys per record kind (``cell`` / ``fig10``).
+    distinct: dict = field(default_factory=dict)
+    #: Records superseded by a later append of the same key.
+    superseded: int = 0
+    #: Sum of per-cell wall-clock seconds recorded by the engine.
+    total_seconds: float = 0.0
+    #: Monte-Carlo words across intact cell records (sweep stores).
+    words: int = 0
+    torn_tail: bool = False
+
+
+def summarize(path: str | os.PathLike) -> StoreSummary:
+    """Stream one pass over ``path`` and tally its records.
+
+    Raises ``FileNotFoundError`` for a missing file and ``ValueError``
+    for mid-file corruption or a non-store JSON file, mirroring what a
+    resume against the same path would do.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no shard store at {path}")
+    summary = StoreSummary(
+        path=str(path),
+        size_bytes=path.stat().st_size,
+        format=None,
+        config=None,
+        records=0,
+    )
+    # Winning (last-appended) seconds/words per key, exactly what
+    # loading would count; one streaming pass, O(distinct keys) memory.
+    winning: dict[tuple, tuple[float, int]] = {}
+    for number, record in JsonlStore(path).iter_records(include_torn=True):
+        if record is None:
+            summary.torn_tail = True
+            continue
+        key = _record_key(path, number, record)
+        summary.records += 1
+        if key == ("header",):
+            summary.format, summary.config = _check_header(path, record)
+            continue
+        if key in winning:
+            summary.superseded += 1
+        winning[key] = (
+            float(record.get("seconds", 0.0)),
+            len(record.get("words", ())),
+        )
+    for key, (seconds, words) in winning.items():
+        summary.distinct[key[0]] = summary.distinct.get(key[0], 0) + 1
+        summary.total_seconds += seconds
+        summary.words += words
+    return summary
+
+
+def render_summary(summary: StoreSummary) -> str:
+    """Operator-facing text rendition of a :class:`StoreSummary`."""
+    lines = [f"store    {summary.path} ({summary.size_bytes} bytes)"]
+    lines.append(f"format   {summary.format or '(no header)'}")
+    if summary.config:
+        knobs = ", ".join(f"{k}={v}" for k, v in sorted(summary.config.items()))
+        lines.append(f"config   {knobs}")
+    else:
+        lines.append("config   (none recorded)")
+    for kind in ("cell", "fig10"):
+        if kind in summary.distinct:
+            label = "sweep cells" if kind == "cell" else "fig10 shards"
+            lines.append(f"records  {summary.distinct[kind]} {label}")
+    if not summary.distinct:
+        lines.append("records  0 (header only)")
+    if summary.superseded:
+        lines.append(f"stale    {summary.superseded} superseded record(s) — run compact")
+    if summary.words:
+        lines.append(f"words    {summary.words} Monte-Carlo words")
+    if summary.total_seconds:
+        lines.append(f"cpu      {summary.total_seconds:.2f} cell-seconds recorded")
+    if summary.torn_tail:
+        lines.append("tail     torn final line (interrupted append; compact trims it)")
+    return "\n".join(lines)
+
+
+@dataclass
+class CompactStats:
+    """What :func:`compact` kept and dropped."""
+
+    path: str
+    output: str
+    kept: int
+    superseded: int
+    torn_tail: bool
+
+
+def compact(path: str | os.PathLike, output: str | os.PathLike | None = None) -> CompactStats:
+    """Rewrite ``path`` keeping one winning record per key.
+
+    Pass 1 streams the store to find each key's last occurrence (the
+    record loading would keep); pass 2 streams again, writing winners in
+    their original order to a temporary file that is fsynced and
+    atomically renamed over the destination.  Torn tail lines never
+    reach the output.  Compacting twice is byte-identical (idempotent):
+    records are re-emitted as canonical ``json.dumps`` lines.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no shard store at {path}")
+    destination = Path(output) if output is not None else path
+    winners: dict[tuple, int] = {}
+    dropped = 0
+    torn = False
+    for number, record in JsonlStore(path).iter_records(include_torn=True):
+        if record is None:
+            torn = True
+            continue
+        key = _record_key(path, number, record)
+        if key == ("header",):
+            _check_header(path, record)
+            # The header is identity, not data: keep the first.
+            if key in winners:
+                dropped += 1
+                continue
+            winners[key] = number
+            continue
+        if key in winners:
+            dropped += 1
+        winners[key] = number
+    temporary = destination.with_name(destination.name + ".compact-tmp")
+    kept = 0
+    with open(temporary, "w", encoding="utf-8") as handle:
+        for number, record in JsonlStore(path).iter_records():
+            key = _record_key(path, number, record)
+            if winners.get(key) != number:
+                continue
+            handle.write(json.dumps(record) + "\n")
+            kept += 1
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, destination)
+    return CompactStats(
+        path=str(path),
+        output=str(destination),
+        kept=kept,
+        superseded=dropped,
+        torn_tail=torn,
+    )
+
+
+@dataclass
+class MergeStats:
+    """What :func:`merge` combined."""
+
+    inputs: list[str]
+    output: str
+    kept: int
+    superseded: int
+    torn_tails: int
+
+
+def merge(
+    paths: list[str | os.PathLike], output: str | os.PathLike
+) -> MergeStats:
+    """Fold several stores of one campaign into a canonical ``output``.
+
+    Inputs must share a format and (when recorded) an identical config —
+    stores from different experiments refuse to mix, exactly as a
+    ``--resume`` against the wrong store would.  Records dedupe
+    last-input-wins (within an input, last line wins), matching the
+    in-file semantics, and the output is written atomically, so
+    ``output`` may safely be one of the inputs.
+    """
+    paths = [Path(p) for p in paths]
+    if len(paths) < 2:
+        raise ValueError("merge needs at least two stores")
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no shard store at {path}")
+    output = Path(output)
+    merged_format: str | None = None
+    merged_config: dict | None = None
+    winners: dict[tuple, tuple[int, int]] = {}
+    dropped = 0
+    torn_tails = 0
+    for file_index, path in enumerate(paths):
+        for number, record in JsonlStore(path).iter_records(include_torn=True):
+            if record is None:
+                torn_tails += 1
+                continue
+            key = _record_key(path, number, record)
+            if key == ("header",):
+                store_format, config = _check_header(path, record)
+                if merged_format is not None and store_format != merged_format:
+                    raise ValueError(
+                        f"cannot merge {path} ({store_format}) into a "
+                        f"{merged_format} store"
+                    )
+                merged_format = store_format
+                if config is not None:
+                    if merged_config is not None and merged_config != config:
+                        raise ValueError(
+                            f"{path} was written by a different config than "
+                            "earlier inputs; refusing to mix campaigns"
+                        )
+                    merged_config = config
+                continue
+            if key in winners:
+                dropped += 1
+            winners[key] = (file_index, number)
+    if merged_format is None:
+        raise ValueError("none of the inputs carries a store header")
+    temporary = output.with_name(output.name + ".merge-tmp")
+    kept = 0
+    with open(temporary, "w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {"format": merged_format, "kind": "header", "config": merged_config}
+            )
+            + "\n"
+        )
+        for file_index, path in enumerate(paths):
+            for number, record in JsonlStore(path).iter_records():
+                key = _record_key(path, number, record)
+                if key == ("header",):
+                    continue
+                if winners.get(key) != (file_index, number):
+                    continue
+                handle.write(json.dumps(record) + "\n")
+                kept += 1
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, output)
+    return MergeStats(
+        inputs=[str(p) for p in paths],
+        output=str(output),
+        kept=kept,
+        superseded=dropped,
+        torn_tails=torn_tails,
+    )
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="Summarize, compact, or merge JSONL shard stores "
+        "written by --resume, streaming record by record (safe on stores "
+        "larger than memory).",
+    )
+    parser.add_argument("path", help="shard store JSONL file")
+    parser.add_argument(
+        "action",
+        choices=["summary", "compact", "merge"],
+        help="summary: streaming report; compact: drop superseded records "
+        "and torn tails in place (or into --output); merge: fold PATH and "
+        "every MORE store into --output",
+    )
+    parser.add_argument(
+        "more",
+        nargs="*",
+        metavar="MORE",
+        help="additional stores to merge (merge only)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        metavar="PATH",
+        default=None,
+        help="destination file (required for merge; compact defaults to "
+        "rewriting in place)",
+    )
+    return parser
+
+
+def store_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro store ...``."""
+    args = build_store_parser().parse_args(argv)
+    try:
+        if args.action == "summary":
+            if args.more:
+                raise ValueError("summary takes exactly one store")
+            print(render_summary(summarize(args.path)))
+        elif args.action == "compact":
+            if args.more:
+                raise ValueError("compact takes exactly one store")
+            stats = compact(args.path, output=args.output)
+            trimmed = ", torn tail trimmed" if stats.torn_tail else ""
+            print(
+                f"compacted {stats.path} -> {stats.output}: kept {stats.kept} "
+                f"record(s), dropped {stats.superseded} superseded{trimmed}"
+            )
+        else:  # merge
+            if not args.more:
+                raise ValueError("merge needs at least two stores: PATH MORE...")
+            if args.output is None:
+                raise ValueError("merge requires --output PATH")
+            stats = merge([args.path, *args.more], args.output)
+            print(
+                f"merged {len(stats.inputs)} store(s) -> {stats.output}: kept "
+                f"{stats.kept} record(s), dropped {stats.superseded} superseded "
+                f"({stats.torn_tails} torn tail(s) trimmed)"
+            )
+    except (ValueError, OSError) as error:
+        print(f"repro store: {error}", file=sys.stderr)
+        return 1
+    return 0

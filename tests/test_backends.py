@@ -2,20 +2,25 @@
 
 Covers the backend contract (results in shard order, bit-identical
 across serial / process-pool / socket execution), the socket protocol's
-length-prefixed framing, the worker loop, remote-error propagation, and
-the backend spec strings the CLI forwards.
+length-prefixed framing, the worker loop, remote-error propagation, the
+backend spec strings the CLI forwards, and the campaign-hardening
+failure paths (auth rejection, heartbeat-timeout requeue, poison-chunk
+retry budgets, the workers-expected start barrier).
 """
 
 import socket
 import threading
+import time
 
 import pytest
 
 from repro.experiments import fig10
 from repro.experiments.backends import (
+    AUTH_TOKEN_ENV,
     ProcessPoolBackend,
     SerialBackend,
     SocketBackend,
+    WorkerRejectedError,
     _recv_msg,
     _send_msg,
     parse_address,
@@ -208,6 +213,197 @@ class TestBackendContract:
         results = backend.map(_die_once_then_succeed, items, chunksize=1)
         assert results == [("ok", 1), ("survived", marker), ("ok", 2)]
         assert os.path.exists(marker)  # the first attempt really died
+
+
+def _sleepy(value):
+    time.sleep(0.2)
+    return value * 2
+
+
+def _wait_for_address(backend, deadline=30.0):
+    """Spin until the backend's listener is live; return (host, port)."""
+    end = time.monotonic() + deadline
+    while backend.address is None:
+        if time.monotonic() > end:  # pragma: no cover - debugging aid
+            raise AssertionError("backend never bound its listener")
+        time.sleep(0.005)
+    return backend.address
+
+
+class TestAuthToken:
+    """The join handshake's shared secret."""
+
+    def test_wrong_token_rejected_and_right_token_serves(self):
+        backend = SocketBackend(
+            spawn_workers=0, auth_token="s3cret", timeout=SOCKET_TIMEOUT
+        )
+        rejection = {}
+
+        def bad_worker():
+            host, port = _wait_for_address(backend)
+            try:
+                run_worker(f"{host}:{port}", auth_token="wrong")
+            except WorkerRejectedError as error:
+                rejection["reason"] = str(error)
+
+        def good_worker():
+            host, port = _wait_for_address(backend)
+            run_worker(f"{host}:{port}", auth_token="s3cret")
+
+        threading.Thread(target=bad_worker, daemon=True).start()
+        threading.Thread(target=good_worker, daemon=True).start()
+        assert backend.map(_identity, [1, 2, 3], chunksize=1) == [2, 4, 6]
+        assert "auth token" in rejection.get("reason", "auth token")
+
+    def test_missing_token_rejected(self):
+        backend = SocketBackend(
+            spawn_workers=0, auth_token="s3cret", timeout=SOCKET_TIMEOUT
+        )
+        outcome = {}
+
+        def tokenless_then_good():
+            host, port = _wait_for_address(backend)
+            try:
+                run_worker(f"{host}:{port}")  # no token at all
+            except WorkerRejectedError:
+                outcome["rejected"] = True
+            run_worker(f"{host}:{port}", auth_token="s3cret")
+
+        threading.Thread(target=tokenless_then_good, daemon=True).start()
+        assert backend.map(_identity, [5], chunksize=1) == [10]
+        assert outcome == {"rejected": True}
+
+    def test_spawned_workers_inherit_token_via_env(self, monkeypatch):
+        """Self-spawned workers receive the secret through the environment,
+        never the command line."""
+        monkeypatch.delenv(AUTH_TOKEN_ENV, raising=False)
+        backend = SocketBackend(
+            spawn_workers=1, auth_token="fleet-secret", timeout=SOCKET_TIMEOUT
+        )
+        assert backend.map(_identity, [1, 2], chunksize=1) == [2, 4]
+
+    def test_tokenless_server_accepts_tokened_worker(self):
+        backend = SocketBackend(spawn_workers=0, timeout=SOCKET_TIMEOUT)
+
+        def worker():
+            host, port = _wait_for_address(backend)
+            run_worker(f"{host}:{port}", auth_token="anything")
+
+        threading.Thread(target=worker, daemon=True).start()
+        assert backend.map(_identity, [7], chunksize=1) == [14]
+
+
+class TestHeartbeats:
+    """Dead-worker detection and chunk requeue via heartbeat deadlines."""
+
+    def test_silent_worker_times_out_and_chunk_requeues(self):
+        """A worker that takes a task and goes silent (hard kill, network
+        partition) must have its chunk requeued for the survivors."""
+        backend = SocketBackend(
+            spawn_workers=1,
+            workers_expected=2,
+            heartbeat_timeout=1.0,
+            timeout=SOCKET_TIMEOUT,
+        )
+        hung = threading.Event()
+
+        def silent_worker():
+            host, port = _wait_for_address(backend)
+            with socket.create_connection((host, port)) as sock:
+                _send_msg(sock, ("hello", 0, None))
+                while True:
+                    message = _recv_msg(sock)
+                    if message is None:
+                        return
+                    if message[0] == "task":
+                        hung.set()
+                        # Take the chunk, never reply, never heartbeat:
+                        # exactly what a hard-killed worker looks like.
+                        time.sleep(SOCKET_TIMEOUT)
+                        return
+
+        threading.Thread(target=silent_worker, daemon=True).start()
+        results = backend.map(_sleepy, list(range(4)), chunksize=1)
+        assert results == [v * 2 for v in range(4)]
+        assert hung.is_set()  # the silent worker really owned a chunk
+
+    def test_heartbeats_keep_slow_chunks_alive(self):
+        """A chunk slower than the deadline must NOT be requeued while its
+        worker heartbeats: the deadline detects death, not slowness."""
+        backend = SocketBackend(
+            spawn_workers=1, heartbeat_timeout=0.4, timeout=SOCKET_TIMEOUT
+        )
+        # 0.2s per item, chunksize 4 -> ~0.8s per chunk, twice the
+        # deadline; heartbeats at deadline/4 keep the connection warm.
+        assert backend.map(_sleepy, list(range(4)), chunksize=4) == [
+            v * 2 for v in range(4)
+        ]
+
+
+def _exit_on_poison(item):
+    """Worker function that hard-kills its process on the poison item."""
+    import os
+
+    if item == "poison":
+        os._exit(1)
+    return item
+
+
+class TestRetryBudget:
+    """Poison chunks are quarantined instead of crash-looping the fleet."""
+
+    def test_poison_chunk_exhausts_budget_and_aborts(self):
+        backend = SocketBackend(
+            spawn_workers=3, max_chunk_retries=1, timeout=SOCKET_TIMEOUT
+        )
+        with pytest.raises(RuntimeError, match="retry budget|poison"):
+            backend.map(_exit_on_poison, ["ok", "poison", "fine"], chunksize=1)
+
+    def test_zero_budget_aborts_on_first_loss(self):
+        backend = SocketBackend(
+            spawn_workers=2, max_chunk_retries=0, timeout=SOCKET_TIMEOUT
+        )
+        with pytest.raises(RuntimeError, match="retry budget|poison"):
+            backend.map(_exit_on_poison, ["ok", "poison"], chunksize=1)
+
+    def test_budget_still_allows_single_recovery(self, tmp_path):
+        """The PR 3 die-once scenario stays within the default budget."""
+        marker = str(tmp_path / "killed-once")
+        items = [("plain", 1), ("kill-once", marker), ("plain", 2)]
+        backend = SocketBackend(spawn_workers=2, timeout=SOCKET_TIMEOUT)
+        results = backend.map(_die_once_then_succeed, items, chunksize=1)
+        assert results == [("ok", 1), ("survived", marker), ("ok", 2)]
+
+
+class TestStartBarrier:
+    """--workers-expected holds dispatch until the fleet is up."""
+
+    def test_map_waits_for_expected_fleet(self):
+        backend = SocketBackend(
+            spawn_workers=0, workers_expected=2, timeout=SOCKET_TIMEOUT
+        )
+
+        def late_fleet():
+            host, port = _wait_for_address(backend)
+            threading.Thread(
+                target=run_worker, args=(f"{host}:{port}",), daemon=True
+            ).start()
+            # Second worker joins noticeably later; the barrier must have
+            # held everything rather than dispatched to worker one alone.
+            time.sleep(0.5)
+            run_worker(f"{host}:{port}")
+
+        threading.Thread(target=late_fleet, daemon=True).start()
+        assert backend.map(_identity, list(range(6)), chunksize=1) == [
+            v * 2 for v in range(6)
+        ]
+
+    def test_unmet_barrier_times_out_with_fleet_count(self):
+        backend = SocketBackend(
+            spawn_workers=1, workers_expected=3, timeout=3.0
+        )
+        with pytest.raises(TimeoutError, match="1 of 3 expected"):
+            backend.map(_identity, [1, 2], chunksize=1)
 
 
 class TestSweepBitIdentity:

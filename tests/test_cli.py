@@ -148,3 +148,156 @@ class TestBackendAndResumeFlags:
         second = capsys.readouterr().out
         assert fresh == first == second
         assert store.stat().st_size == size_after_first  # all cells reused
+
+    def test_all_with_resume_gives_fig10_its_own_store(self, capsys, tmp_path):
+        """`all --resume PATH` shares the sweep store across the sweep
+        exhibits but must route fig10's different record family to the
+        PATH.fig10 sibling instead of crashing on the sweep header."""
+        store = tmp_path / "all.jsonl"
+        assert main(["all", "--scale", "unit"]) == 0
+        fresh = capsys.readouterr().out
+        assert main(["all", "--scale", "unit", "--resume", str(store)]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == fresh
+        assert store.exists()  # sweep cells
+        assert (tmp_path / "all.jsonl.fig10").exists()  # case-study shards
+        # And a rerun resumes everything without recomputation errors.
+        assert main(["all", "--scale", "unit", "--resume", str(store)]) == 0
+        assert capsys.readouterr().out == fresh
+
+    def test_fig10_resume_roundtrip(self, capsys, tmp_path):
+        """The case study persists and resumes through --resume too."""
+        store = tmp_path / "fig10.jsonl"
+        assert main(["fig10", "--scale", "unit"]) == 0
+        fresh = capsys.readouterr().out
+        assert main(["fig10", "--scale", "unit", "--resume", str(store)]) == 0
+        first = capsys.readouterr().out
+        size_after_first = store.stat().st_size
+        assert main(["fig10", "--scale", "unit", "--resume", str(store)]) == 0
+        second = capsys.readouterr().out
+        assert fresh == first == second
+        assert store.stat().st_size == size_after_first  # all shards reused
+
+
+class TestHardeningFlags:
+    """Socket-fleet hardening knobs: parsing and misuse errors."""
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fig6",
+                "--backend",
+                "socket://0.0.0.0:7071",
+                "--auth-token",
+                "s3cret",
+                "--workers-expected",
+                "8",
+                "--heartbeat-timeout",
+                "30",
+            ]
+        )
+        assert args.auth_token == "s3cret"
+        assert args.workers_expected == 8
+        assert args.heartbeat_timeout == 30.0
+
+    def test_auth_token_falls_back_to_environment_for_socket(self, monkeypatch):
+        """The env var arms a socket backend without any explicit flag."""
+        from repro.cli import _execution_backend
+        from repro.experiments.backends import SocketBackend
+
+        monkeypatch.setenv("REPRO_AUTH_TOKEN", "from-env")
+        args = build_parser().parse_args(["fig6", "--backend", "socket", "--jobs", "2"])
+        backend = _execution_backend(args)
+        assert isinstance(backend, SocketBackend)
+        assert backend.auth_token == "from-env"
+
+    def test_spec_classification_matches_resolver_normalization(self, monkeypatch):
+        """A capitalized socket spec must still be recognized as socket,
+        or the ambient env token would silently not be applied."""
+        from repro.cli import _execution_backend
+        from repro.experiments.backends import SocketBackend
+
+        monkeypatch.setenv("REPRO_AUTH_TOKEN", "from-env")
+        args = build_parser().parse_args(
+            ["fig6", "--backend", " Socket://127.0.0.1:7071 ", "--jobs", "0"]
+        )
+        backend = _execution_backend(args)
+        assert isinstance(backend, SocketBackend)
+        assert backend.auth_token == "from-env"
+
+    def test_ambient_env_token_does_not_break_serial_runs(self, monkeypatch, capsys):
+        """Exporting REPRO_AUTH_TOKEN for a campaign must leave ordinary
+        non-socket runs in the same shell untouched."""
+        monkeypatch.setenv("REPRO_AUTH_TOKEN", "campaign-secret")
+        assert main(["fig2"]) == 0
+        assert "wasted storage" in capsys.readouterr().out
+
+    def test_empty_auth_token_refused(self, monkeypatch, capsys):
+        """An empty secret is a failed shell substitution, never a
+        silently-open fleet."""
+        monkeypatch.delenv("REPRO_AUTH_TOKEN", raising=False)
+        with pytest.raises(SystemExit, match="empty"):
+            main(["fig6", "--scale", "unit", "--backend", "socket", "--auth-token", ""])
+        monkeypatch.setenv("REPRO_AUTH_TOKEN", "")
+        with pytest.raises(SystemExit, match="empty"):
+            main(["fig6", "--scale", "unit", "--backend", "socket", "--jobs", "2"])
+        capsys.readouterr()
+
+    def test_hardening_without_socket_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="socket"):
+            main(["fig6", "--scale", "unit", "--auth-token", "x"])
+        with pytest.raises(SystemExit, match="socket"):
+            main(
+                ["fig6", "--scale", "unit", "--backend", "process", "--workers-expected", "2"]
+            )
+        capsys.readouterr()
+
+    def test_worker_flags_parse(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", ":7071", "--auth-token", "s3cret"]
+        )
+        assert args.auth_token == "s3cret"
+
+    def test_fig6_hardened_socket_matches_serial(self, capsys, monkeypatch):
+        """End-to-end: auth + barrier + heartbeats on, bit-identical."""
+        monkeypatch.delenv("REPRO_AUTH_TOKEN", raising=False)
+        assert main(["fig6", "--scale", "unit", "--backend", "serial"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "fig6",
+                    "--scale",
+                    "unit",
+                    "--backend",
+                    "socket",
+                    "--jobs",
+                    "2",
+                    "--auth-token",
+                    "ci-secret",
+                    "--workers-expected",
+                    "2",
+                    "--heartbeat-timeout",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == serial
+
+
+class TestStoreDispatch:
+    def test_store_command_listed(self):
+        args = build_parser().parse_args(["store"])
+        assert args.command == "store"
+
+    def test_store_requires_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["store"])
+
+    def test_store_after_options_gets_usage_error_not_crash(self, capsys):
+        """'store' anywhere but first is a clean usage error, never a
+        KeyError from the exhibit loop."""
+        with pytest.raises(SystemExit, match="store"):
+            main(["--scale", "unit", "store"])
+        capsys.readouterr()

@@ -3,16 +3,27 @@
 The case study rides the sweep shard engine: picklable
 per-(probability, code, stratum) work units whose execution is a pure
 function of the shard, so parallel runs are bit-identical to the serial
-loop.
+loop — and, like the sweep, it streams completed shards to a
+:class:`~repro.experiments.store.Fig10Store` and resumes from them
+bit-identically after a kill.
 """
 
+import json
+import os
 import pickle
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import fig10
 from repro.experiments.config import CaseStudyConfig
 from repro.experiments.runner import execute_shards
+from repro.experiments.store import Fig10Store
 
 CONFIG = CaseStudyConfig(
     num_codes=2,
@@ -77,6 +88,118 @@ class TestParallelBitIdentity:
         # must average the same trajectories the isolated run produced.
         assert set(before) == set(CONFIG.profilers)
         assert all(len(v) == CONFIG.words_per_stratum for v in before.values())
+
+
+class TestResume:
+    """Streaming persistence and kill-and-resume bit-identity."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return fig10.run(CONFIG)
+
+    def test_fresh_run_with_resume_matches_serial(self, serial, tmp_path):
+        store_path = tmp_path / "fig10.jsonl"
+        resumed = fig10.run(CONFIG, resume=str(store_path))
+        assert resumed == serial
+        config, shards = Fig10Store(store_path).load()
+        assert config == CONFIG
+        assert len(shards) == len(fig10.shard_case_study(CONFIG))
+
+    def test_resume_from_partial_store_is_bit_identical(self, serial, tmp_path):
+        """Simulated kill: keep the header plus a prefix of the records
+        (and a torn tail from the interrupted append), then resume."""
+        complete = tmp_path / "complete.jsonl"
+        fig10.run(CONFIG, resume=str(complete))
+        lines = complete.read_text().splitlines()
+        partial = tmp_path / "partial.jsonl"
+        partial.write_text(
+            "\n".join(lines[:4]) + "\n" + '{"kind": "fig10", "probability": 0.'
+        )
+        resumed = fig10.run(CONFIG, resume=str(partial))
+        assert resumed == serial
+        # The store is now complete: a further resume recomputes nothing.
+        size = partial.stat().st_size
+        again = fig10.run(CONFIG, resume=str(partial))
+        assert again == serial
+        assert partial.stat().st_size == size
+
+    def test_resume_skips_persisted_shards(self, serial, tmp_path, monkeypatch):
+        store_path = tmp_path / "fig10.jsonl"
+        fig10.run(CONFIG, resume=str(store_path))
+        executed = []
+        real = fig10.run_case_shard
+        monkeypatch.setattr(
+            fig10, "run_case_shard", lambda shard: executed.append(shard) or real(shard)
+        )
+        resumed = fig10.run(CONFIG, resume=str(store_path))
+        assert executed == []  # every shard came from disk
+        assert resumed == serial
+
+    def test_resume_refuses_foreign_config(self, tmp_path):
+        store_path = tmp_path / "fig10.jsonl"
+        fig10.run(CONFIG, resume=str(store_path))
+        with pytest.raises(ValueError, match="different case-study config"):
+            fig10.run(replace(CONFIG, seed=7), resume=str(store_path))
+
+    def test_resume_refuses_sweep_store(self, tmp_path):
+        store_path = tmp_path / "sweep.jsonl"
+        store_path.write_text(
+            json.dumps({"format": "repro-sweep-v2", "kind": "header", "config": None})
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="not a Fig 10"):
+            fig10.run(CONFIG, resume=str(store_path))
+
+
+class TestKillAndResume:
+    """The acceptance path: a real process killed mid-campaign resumes
+    to a bit-identical rendition."""
+
+    def test_sigkilled_cli_run_resumes_bit_identically(self, tmp_path):
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(root / "src"), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        store = tmp_path / "fig10.jsonl"
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "fig10",
+            "--scale",
+            "unit",
+            "--resume",
+            str(store),
+        ]
+        reference = subprocess.run(
+            [c for c in command if c != "--resume" and c != str(store)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert reference.returncode == 0, reference.stderr
+        victim = subprocess.Popen(
+            command, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        # SIGKILL as soon as at least one shard is durable; if the run
+        # wins the race and finishes first, the resume is simply a
+        # no-op replay — still a valid equality check.
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break
+            if store.exists() and store.read_text().count("\n") >= 2:
+                victim.send_signal(signal.SIGKILL)
+                break
+            time.sleep(0.01)
+        victim.wait(timeout=300)
+        resumed = subprocess.run(
+            command, env=env, capture_output=True, text=True, timeout=300
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == reference.stdout
 
 
 class TestExecuteShards:

@@ -348,3 +348,66 @@ class TestResume:
         resumed = run_sweep(CONFIG, jobs=2, resume=str(path))
         for key in sweep.cells:
             assert resumed.cells[key].words == sweep.cells[key].words, key
+
+
+class TestFig10Store:
+    """The case-study twin of ShardStore: record round-trip and guards."""
+
+    RESULT = (
+        {"Naive": [[0.5, 0.25], [0.125, 0.0]]},
+        {"Naive": [[0.0625, 0.0], [0.0, 0.0]]},
+        {"Naive": [3, None]},
+    )
+
+    def test_roundtrip(self, tmp_path):
+        from repro.experiments.config import CaseStudyConfig
+        from repro.experiments.store import Fig10Store
+
+        config = CaseStudyConfig(num_codes=2, words_per_stratum=2)
+        path = tmp_path / "fig10.jsonl"
+        store = Fig10Store(path)
+        with store.open(config):
+            store.append((0.75, 1, 2), self.RESULT)
+        loaded_config, shards = Fig10Store(path).load()
+        assert loaded_config == config
+        assert shards == {(0.75, 1, 2): self.RESULT}
+
+    def test_duplicate_key_last_append_wins(self, tmp_path):
+        from repro.experiments.store import Fig10Store
+
+        path = tmp_path / "fig10.jsonl"
+        store = Fig10Store(path)
+        newer = ({"Naive": [[0.0, 0.0]]}, {"Naive": [[0.0, 0.0]]}, {"Naive": [1]})
+        with store.open(None):
+            store.append((0.5, 0, 2), self.RESULT)
+            store.append((0.5, 0, 2), newer)
+        _, shards = Fig10Store(path).load()
+        assert shards == {(0.5, 0, 2): newer}
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        from repro.experiments.store import Fig10Store
+
+        path = tmp_path / "fig10.jsonl"
+        store = Fig10Store(path)
+        with store.open(None):
+            store.append((0.5, 0, 2), self.RESULT)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "fig10", "probab')
+        _, shards = Fig10Store(path).load()
+        assert set(shards) == {(0.5, 0, 2)}
+
+    def test_sweep_store_loading_fig10_file_rejected(self, tmp_path):
+        from repro.experiments.store import Fig10Store
+
+        path = tmp_path / "fig10.jsonl"
+        Fig10Store(path).open(None).close()
+        with pytest.raises(ValueError, match="Fig 10 case-study store"):
+            ShardStore(path).load()
+
+    def test_fig10_store_loading_sweep_file_rejected(self, tmp_path):
+        from repro.experiments.store import Fig10Store
+
+        path = tmp_path / "sweep.jsonl"
+        ShardStore(path).open(None).close()
+        with pytest.raises(ValueError, match="not a Fig 10 case-study store"):
+            Fig10Store(path).load()

@@ -1,0 +1,250 @@
+"""Tests of the ``repro store`` toolbox: summary, compact, merge.
+
+The toolbox must agree exactly with what the stores themselves would
+load — compaction keeps the winning (last-appended) record per key,
+torn tails never survive a rewrite, and merging refuses to mix
+campaigns — while streaming record by record.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import fig10
+from repro.experiments.config import CaseStudyConfig, SweepConfig
+from repro.experiments.runner import run_sweep
+from repro.experiments.store import Fig10Store, ShardStore
+from repro.experiments.storetools import (
+    compact,
+    merge,
+    render_summary,
+    store_main,
+    summarize,
+)
+
+CONFIG = SweepConfig(
+    num_codes=2,
+    words_per_code=2,
+    num_rounds=16,
+    error_counts=(2,),
+    probabilities=(0.5, 1.0),
+    profilers=("Naive", "HARP-U"),
+)
+
+CASE_CONFIG = CaseStudyConfig(
+    num_codes=2,
+    words_per_stratum=2,
+    num_rounds=32,
+    probabilities=(0.5,),
+    rbers=(1e-4,),
+    max_at_risk=3,
+    profilers=("Naive", "HARP-U"),
+)
+
+
+@pytest.fixture()
+def sweep_store(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    run_sweep(CONFIG, resume=str(path))
+    return path
+
+
+@pytest.fixture()
+def fig10_store(tmp_path):
+    path = tmp_path / "fig10.jsonl"
+    fig10.run(CASE_CONFIG, resume=str(path))
+    return path
+
+
+def _duplicate_last_cell(path):
+    """Append a stale copy of an existing cell (superseded on load)."""
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines) + "\n" + lines[-1] + "\n")
+
+
+class TestSummary:
+    def test_counts_cells_and_config(self, sweep_store):
+        summary = summarize(sweep_store)
+        assert summary.format == "repro-sweep-v2"
+        assert summary.distinct == {"cell": 4}
+        assert summary.superseded == 0
+        assert summary.torn_tail is False
+        assert summary.words == 4 * CONFIG.num_codes * CONFIG.words_per_code
+        assert summary.config["seed"] == CONFIG.seed
+        text = render_summary(summary)
+        assert "4 sweep cells" in text
+        assert "repro-sweep-v2" in text
+
+    def test_flags_superseded_and_torn_tail(self, sweep_store):
+        _duplicate_last_cell(sweep_store)
+        with open(sweep_store, "a") as handle:
+            handle.write('{"kind": "cell", "error_coun')
+        summary = summarize(sweep_store)
+        assert summary.superseded == 1
+        assert summary.torn_tail is True
+        assert summary.distinct == {"cell": 4}
+        text = render_summary(summary)
+        assert "superseded" in text
+        assert "torn final line" in text
+
+    def test_fig10_store_summarizes(self, fig10_store):
+        summary = summarize(fig10_store)
+        assert summary.format == "repro-fig10-v1"
+        assert summary.distinct == {"fig10": len(fig10.shard_case_study(CASE_CONFIG))}
+        assert "fig10 shards" in render_summary(summary)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            summarize(tmp_path / "nope.jsonl")
+
+    def test_sweep_document_rejected(self, tmp_path):
+        from repro.experiments.store import sweep_to_json
+
+        path = tmp_path / "doc.json"
+        path.write_text(sweep_to_json(run_sweep(CONFIG)) + "\n")
+        with pytest.raises(ValueError, match="sweep_to_json document"):
+            summarize(path)
+
+
+class TestCompact:
+    def test_drops_superseded_and_torn_tail(self, sweep_store):
+        before = ShardStore(sweep_store).load()
+        _duplicate_last_cell(sweep_store)
+        with open(sweep_store, "a") as handle:
+            handle.write('{"kind": "cell", "error_coun')
+        stats = compact(sweep_store)
+        assert stats.superseded == 1
+        assert stats.torn_tail is True
+        after = ShardStore(sweep_store).load()
+        assert after.cells.keys() == before.cells.keys()
+        for key in before.cells:
+            assert after.cells[key].words == before.cells[key].words
+        assert summarize(sweep_store).superseded == 0
+        assert summarize(sweep_store).torn_tail is False
+
+    def test_idempotent_byte_identical(self, sweep_store):
+        _duplicate_last_cell(sweep_store)
+        compact(sweep_store)
+        first = sweep_store.read_bytes()
+        stats = compact(sweep_store)
+        assert stats.superseded == 0
+        assert sweep_store.read_bytes() == first
+
+    def test_compact_to_separate_output(self, sweep_store, tmp_path):
+        output = tmp_path / "out.jsonl"
+        original = sweep_store.read_bytes()
+        compact(sweep_store, output=output)
+        assert output.exists()
+        assert sweep_store.read_bytes() == original  # source untouched
+
+    def test_compacted_store_still_resumes(self, sweep_store):
+        """A compacted store is a valid --resume target."""
+        _duplicate_last_cell(sweep_store)
+        compact(sweep_store)
+        reference = run_sweep(CONFIG)
+        resumed = run_sweep(CONFIG, resume=str(sweep_store))
+        for key in reference.cells:
+            assert resumed.cells[key].words == reference.cells[key].words
+
+    def test_fig10_store_compacts(self, fig10_store):
+        lines = fig10_store.read_text().splitlines()
+        fig10_store.write_text("\n".join(lines + [lines[-1]]) + "\n")
+        stats = compact(fig10_store)
+        assert stats.superseded == 1
+        reference = fig10.run(CASE_CONFIG)
+        assert fig10.run(CASE_CONFIG, resume=str(fig10_store)) == reference
+
+
+class TestMerge:
+    def test_two_machine_stores_merge_to_full_sweep(self, tmp_path):
+        """Each 'machine' persists a disjoint half; the merge resumes as
+        a complete store (the §A.7 aggregate-raw-files workflow)."""
+        full = tmp_path / "full.jsonl"
+        run_sweep(CONFIG, resume=str(full))
+        lines = full.read_text().splitlines()
+        header, cells = lines[0], lines[1:]
+        left = tmp_path / "left.jsonl"
+        right = tmp_path / "right.jsonl"
+        left.write_text("\n".join([header] + cells[: len(cells) // 2]) + "\n")
+        right.write_text("\n".join([header] + cells[len(cells) // 2 :]) + "\n")
+        merged = tmp_path / "merged.jsonl"
+        stats = merge([left, right], merged)
+        assert stats.kept == len(cells)
+        assert stats.superseded == 0
+        reference = run_sweep(CONFIG)
+        resumed = run_sweep(CONFIG, resume=str(merged))
+        for key in reference.cells:
+            assert resumed.cells[key].words == reference.cells[key].words
+
+    def test_duplicate_keys_last_input_wins(self, sweep_store, tmp_path):
+        merged = tmp_path / "merged.jsonl"
+        stats = merge([sweep_store, sweep_store], merged)
+        assert stats.superseded == 4
+        assert summarize(merged).distinct == {"cell": 4}
+
+    def test_output_may_be_an_input(self, sweep_store, tmp_path):
+        other = tmp_path / "other.jsonl"
+        other.write_bytes(sweep_store.read_bytes())
+        merge([sweep_store, other], sweep_store)
+        assert summarize(sweep_store).distinct == {"cell": 4}
+
+    def test_refuses_mixed_formats(self, sweep_store, fig10_store, tmp_path):
+        with pytest.raises(ValueError, match="cannot merge"):
+            merge([sweep_store, fig10_store], tmp_path / "out.jsonl")
+
+    def test_refuses_mixed_configs(self, sweep_store, tmp_path):
+        other = tmp_path / "other.jsonl"
+        run_sweep(
+            SweepConfig(
+                num_codes=2,
+                words_per_code=2,
+                num_rounds=16,
+                error_counts=(2,),
+                probabilities=(0.5, 1.0),
+                profilers=("Naive", "HARP-U"),
+                seed=7,
+            ),
+            resume=str(other),
+        )
+        with pytest.raises(ValueError, match="different config"):
+            merge([sweep_store, other], tmp_path / "out.jsonl")
+
+    def test_needs_two_inputs(self, sweep_store, tmp_path):
+        with pytest.raises(ValueError, match="at least two"):
+            merge([sweep_store], tmp_path / "out.jsonl")
+
+
+class TestStoreCli:
+    """The ``python -m repro store`` surface."""
+
+    def test_summary_via_main(self, sweep_store, capsys):
+        assert main(["store", str(sweep_store), "summary"]) == 0
+        assert "sweep cells" in capsys.readouterr().out
+
+    def test_compact_via_main(self, sweep_store, capsys):
+        _duplicate_last_cell(sweep_store)
+        assert main(["store", str(sweep_store), "compact"]) == 0
+        assert "dropped 1 superseded" in capsys.readouterr().out
+
+    def test_merge_via_main(self, sweep_store, tmp_path, capsys):
+        out = tmp_path / "merged.jsonl"
+        assert (
+            main(["store", str(sweep_store), "merge", str(sweep_store), "-o", str(out)])
+            == 0
+        )
+        assert "merged 2 store(s)" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_merge_without_output_fails(self, sweep_store, capsys):
+        assert main(["store", str(sweep_store), "merge", str(sweep_store)]) == 1
+        assert "--output" in capsys.readouterr().err
+
+    def test_missing_store_fails_cleanly(self, tmp_path, capsys):
+        assert main(["store", str(tmp_path / "nope.jsonl"), "summary"]) == 1
+        assert "no shard store" in capsys.readouterr().err
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            store_main(["--help"])
+        assert excinfo.value.code == 0
