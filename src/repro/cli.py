@@ -7,9 +7,11 @@ Usage::
     python -m repro all --scale unit
     python -m repro fig6 --scale full --jobs 4 --timings
     python -m repro fig6 --scale paper --backend socket://0.0.0.0:7071 \\
-        --jobs 0 --workers-expected 8 --resume fig6.shards.jsonl
+        --jobs 0 --workers-expected 8 --resume fig6.shards.jsonl \\
+        --status-port 7072 --continue-past-quarantine --progress
     python -m repro fig10 --scale paper --resume fig10.shards.jsonl
     python -m repro worker --connect HOST:7071
+    python -m repro status HOST:7072
     python -m repro store fig6.shards.jsonl summary
 
 Each exhibit subcommand prints the exhibit's text rendition (the same
@@ -38,9 +40,13 @@ Execution knobs (every choice is bit-identical to a serial run):
   config) and routes fig10's shards to ``PATH.fig10`` too.
 * ``--timings`` appends the engine's per-cell wall-clock table for the
   exhibits that expose a sweep result (fig6/7/8/9 and headline).
+* ``--progress`` prints a periodic grid-coverage/ETA line to stderr as
+  cells complete (fig6/7/8/9, fig10, headline; every backend) — stdout
+  stays exactly the exhibit rendition.
 
 Socket-fleet hardening (``--backend socket[://HOST:PORT]`` only; see
-``docs/distributed.md`` for the campaign runbook):
+``docs/distributed.md`` for the campaign runbook and
+``docs/operations.md`` for the monitoring one):
 
 * ``--auth-token SECRET`` requires every worker to present the same
   shared secret when joining (workers pass ``--auth-token`` too, or set
@@ -52,6 +58,16 @@ Socket-fleet hardening (``--backend socket[://HOST:PORT]`` only; see
 * ``--heartbeat-timeout SECONDS`` requeues a chunk whose worker has
   been silent this long (workers heartbeat at a quarter of it;
   ``0`` disables the deadline and waits forever).
+* ``--status-port PORT`` serves a live one-line JSON status snapshot
+  of the running map (fleet, heartbeat ages, queue depth, chunk
+  progress, retries, quarantines); ``python -m repro status HOST:PORT``
+  renders it.
+* ``--continue-past-quarantine`` sets a chunk that exhausts its retry
+  budget aside instead of aborting the campaign: the rest of the grid
+  completes, and the quarantined shard keys are printed (and recorded
+  in the ``--resume`` store) for a targeted re-run.  A run that
+  quarantined anything exits with status 3 so scripts cannot mistake
+  the partial exhibit for success.
 
 The ``worker`` subcommand turns the process into a socket-backend
 worker: it connects to a running ``--backend socket://...`` server and
@@ -63,7 +79,13 @@ and joins the next sweep before exiting.
 The ``store`` subcommand is the shard-store toolbox
 (:mod:`repro.experiments.storetools`): ``python -m repro store PATH
 {summary,compact,merge}`` summarizes, dedupes, or merges the JSONL
-files ``--resume`` leaves behind, streaming record by record.
+files ``--resume`` leaves behind, streaming record by record;
+``summary`` also reports the store's grid coverage (cells done/total,
+ETA, grid dimensions) and any quarantined shards awaiting a re-run.
+
+The ``status`` subcommand (:mod:`repro.experiments.monitor`) reads one
+live snapshot from a campaign server started with ``--status-port``:
+``python -m repro status HOST:PORT`` (``--json`` for the raw snapshot).
 """
 
 from __future__ import annotations
@@ -99,10 +121,26 @@ from repro.experiments.backends import (
     run_worker,
 )
 from repro.experiments.config import BENCH, FULL, PAPER, UNIT, CaseStudyConfig, SweepConfig
+from repro.experiments.monitor import quarantine_report
 from repro.experiments.reporting import timing_table
 from repro.experiments.runner import run_sweep
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_INCOMPLETE_GRID", "IncompleteGridError"]
+
+#: Exit status of a run that completed but quarantined shards — the
+#: rendition is missing cells, so scripts must not treat it as success
+#: (distinct from 1, the generic usage/IO failure).
+EXIT_INCOMPLETE_GRID = 3
+
+
+class IncompleteGridError(Exception):
+    """An exhibit ran under --continue-past-quarantine and skipped shards.
+
+    Carries the operator-facing report (and any best-effort rendition)
+    as its message; :func:`main` prints it and exits
+    :data:`EXIT_INCOMPLETE_GRID` so pipelines notice the grid is
+    incomplete instead of publishing a partial exhibit as success.
+    """
 
 SCALES: dict[str, SweepConfig] = {"unit": UNIT, "bench": BENCH, "full": FULL, "paper": PAPER}
 
@@ -145,6 +183,8 @@ def _execution_backend(args: argparse.Namespace):
             ("--auth-token", args.auth_token is not None),
             ("--workers-expected", bool(args.workers_expected)),
             ("--heartbeat-timeout", args.heartbeat_timeout is not None),
+            ("--status-port", args.status_port is not None),
+            ("--continue-past-quarantine", args.continue_past_quarantine),
         )
         if given
     ]
@@ -178,6 +218,10 @@ def _execution_backend(args: argparse.Namespace):
     if args.heartbeat_timeout is not None:
         # 0 disables the deadline entirely (wait forever on every peer).
         options["heartbeat_timeout"] = args.heartbeat_timeout or None
+    if args.status_port is not None:
+        options["status_port"] = args.status_port
+    if args.continue_past_quarantine:
+        options["continue_past_quarantine"] = True
     if not options:
         return spec
     return resolve_backend(spec, args.jobs, **options)
@@ -204,7 +248,17 @@ def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
             jobs=args.jobs,
             backend=_execution_backend(args),
             resume=args.resume,
+            progress=args.progress,
         )
+        if sweep.quarantined:
+            # The exhibit reductions index the full grid; an incomplete
+            # one cannot render faithfully.  Name what is missing and
+            # how to fill it — the targeted re-run renders everything.
+            raise IncompleteGridError(
+                quarantine_report(sweep.quarantined, unit="sweep cell")
+                + "\n(exhibit rendition skipped: the grid is incomplete until "
+                "the quarantined cells are recomputed)"
+            )
         text = module.render(module.from_sweep(sweep))
         if args.timings:
             text += "\n\n" + timing_table(sweep)
@@ -214,27 +268,52 @@ def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
 
 
 def _run_fig10(args: argparse.Namespace) -> str:
-    return fig10.render(
-        fig10.run(
-            _case_config(args),
-            jobs=args.jobs,
-            backend=_execution_backend(args),
-            resume=args.resume,
-        )
+    result = fig10.run(
+        _case_config(args),
+        jobs=args.jobs,
+        backend=_execution_backend(args),
+        resume=args.resume,
+        progress=args.progress,
     )
+    text = fig10.render(result)
+    if result.quarantined:
+        # The BER panels render from the words that did complete; show
+        # them, but exit incomplete so scripts don't publish them as the
+        # full-grid exhibit.
+        raise IncompleteGridError(
+            text
+            + "\n\n"
+            + quarantine_report(result.quarantined, unit="case shard")
+            + "\n(the panels above average only the completed words)"
+        )
+    return text
 
 
 def _run_headline(args: argparse.Namespace) -> str:
     backend = _execution_backend(args)
     sweep = run_sweep(
-        _sweep_config(args), jobs=args.jobs, backend=backend, resume=args.resume
+        _sweep_config(args),
+        jobs=args.jobs,
+        backend=backend,
+        resume=args.resume,
+        progress=args.progress,
     )
     # The sweep cells and the case-study shards are different record
     # kinds; give the case study its own sibling store.
     case_resume = f"{args.resume}.fig10" if args.resume else None
     case = fig10.run(
-        _case_config(args), jobs=args.jobs, backend=backend, resume=case_resume
+        _case_config(args),
+        jobs=args.jobs,
+        backend=backend,
+        resume=case_resume,
+        progress=args.progress,
     )
+    if sweep.quarantined or case.quarantined:
+        quarantined = list(sweep.quarantined) + list(case.quarantined)
+        raise IncompleteGridError(
+            quarantine_report(quarantined, unit="shard")
+            + "\n(headline speedups skipped: they compare full grids)"
+        )
     text = headline.render(
         active=headline.active_speedups(sweep),
         case_study=headline.case_study_speedups(case),
@@ -311,10 +390,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=list(COMMANDS) + ["all", "worker", "store"],
+        choices=list(COMMANDS) + ["all", "worker", "store", "status"],
         help="exhibit to regenerate ('all' runs every one; 'worker' joins "
         "a socket-backend server instead of rendering an exhibit; 'store' "
-        "is the shard-store toolbox — see python -m repro store --help)",
+        "is the shard-store toolbox — see python -m repro store --help; "
+        "'status' reads a live --status-port snapshot — see "
+        "python -m repro status --help)",
     )
     parser.add_argument(
         "--scale",
@@ -336,6 +417,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the sweep engine's per-cell wall-clock table "
         "(fig6/7/8/9 and headline; ignored elsewhere)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a periodic grid-coverage/ETA line to stderr as cells "
+        "complete (fig6/7/8/9, fig10, headline; every backend; ignored "
+        "elsewhere)",
     )
     parser.add_argument(
         "--backend",
@@ -381,6 +469,24 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 60; 0 disables the deadline)",
     )
     parser.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="socket backend only: serve a live one-line JSON status "
+        "snapshot of the running map (fleet, heartbeat ages, queue depth, "
+        "chunk progress, retries, quarantines) on this TCP port; read it "
+        "with python -m repro status HOST:PORT",
+    )
+    parser.add_argument(
+        "--continue-past-quarantine",
+        action="store_true",
+        help="socket backend only: when a chunk exhausts its retry budget, "
+        "set it aside and finish the rest of the grid instead of aborting; "
+        "the quarantined shard keys are reported at the end (and recorded "
+        "in the --resume store) for a targeted re-run",
+    )
+    parser.add_argument(
         "--connect",
         default=None,
         metavar="HOST:PORT",
@@ -415,7 +521,20 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.storetools import store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "status":
+        # Same reason: the status reader's grammar is HOST:PORT, not an
+        # exhibit's option set.
+        from repro.experiments.monitor import status_main
+
+        return status_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.command == "status":
+        # Reachable only when options precede the subcommand, mirroring
+        # the store guard below.
+        raise SystemExit(
+            "the status reader takes no exhibit options; invoke it as "
+            "`python -m repro status HOST:PORT` with 'status' first"
+        )
     if args.command == "store":
         # Reachable only when options precede the subcommand (the plain
         # `repro store ...` spelling is dispatched above, before this
@@ -457,15 +576,27 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         return 0
     if args.command == "all":
+        incomplete = False
         for name in COMMANDS:
             description, runner = COMMANDS[name]
             print(f"== {description} ==")
-            print(runner(_args_for_all(name, args)))
+            try:
+                print(runner(_args_for_all(name, args)))
+            except IncompleteGridError as error:
+                # Report and keep going: later exhibits may be whole,
+                # but the overall run must still exit incomplete.
+                print(error)
+                incomplete = True
             print()
-        return 0
+        return EXIT_INCOMPLETE_GRID if incomplete else 0
     description, runner = COMMANDS[args.command]
     print(f"== {description} ==")
-    print(runner(args))
+    try:
+        print(runner(args))
+    except IncompleteGridError as error:
+        print(error)
+        print()
+        return EXIT_INCOMPLETE_GRID
     print()
     return 0
 

@@ -60,13 +60,53 @@ protocol (see ``docs/distributed.md`` for the runbook):
   ``--workers-expected N``) holds all task dispatch until ``N`` workers
   have joined, so a paper-scale campaign cannot silently start grinding
   on a single straggler while the rest of the fleet is still booting.
+* **Continue past quarantine** — ``continue_past_quarantine=True``
+  (CLI ``--continue-past-quarantine``) changes what budget exhaustion
+  means: instead of aborting the map, the poison chunk is set aside,
+  the rest of the grid completes, and the skipped shard indices are
+  published as :attr:`SocketBackend.quarantined_shards` for the
+  drivers to report (and record in a ``--resume`` store) so a
+  targeted re-run can retry exactly those cells.
+* **Status port** — ``status_port=PORT`` (CLI ``--status-port``)
+  serves a live one-line JSON snapshot of the map — fleet size,
+  per-worker heartbeat age and in-flight chunk, queue depth,
+  completed/total chunks, retry and quarantine counts — through
+  :class:`~repro.experiments.monitor.StatusServer`; read it with
+  ``python -m repro status HOST:PORT`` (see ``docs/operations.md``).
+
+Wire format
+===========
+
+Every message on the **work port** is one length-prefixed frame: an
+8-byte big-endian payload length followed by that many bytes of pickle
+(``pickle.HIGHEST_PROTOCOL``).  The payload is always a tuple whose
+first element names the frame kind:
+
+==========  =========  ===================================================
+frame       direction  payload
+==========  =========  ===================================================
+hello       w → s      ``("hello", worker_pid, auth_token_or_None)``
+welcome     s → w      ``("welcome", heartbeat_interval_seconds)``
+reject      s → w      ``("reject", reason)`` — handshake refused
+task        s → w      ``("task", chunk_index, worker_fn, [shards...])``
+heartbeat   w → s      ``("heartbeat",)`` — streamed while a task runs
+result      w → s      ``("result", chunk_index, [results...])``
+error       w → s      ``("error", chunk_index, traceback_text)``
+shutdown    s → w      ``("shutdown",)`` — session over, worker may exit
+==========  =========  ===================================================
+
+The **status port** is a different protocol entirely — line-delimited
+JSON, one ``repro-status-v1`` snapshot per connection, schema in
+:mod:`repro.experiments.monitor` — so operators can poll it with
+``curl``/``nc`` without speaking pickle.
 
 Security note: the socket protocol exchanges pickles and is meant for
 trusted clusters only (the paper's artifact assumes the same); the
 default bind address is loopback.  The auth token gates *accidental*
 joins (a stray worker pointed at the wrong port, a port scanner) — it
 is not a substitute for network-level isolation, because pickles are
-code.
+code.  The status port is read-only and carries no secrets, but binds
+the same host as the work port: routable bind, routable status.
 """
 
 from __future__ import annotations
@@ -134,6 +174,12 @@ class ExecutionBackend(ABC):
 
     #: Short name used by CLI ``--backend`` and reprs.
     name: str = "abstract"
+
+    #: Shard indices (into the last map's input sequence) that were set
+    #: aside instead of executed.  Only the socket backend's opt-in
+    #: ``continue_past_quarantine`` mode ever populates this; the local
+    #: backends execute every shard or raise, so it stays empty.
+    quarantined_shards: tuple[int, ...] = ()
 
     @abstractmethod
     def imap(self, worker: Callable, shards: Sequence, chunksize: int = 1) -> Iterator:
@@ -459,6 +505,12 @@ class _RemoteTaskError(RuntimeError):
     """A task raised on a worker; carries the remote traceback."""
 
 
+#: Placeholder a quarantined chunk leaves in the completion map (continue
+#: mode): the consume loop recognizes it, records the chunk's shard
+#: indices, and moves on without yielding results for them.
+_QUARANTINED = object()
+
+
 class SocketBackend(ExecutionBackend):
     """Ship shards to worker processes over TCP.
 
@@ -490,6 +542,17 @@ class SocketBackend(ExecutionBackend):
         max_chunk_retries: worker deaths one chunk may survive before it
             is quarantined as a poison shard and the map aborts, instead
             of crash-looping every worker that joins.
+        continue_past_quarantine: opt-in quarantine semantics — a chunk
+            that exhausts its retry budget is *set aside* instead of
+            aborting the map, the rest of the grid completes, and the
+            skipped shard indices are published on
+            :attr:`quarantined_shards` after the map for a targeted
+            re-run.  Bit-identical for every shard that does execute.
+        status_port: serve a live ``repro-status-v1`` JSON snapshot of
+            the running map on this TCP port (bound on the same host as
+            the work port; ``0`` picks an ephemeral port, resolved as
+            :attr:`status_address` while a map runs); ``None`` disables
+            the status server entirely.
     """
 
     name = "socket"
@@ -503,6 +566,8 @@ class SocketBackend(ExecutionBackend):
         workers_expected: int = 0,
         heartbeat_timeout: float | None = DEFAULT_HEARTBEAT_TIMEOUT,
         max_chunk_retries: int = DEFAULT_CHUNK_RETRIES,
+        continue_past_quarantine: bool = False,
+        status_port: int | None = None,
     ) -> None:
         self.bind_host, self.bind_port = parse_address(bind)
         if spawn_workers < 0:
@@ -513,14 +578,22 @@ class SocketBackend(ExecutionBackend):
             raise ValueError("heartbeat_timeout must be positive (or None)")
         if max_chunk_retries < 0:
             raise ValueError("max_chunk_retries must be >= 0")
+        if status_port is not None and not 0 <= status_port <= 65535:
+            raise ValueError("status_port must be a TCP port (or None)")
         self.spawn_workers = spawn_workers
         self.timeout = timeout
         self.auth_token = auth_token
         self.workers_expected = workers_expected
         self.heartbeat_timeout = heartbeat_timeout
         self.max_chunk_retries = max_chunk_retries
+        self.continue_past_quarantine = continue_past_quarantine
+        self.status_port = status_port
         #: Resolved ``(host, port)`` of the live listener (set per map).
         self.address: tuple[str, int] | None = None
+        #: Resolved ``(host, port)`` of the live status server (per map).
+        self.status_address: tuple[str, int] | None = None
+        #: Shard indices the last map quarantined (continue mode only).
+        self.quarantined_shards: tuple[int, ...] = ()
 
     def _heartbeat_interval(self) -> float:
         """Cadence workers are told to beat at (quarter of the deadline)."""
@@ -603,7 +676,14 @@ class SocketBackend(ExecutionBackend):
         ``ordered`` yields the shard-order prefix as it completes;
         unordered yields whole chunks in completion order, which lets
         streaming consumers persist every finished shard immediately.
+        (``continue_past_quarantine`` requires the unordered path: a
+        quarantined chunk is never yielded — its shard indices land on
+        :attr:`quarantined_shards` instead — which only
+        :meth:`imap_unordered`'s explicit indices can represent.  An
+        ordered consumer that hits a quarantine raises rather than
+        silently misaligning every later result.)
         """
+        self.quarantined_shards = ()
         if not len(shards):
             return
         chunksize = max(1, int(chunksize))
@@ -613,7 +693,12 @@ class SocketBackend(ExecutionBackend):
         completed: dict[int, list] = {}
         #: Worker deaths charged against each chunk's retry budget.
         attempts: dict[int, int] = {}
-        state = {"error": None, "handlers": 0, "done": 0, "joined": 0}
+        #: Chunk indices set aside in continue-past-quarantine mode.
+        quarantined: list[int] = []
+        #: Live per-worker registry for the status snapshot: handler id
+        #: -> {pid, last_seen, chunk}; mutated only under ``condition``.
+        fleet: dict[int, dict] = {}
+        state = {"error": None, "handlers": 0, "done": 0, "joined": 0, "retries": 0}
         condition = threading.Condition()
         done = threading.Event()
 
@@ -625,6 +710,7 @@ class SocketBackend(ExecutionBackend):
             and requeue work that only this one can pick up.
             """
             current: int | None = None
+            me: dict | None = None
             try:
                 with conn:
                     # A connection that never speaks (port scan, health
@@ -650,8 +736,10 @@ class SocketBackend(ExecutionBackend):
                     # or reply — must arrive within the deadline, or the
                     # worker is presumed dead and the chunk requeued.
                     conn.settimeout(self.heartbeat_timeout)
+                    me = {"pid": hello[1], "last_seen": time.monotonic(), "chunk": None}
                     with condition:
                         state["joined"] += 1
+                        fleet[id(me)] = me
                         condition.notify_all()
                     while True:
                         with condition:
@@ -669,11 +757,15 @@ class SocketBackend(ExecutionBackend):
                             ):
                                 break
                             current = pending.popleft()
+                            me["chunk"] = current
+                            me["last_seen"] = time.monotonic()
                         _send_msg(conn, ("task", current, worker, chunks[current]))
                         while True:
                             reply = _recv_msg(conn)
                             if reply is None:
                                 raise ConnectionError("worker hung up mid-task")
+                            with condition:
+                                me["last_seen"] = time.monotonic()
                             if reply[0] != "heartbeat":
                                 break
                         kind, index, payload = reply
@@ -686,6 +778,7 @@ class SocketBackend(ExecutionBackend):
                                 completed[index] = payload
                                 state["done"] += 1
                             current = None
+                            me["chunk"] = None
                             condition.notify_all()
                     try:
                         _send_msg(conn, ("shutdown",))
@@ -698,25 +791,36 @@ class SocketBackend(ExecutionBackend):
                 # surviving workers, or the map would wait forever on a
                 # chunk nobody owns.  Each requeue spends retry budget:
                 # a chunk that keeps killing workers is quarantined
-                # instead of crash-looping the whole fleet.
+                # instead of crash-looping the whole fleet — aborting the
+                # map with its identity by default, or (opt-in) setting
+                # just that chunk aside and finishing the grid.
                 with condition:
                     if current is not None:
                         attempts[current] = attempts.get(current, 0) + 1
+                        state["retries"] += 1
                         if attempts[current] > self.max_chunk_retries:
-                            state["error"] = RuntimeError(
-                                f"shard chunk {current} was lost by "
-                                f"{attempts[current]} worker(s) in a row; retry "
-                                f"budget ({self.max_chunk_retries}) exhausted — "
-                                "quarantining it as a poison chunk.  Investigate "
-                                "the shard (or raise max_chunk_retries); cells "
-                                "already streamed to a --resume store are safe."
-                            )
+                            if self.continue_past_quarantine:
+                                quarantined.append(current)
+                                completed[current] = _QUARANTINED
+                                state["done"] += 1
+                            else:
+                                state["error"] = RuntimeError(
+                                    f"shard chunk {current} was lost by "
+                                    f"{attempts[current]} worker(s) in a row; retry "
+                                    f"budget ({self.max_chunk_retries}) exhausted — "
+                                    "quarantining it as a poison chunk.  Investigate "
+                                    "the shard (or raise max_chunk_retries, or run "
+                                    "with --continue-past-quarantine); cells "
+                                    "already streamed to a --resume store are safe."
+                                )
                         else:
                             pending.appendleft(current)
                     condition.notify_all()
             finally:
                 with condition:
                     state["handlers"] -= 1
+                    if me is not None:
+                        fleet.pop(id(me), None)
                     condition.notify_all()
 
         def accept_loop(listener: socket.socket) -> None:
@@ -736,9 +840,46 @@ class SocketBackend(ExecutionBackend):
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         acceptor = threading.Thread(target=accept_loop, args=(listener,), daemon=True)
         workers: list[subprocess.Popen] = []
+        status_server = None
+        started_at = time.monotonic()
+
+        def snapshot() -> dict:
+            """Assemble the repro-status-v1 JSON snapshot (status port)."""
+            with condition:
+                now = time.monotonic()
+                in_flight = sum(
+                    1 for info in fleet.values() if info["chunk"] is not None
+                )
+                return {
+                    "format": "repro-status-v1",
+                    "elapsed": round(now - started_at, 3),
+                    "fleet": {
+                        "size": len(fleet),
+                        "joined_total": state["joined"],
+                        "expected": self.workers_expected,
+                    },
+                    "workers": [
+                        {
+                            "pid": info["pid"],
+                            "heartbeat_age": round(now - info["last_seen"], 3),
+                            "chunk": info["chunk"],
+                        }
+                        for info in fleet.values()
+                    ],
+                    "chunks": {
+                        "total": total,
+                        "done": state["done"],
+                        "pending": len(pending),
+                        "in_flight": in_flight,
+                    },
+                    "retries": state["retries"],
+                    "quarantined": sorted(quarantined),
+                }
+
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
         served = 0
         next_chunk = 0
+        quarantined_shards: list[int] = []
         # Everything after the socket exists runs under the finally: a
         # failure while binding, starting the acceptor, or spawning
         # workers must still release the port, stop the acceptor, and
@@ -748,6 +889,13 @@ class SocketBackend(ExecutionBackend):
             listener.bind((self.bind_host, self.bind_port))
             listener.listen()
             self.address = listener.getsockname()[:2]
+            if self.status_port is not None:
+                from repro.experiments.monitor import StatusServer
+
+                status_server = StatusServer(
+                    (self.bind_host, self.status_port), snapshot
+                ).start()
+                self.status_address = status_server.address
             acceptor.start()
             workers = self._spawn_local_workers(self.address[1])
             while served < total:
@@ -780,6 +928,30 @@ class SocketBackend(ExecutionBackend):
                         index, results = completed.popitem()
                 served += 1
                 base = index * chunksize
+                if results is _QUARANTINED:
+                    if ordered:
+                        # imap()/map() callers pair results with shards
+                        # positionally; silently skipping a chunk would
+                        # shift every later result onto the wrong shard.
+                        # Only the index-carrying imap_unordered path can
+                        # skip safely.
+                        raise RuntimeError(
+                            f"shard chunk {index} was quarantined, but this map "
+                            "was consumed in shard order (imap/map), which "
+                            "cannot represent a hole; use imap_unordered with "
+                            "continue_past_quarantine"
+                        )
+                    quarantined_shards.extend(
+                        range(base, base + len(chunks[index]))
+                    )
+                    self.quarantined_shards = tuple(quarantined_shards)
+                    print(
+                        f"repro: chunk {index} quarantined after exhausting its "
+                        f"retry budget ({self.max_chunk_retries}); continuing "
+                        "with the rest of the grid (--continue-past-quarantine)",
+                        file=sys.stderr,
+                    )
+                    continue
                 for offset, result in enumerate(results):
                     yield base + offset, result
         finally:
@@ -792,6 +964,8 @@ class SocketBackend(ExecutionBackend):
             with condition:
                 condition.notify_all()
             listener.close()
+            if status_server is not None:
+                status_server.close()
             if acceptor.ident is not None:  # never started if bind failed
                 acceptor.join(timeout=5)
             for process in workers:
@@ -800,6 +974,7 @@ class SocketBackend(ExecutionBackend):
                 except subprocess.TimeoutExpired:  # pragma: no cover - cleanup
                     process.kill()
             self.address = None
+            self.status_address = None
 
     def _check_liveness(self, workers, state, total) -> None:
         """Fail fast when every possible worker is gone but work remains.
@@ -841,7 +1016,8 @@ def resolve_backend(
 
     ``socket_options`` forwards the campaign-hardening knobs
     (``auth_token``, ``workers_expected``, ``heartbeat_timeout``,
-    ``max_chunk_retries``) to a socket spec's :class:`SocketBackend`;
+    ``max_chunk_retries``, ``continue_past_quarantine``,
+    ``status_port``) to a socket spec's :class:`SocketBackend`;
     supplying them with a non-socket spec or a pre-built instance is an
     error, because they would be silently dropped.
     """

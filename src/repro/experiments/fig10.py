@@ -34,6 +34,7 @@ continues where it stopped, bit-identically to an uninterrupted run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from math import comb
@@ -83,6 +84,10 @@ class Fig10Result:
     #: across *all* simulated words, or None if not reached.  RBER only
     #: scales the curves, so this is RBER-independent.
     rounds_to_zero: dict[tuple[float, str], int | None]
+    #: Shard keys a continue-past-quarantine run set aside (empty
+    #: everywhere else); the affected strata are averaged over the words
+    #: that did complete until a targeted re-run fills them in.
+    quarantined: tuple[tuple[float, int, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -182,11 +187,29 @@ def _shard_key(shard: Fig10Shard) -> tuple[float, int, int]:
     return (shard.probability, shard.code_index, shard.count)
 
 
+def _timed_case_shard(
+    shard: Fig10Shard,
+) -> tuple[
+    tuple[dict[str, list[list[float]]], dict[str, list[list[float]]], dict[str, list[int | None]]],
+    float,
+]:
+    """Pool worker: :func:`run_case_shard` plus its wall-clock seconds.
+
+    The timing never enters the aggregation — it only rides into the
+    resume store's records so ``repro store PATH summary`` can estimate
+    an ETA — so results stay bit-identical to the untimed worker.
+    """
+    started = time.perf_counter()
+    result = run_case_shard(shard)
+    return result, time.perf_counter() - started
+
+
 def run(
     config: CaseStudyConfig = CaseStudyConfig(),
     jobs: int | None = None,
     backend=None,
     resume: str | None = None,
+    progress: bool | float = False,
 ) -> Fig10Result:
     """Execute the case study over the full (probability, RBER) grid.
 
@@ -203,6 +226,15 @@ def run(
             deliver them, already-persisted shards are skipped on
             restart, and the aggregated result is bit-identical to an
             uninterrupted run.
+        progress: print periodic grid-coverage/ETA lines to stderr via
+            :class:`~repro.experiments.monitor.ProgressReporter`
+            (``True`` = default cadence, a float = seconds between
+            lines); purely observational.
+
+    A backend in continue-past-quarantine mode may set shards aside;
+    their keys come back on ``Fig10Result.quarantined`` (and as
+    ``quarantine`` records in the ``resume`` store) and the affected
+    strata average over the words that did complete.
     """
     from repro.experiments.store import Fig10Store, case_config_to_dict
 
@@ -235,19 +267,30 @@ def run(
                 "refusing to mix results (use a fresh --resume path)"
             )
         store.open(config)
+    from repro.experiments.monitor import progress_reporter, quarantined_keys
+
     pending = [shard for shard in shards if _shard_key(shard) not in persisted]
+    reporter = progress_reporter(progress, len(shards), "shards")
+    if reporter is not None:
+        reporter.start(done=len(persisted))
     results_by_key: dict[tuple[float, int, int], tuple] = dict(persisted)
+    quarantined: tuple[tuple[float, int, int], ...] = ()
     try:
         # One chunk = one code's strata, keeping its caches on one
         # worker; completion order, so every finished shard becomes
         # durable immediately (mirrors run_sweep).
-        for index, result in executor.imap_unordered(
-            run_case_shard, pending, chunksize=max(1, config.max_at_risk - 1)
+        for index, (result, elapsed) in executor.imap_unordered(
+            _timed_case_shard, pending, chunksize=max(1, config.max_at_risk - 1)
         ):
             key = _shard_key(pending[index])
             results_by_key[key] = result
             if store is not None:
-                store.append(key, result)
+                store.append(key, result, seconds=elapsed)
+            if reporter is not None:
+                reporter.completed(elapsed)
+        quarantined = quarantined_keys(executor, pending, _shard_key, store=store)
+        if reporter is not None:
+            reporter.finish(quarantined=len(quarantined))
     finally:
         if store is not None:
             store.close()
@@ -260,7 +303,10 @@ def run(
     # Aggregate in grid order regardless of completion or resume order,
     # so the result is indistinguishable from a serial run.
     for shard in shards:
-        shard_before, shard_after, shard_zero = results_by_key[_shard_key(shard)]
+        result = results_by_key.get(_shard_key(shard))
+        if result is None:
+            continue  # quarantined under continue-past-quarantine
+        shard_before, shard_after, shard_zero = result
         for name in config.profilers:
             stratum_before.setdefault((shard.probability, shard.count, name), []).extend(
                 shard_before[name]
@@ -276,9 +322,11 @@ def run(
     rounds_to_zero: dict[tuple[float, str], int | None] = {}
     for probability in config.probabilities:
         for name in config.profilers:
-            values = to_zero[(probability, name)]
+            values = to_zero.get((probability, name), [])
             rounds_to_zero[(probability, name)] = (
-                None if any(v is None for v in values) else max(values)  # type: ignore[type-var]
+                None
+                if not values or any(v is None for v in values)
+                else max(values)  # type: ignore[type-var]
             )
         for rber in config.rbers:
             rate = rber / probability
@@ -286,8 +334,11 @@ def run(
                 weighted_before = np.zeros(len(ticks))
                 weighted_after = np.zeros(len(ticks))
                 for count in range(2, config.max_at_risk + 1):
+                    trajectories = stratum_before.get((probability, count, name))
+                    if trajectories is None:
+                        continue  # every shard of this stratum quarantined
                     weight = binomial_weight(n_codeword, count, rate)
-                    mean_before = np.mean(stratum_before[(probability, count, name)], axis=0)
+                    mean_before = np.mean(trajectories, axis=0)
                     mean_after = np.mean(stratum_after[(probability, count, name)], axis=0)
                     weighted_before += weight * mean_before
                     weighted_after += weight * mean_after
@@ -299,6 +350,7 @@ def run(
         before=before,
         after=after,
         rounds_to_zero=rounds_to_zero,
+        quarantined=quarantined,
     )
 
 

@@ -1,0 +1,523 @@
+"""Campaign control plane: live status snapshots, grid coverage, and ETA.
+
+A paper-scale campaign runs for hours across machines (PR 3/4 made it
+distributed and resumable); this module makes it *observable*.  It is
+deliberately read-only with respect to results — nothing here touches
+the result path, so every piece stays bit-identical whether or not a
+campaign is being watched.
+
+Three instruments, one per operational question:
+
+* "Is the fleet alive?" — :class:`StatusServer` serves the live
+  snapshot a :class:`~repro.experiments.backends.SocketBackend`
+  assembles when constructed with ``status_port=`` (CLI
+  ``--status-port``); :func:`read_status` / ``python -m repro status
+  HOST:PORT`` fetch and :func:`render_status` renders it.
+* "How far along is the grid?" — :class:`ProgressReporter` prints
+  periodic stderr progress/ETA lines from inside
+  :func:`~repro.experiments.runner.run_sweep` and
+  :func:`~repro.experiments.fig10.run` (CLI ``--progress``), and
+  :func:`grid_shape` / :func:`estimate_eta` are the same coverage math
+  the ``repro store PATH summary`` toolbox uses on a store at rest.
+* "What did the campaign skip?" — :func:`quarantine_report` renders
+  the shard keys a ``--continue-past-quarantine`` run set aside, with
+  the targeted re-run recipe.
+
+Status wire format (``repro-status-v1``)
+========================================
+
+The status port speaks line-delimited JSON, not the pickle protocol of
+the work port: one connection, one snapshot line, close.  Any client
+works (``python -m repro status``, ``curl``, ``nc``).  The snapshot is
+a single JSON object:
+
+.. code-block:: json
+
+    {"format": "repro-status-v1",
+     "elapsed": 12.3,
+     "fleet": {"size": 2, "joined_total": 3, "expected": 2},
+     "workers": [{"pid": 4242, "heartbeat_age": 0.4, "chunk": 7},
+                 {"pid": 4243, "heartbeat_age": 1.2, "chunk": null}],
+     "chunks": {"total": 9, "done": 5, "pending": 2, "in_flight": 2},
+     "retries": 1,
+     "quarantined": [3]}
+
+Field semantics:
+
+========================  ==============================================
+field                     meaning
+========================  ==============================================
+``elapsed``               seconds since the map started serving
+``fleet.size``            workers connected *right now*
+``fleet.joined_total``    workers that ever joined (deaths included)
+``fleet.expected``        the ``--workers-expected`` start barrier
+``workers[].pid``         worker's reported process id
+``workers[].heartbeat_age`` seconds since the worker's last frame
+``workers[].chunk``       chunk index in flight, ``null`` when idle
+``chunks.total``          chunks in this map
+``chunks.done``           chunks completed (quarantined ones included)
+``chunks.pending``        queue depth: chunks waiting for a worker
+``chunks.in_flight``      chunks currently executing somewhere
+``retries``               requeues charged against retry budgets so far
+``quarantined``           chunk indices set aside past their budget
+========================  ==============================================
+
+See ``docs/operations.md`` for the monitoring runbook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+from collections.abc import Mapping
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "STATUS_FORMAT",
+    "StatusServer",
+    "read_status",
+    "render_status",
+    "build_status_parser",
+    "status_main",
+    "ProgressReporter",
+    "progress_reporter",
+    "quarantined_keys",
+    "grid_shape",
+    "format_grid",
+    "estimate_eta",
+    "format_eta",
+    "quarantine_report",
+]
+
+#: Format tag of the one-line JSON status snapshot.
+STATUS_FORMAT = "repro-status-v1"
+
+
+# ----------------------------------------------------------------------
+# Grid coverage and ETA math (shared by --progress and `store summary`)
+# ----------------------------------------------------------------------
+
+
+def grid_shape(config) -> tuple[list[tuple[str, int]], int] | None:
+    """Dimensions and total cell count of a campaign config's grid.
+
+    Accepts either a config object (:class:`~repro.experiments.config.SweepConfig`
+    / :class:`~repro.experiments.config.CaseStudyConfig`) or the plain
+    dict a store header records, so the same logic serves live drivers
+    and stores at rest.  Returns ``([(label, count), ...], total)`` —
+    sweep grids are error counts x probabilities x profilers, case-study
+    grids are probabilities x codes x at-risk strata — or ``None`` for
+    an unrecognized config shape.
+    """
+    if config is None:
+        return None
+    if isinstance(config, Mapping):
+        get = config.get
+    else:
+        def get(key, default=None):
+            return getattr(config, key, default)
+
+    if get("error_counts") is not None:
+        dims = [
+            ("error counts", len(get("error_counts"))),
+            ("probabilities", len(get("probabilities") or ())),
+            ("profilers", len(get("profilers") or ())),
+        ]
+    elif get("max_at_risk") is not None:
+        dims = [
+            ("probabilities", len(get("probabilities") or ())),
+            ("codes", int(get("num_codes") or 0)),
+            ("strata", max(0, int(get("max_at_risk")) - 1)),
+        ]
+    else:
+        return None
+    total = 1
+    for _, count in dims:
+        total *= count
+    return dims, total
+
+
+def format_grid(dims: Sequence[tuple[str, int]], total: int) -> str:
+    """Human rendition of :func:`grid_shape`'s dimensions.
+
+    ``"4 error counts × 4 probabilities × 5 profilers = 80 cells"`` —
+    two stores whose grids disagree are diagnosed from this line alone.
+    """
+    product = " × ".join(f"{count} {label}" for label, count in dims)
+    return f"{product} = {total} cells"
+
+
+def estimate_eta(done: int, total: int, seconds: float) -> float | None:
+    """Remaining seconds, extrapolated from ``seconds`` spent on ``done``.
+
+    The rate is whatever ``seconds`` measures: feed it recorded per-cell
+    compute seconds (as ``store summary`` does) and the estimate is
+    *single-worker compute* remaining — divide by the fleet size for
+    wall-clock; feed it wall-clock elapsed (as :class:`ProgressReporter`
+    does) and the estimate is wall-clock directly, fleet included.
+    Returns ``0.0`` when the grid is complete and ``None`` when there is
+    no rate to extrapolate from (nothing done, or no seconds recorded).
+    """
+    if total <= done:
+        return 0.0
+    if done <= 0 or seconds <= 0:
+        return None
+    return (total - done) * (seconds / done)
+
+
+def format_eta(seconds: float | None) -> str:
+    """Coarse human rendition of an ETA (``"unknown"`` for ``None``)."""
+    if seconds is None:
+        return "unknown"
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, rest = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Periodic stderr progress/ETA lines for a running campaign grid.
+
+    The drivers (:func:`~repro.experiments.runner.run_sweep`,
+    :func:`~repro.experiments.fig10.run`) call :meth:`start` with the
+    resumed-cell head start and :meth:`completed` per finished cell; the
+    reporter prints at most one line per ``interval`` seconds (plus the
+    first and last).  The ETA extrapolates this run's *wall-clock*
+    completion rate, so a parallel fleet's speedup is priced in — while
+    recorded cell-seconds (also shown) stay comparable with what
+    ``repro store PATH summary`` reports for the store at rest.
+
+    Lines go to ``stream`` (default: ``sys.stderr``, resolved at write
+    time) so stdout stays exactly the exhibit rendition.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        unit: str = "cells",
+        interval: float = 10.0,
+        stream=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if total < 0:
+            raise ValueError("total must be >= 0")
+        self.total = int(total)
+        self.unit = unit
+        self.interval = max(0.0, float(interval))
+        self._stream = stream
+        self._clock = clock
+        self.done = 0
+        self.cell_seconds = 0.0
+        self._fresh = 0  # completed this run (excludes resumed head start)
+        self._started = clock()
+        self._last_report: float | None = None
+
+    def start(self, done: int = 0, cell_seconds: float = 0.0) -> "ProgressReporter":
+        """Record the resumed head start and print the opening line."""
+        self.done = int(done)
+        self.cell_seconds = float(cell_seconds)
+        self._started = self._clock()
+        self._report()
+        return self
+
+    def completed(self, seconds: float | None = None) -> None:
+        """Count one finished cell (``seconds`` = its recorded compute)."""
+        self.done += 1
+        self._fresh += 1
+        if seconds:
+            self.cell_seconds += float(seconds)
+        now = self._clock()
+        if (
+            self.done >= self.total
+            or self._last_report is None
+            or now - self._last_report >= self.interval
+        ):
+            self._report()
+
+    def finish(self, quarantined: int = 0) -> None:
+        """Print the closing line when :meth:`completed` could not.
+
+        A fully-computed grid already reported its last cell, so this is
+        a no-op there — but a continue-past-quarantine run never reaches
+        ``done == total``, and without a closing line an operator
+        tailing stderr sees the log stop at a stale interval-gated
+        count.  ``quarantined`` annotates how many shards were set
+        aside.
+        """
+        if self.done >= self.total and not quarantined:
+            return
+        suffix = f" · {quarantined} shard(s) quarantined" if quarantined else ""
+        self._report(suffix=suffix)
+
+    def eta_seconds(self) -> float | None:
+        """Wall-clock ETA from this run's completion rate (fleet-aware)."""
+        if self.total <= self.done:
+            return 0.0
+        if self._fresh <= 0:
+            return None
+        return estimate_eta(self._fresh, self._fresh + (self.total - self.done),
+                            self._clock() - self._started)
+
+    def _report(self, suffix: str = "") -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        share = (100.0 * self.done / self.total) if self.total else 100.0
+        line = f"progress {self.done}/{self.total} {self.unit} ({share:.1f}%)"
+        if self.cell_seconds:
+            line += f" · {self.cell_seconds:.1f} cell-seconds recorded"
+        if self.done < self.total and not suffix:
+            eta = self.eta_seconds()
+            if eta is not None:
+                line += f" · eta ~{format_eta(eta)}"
+        print(line + suffix, file=stream, flush=True)
+        self._last_report = self._clock()
+
+
+def progress_reporter(
+    progress: bool | float, total: int, unit: str
+) -> ProgressReporter | None:
+    """Resolve a driver's ``progress`` option into a reporter.
+
+    The one construction shared by :func:`~repro.experiments.runner.run_sweep`
+    and :func:`~repro.experiments.fig10.run`: ``False``/``None`` mean
+    off, ``True`` means the default cadence, and a number is the
+    cadence in seconds — where ``0.0`` is a zero-second cadence (report
+    every cell), not "off".
+    """
+    if progress is False or progress is None:
+        return None
+    interval = 10.0 if progress is True else float(progress)
+    return ProgressReporter(total, unit=unit, interval=interval)
+
+
+def quarantined_keys(executor, shards: Sequence, key_of: Callable, store=None) -> tuple:
+    """Map a backend's quarantined shard indices back to shard keys.
+
+    ``executor.quarantined_shards`` indexes into the ``shards`` sequence
+    the map was given; ``key_of`` extracts a shard's store key.  When a
+    ``store`` is supplied, each key is durably recorded as a quarantine
+    marker too — the drivers' one-call quarantine epilogue.
+    """
+    keys = tuple(
+        key_of(shards[index])
+        for index in getattr(executor, "quarantined_shards", ())
+    )
+    if store is not None:
+        for key in keys:
+            store.append_quarantine(key)
+    return keys
+
+
+def quarantine_report(keys: Iterable, unit: str = "shard") -> str:
+    """Operator-facing rendition of quarantined shard keys.
+
+    Printed by the CLI after a ``--continue-past-quarantine`` run and
+    mirrored by ``repro store PATH summary``; the keys name exactly the
+    cells a targeted re-run (same command, same ``--resume`` path) will
+    recompute.
+    """
+    keys = list(keys)
+    lines = [
+        f"QUARANTINED {len(keys)} {unit}(s) — the rest of the grid completed; "
+        "cells streamed to a --resume store stay durable:"
+    ]
+    for key in keys:
+        lines.append(f"  {tuple(key)}")
+    lines.append(
+        "Re-run the same command with the same --resume PATH to retry just "
+        "these (runbook: docs/operations.md)."
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Status protocol: one line-delimited JSON snapshot per connection
+# ----------------------------------------------------------------------
+
+
+class StatusServer:
+    """Serve one JSON status line per TCP connection (curl/nc friendly).
+
+    ``snapshot`` is called per connection and must return a JSON-safe
+    dict (the :data:`STATUS_FORMAT` schema in the module docstring);
+    :class:`~repro.experiments.backends.SocketBackend` passes a closure
+    that assembles the snapshot under its own lock.  The server accepts
+    on a daemon thread, binds eagerly in ``__init__`` (so a taken port
+    fails fast, before any campaign work starts), and resolves port
+    ``0`` to an ephemeral port exposed as :attr:`address`.
+    """
+
+    def __init__(self, bind: tuple[str, int], snapshot: Callable[[], dict]) -> None:
+        host, port = bind
+        self._snapshot = snapshot
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+            self._listener.listen()
+        except OSError:
+            self._listener.close()
+            raise
+        #: Resolved ``(host, port)`` of the live status listener.
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._done = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, name="repro-status", daemon=True
+        )
+
+    def start(self) -> "StatusServer":
+        self._thread.start()
+        return self
+
+    def _serve(self) -> None:
+        self._listener.settimeout(0.1)
+        while not self._done.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with conn:
+                try:
+                    payload = json.dumps(self._snapshot())
+                    conn.sendall(payload.encode("utf-8") + b"\n")
+                except OSError:
+                    pass  # client went away mid-write; next poll will work
+
+    def close(self) -> None:
+        self._done.set()
+        self._listener.close()
+        if self._thread.ident is not None:
+            self._thread.join(timeout=5)
+
+
+def read_status(address: str | tuple[str, int], timeout: float = 5.0) -> dict:
+    """Fetch one status snapshot from a ``--status-port`` server.
+
+    ``address`` is ``HOST:PORT`` (or a ``(host, port)`` tuple).  Raises
+    ``OSError`` when nothing listens there and ``ValueError`` when the
+    peer speaks something other than :data:`STATUS_FORMAT` — pointing
+    this at the *work* port is the classic mistake, and must not hang.
+    """
+    if isinstance(address, str):
+        from repro.experiments.backends import parse_address
+
+        host, port = parse_address(address)
+    else:
+        host, port = address
+    chunks: list[bytes] = []
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        while True:
+            try:
+                data = sock.recv(1 << 16)
+            except socket.timeout:
+                break
+            if not data:
+                break
+            chunks.append(data)
+            if data.endswith(b"\n"):
+                break
+    raw = b"".join(chunks).strip()
+    if not raw:
+        raise ValueError(
+            f"no status line from {host}:{port} (is that really a --status-port, "
+            "not the work port?)"
+        )
+    try:
+        snapshot = json.loads(raw.decode("utf-8", errors="replace"))
+    except json.JSONDecodeError:
+        raise ValueError(
+            f"{host}:{port} did not answer with a JSON status line (is that "
+            "really a --status-port, not the work port?)"
+        ) from None
+    if not isinstance(snapshot, dict) or snapshot.get("format") != STATUS_FORMAT:
+        raise ValueError(
+            f"{host}:{port} answered with an unknown status format "
+            f"{snapshot.get('format') if isinstance(snapshot, dict) else snapshot!r} "
+            f"(expected {STATUS_FORMAT})"
+        )
+    return snapshot
+
+
+def render_status(snapshot: dict) -> str:
+    """Operator-facing text rendition of a status snapshot."""
+    lines = [
+        f"status   {snapshot.get('format', '?')} · "
+        f"{float(snapshot.get('elapsed', 0.0)):.1f}s elapsed"
+    ]
+    fleet = snapshot.get("fleet", {})
+    expected = fleet.get("expected") or 0
+    barrier = f", {expected} expected" if expected else ""
+    lines.append(
+        f"fleet    {fleet.get('size', 0)} worker(s) connected "
+        f"({fleet.get('joined_total', 0)} joined in total{barrier})"
+    )
+    for worker in snapshot.get("workers", []):
+        chunk = worker.get("chunk")
+        doing = f"chunk {chunk} in flight" if chunk is not None else "idle"
+        lines.append(
+            f"worker   pid {worker.get('pid', '?')} · {doing} · "
+            f"last frame {float(worker.get('heartbeat_age', 0.0)):.1f}s ago"
+        )
+    chunks = snapshot.get("chunks", {})
+    lines.append(
+        f"chunks   {chunks.get('done', 0)}/{chunks.get('total', 0)} done · "
+        f"{chunks.get('pending', 0)} queued · {chunks.get('in_flight', 0)} in flight"
+    )
+    if snapshot.get("retries"):
+        lines.append(f"retries  {snapshot['retries']} chunk requeue(s) so far")
+    quarantined = snapshot.get("quarantined") or []
+    if quarantined:
+        listed = ", ".join(str(index) for index in quarantined)
+        lines.append(
+            f"quarantine chunk(s) {listed} set aside past their retry budget "
+            "(--continue-past-quarantine)"
+        )
+    return "\n".join(lines)
+
+
+def build_status_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro status",
+        description="Read one live status snapshot from a campaign server "
+        "started with --status-port, and render it for operators.",
+    )
+    parser.add_argument("address", help="HOST:PORT of the server's --status-port")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="connection/read timeout (default: 5)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON snapshot instead of the rendered view "
+        "(for scripts and dashboards)",
+    )
+    return parser
+
+
+def status_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro status HOST:PORT``."""
+    args = build_status_parser().parse_args(argv)
+    try:
+        snapshot = read_status(args.address, timeout=args.timeout)
+    except (OSError, ValueError) as error:
+        print(f"repro status: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot))
+    else:
+        print(render_status(snapshot))
+    return 0

@@ -149,11 +149,16 @@ class SweepResult:
         cells: per-cell word metrics.
         timings: per-cell wall-clock seconds as measured by whichever
             process executed the cell (empty for deserialized results).
+        quarantined: cell keys a ``continue_past_quarantine`` run set
+            aside instead of computing (empty everywhere else); the
+            corresponding keys are absent from ``cells`` until a
+            targeted re-run fills them in.
     """
 
     config: object
     cells: dict[tuple[int, float, str], SweepCell]
     timings: dict[tuple[int, float, str], float] = field(default_factory=dict)
+    quarantined: tuple = ()
 
     def cell(self, error_count: int, probability: float, profiler: str) -> SweepCell:
         return self.cells[(error_count, probability, profiler)]
@@ -596,6 +601,7 @@ def run_sweep(
     jobs: int | None = None,
     backend: ExecutionBackend | str | None = None,
     resume: str | None = None,
+    progress: bool | float = False,
 ) -> SweepResult:
     """Execute the full (error count x probability x profiler) grid.
 
@@ -616,6 +622,17 @@ def run_sweep(
             already-persisted cells are skipped on restart, and the
             returned result merges stored and fresh cells — equal to an
             uninterrupted run, cell for cell.
+        progress: print periodic grid-coverage/ETA lines to stderr via
+            :class:`~repro.experiments.monitor.ProgressReporter` as
+            cells complete (``True`` = default cadence, a float = that
+            many seconds between lines).  Purely observational: results
+            are byte-identical with it on or off.
+
+    A backend running in continue-past-quarantine mode may set shards
+    aside instead of executing them; their keys come back on
+    ``SweepResult.quarantined`` (and as ``quarantine`` records in the
+    ``resume`` store) so a targeted re-run of the same command can
+    compute exactly the missing cells.
     """
     from repro.experiments.store import ShardStore, config_to_dict, merge_sweeps
 
@@ -646,7 +663,15 @@ def run_sweep(
                 "refusing to mix results (use a fresh --resume path)"
             )
         store.open(config)
+    from repro.experiments.monitor import progress_reporter, quarantined_keys
+
     pending = [shard for shard in shards if shard.key not in persisted.cells]
+    reporter = progress_reporter(progress, len(shards), "cells")
+    if reporter is not None:
+        reporter.start(
+            done=len(persisted.cells),
+            cell_seconds=sum(persisted.timings.values()),
+        )
 
     # Chunk size derives from the *full* grid even when resuming.  On a
     # fresh run the chunks then align to whole error-count blocks,
@@ -658,6 +683,7 @@ def run_sweep(
     chunksize = _sweep_chunksize(config, len(shards), executor.worker_hint())
     cells: dict[tuple[int, float, str], SweepCell] = {}
     timings: dict[tuple[int, float, str], float] = {}
+    quarantined: tuple = ()
     try:
         # Completion order, not shard order: every finished cell becomes
         # durable the moment any worker delivers it, so a crash loses at
@@ -671,6 +697,13 @@ def run_sweep(
             timings[key] = elapsed
             if store is not None:
                 store.append(cell, elapsed)
+            if reporter is not None:
+                reporter.completed(elapsed)
+        quarantined = quarantined_keys(
+            executor, pending, lambda shard: shard.key, store=store
+        )
+        if reporter is not None:
+            reporter.finish(quarantined=len(quarantined))
     finally:
         if store is not None:
             store.close()
@@ -679,4 +712,6 @@ def run_sweep(
     # Restore grid order (cells arrive in completion order, resumed ones
     # first) so the result is indistinguishable from a serial run.
     ordered = {shard.key: merged.cells[shard.key] for shard in shards if shard.key in merged.cells}
-    return SweepResult(config=config, cells=ordered, timings=merged.timings)
+    return SweepResult(
+        config=config, cells=ordered, timings=merged.timings, quarantined=quarantined
+    )

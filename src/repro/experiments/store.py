@@ -27,13 +27,37 @@ equivalent for the Python reproduction, in two layers:
 
 On-disk record kinds (one JSON object per line):
 
-========  =======================================================
-kind      contents
-========  =======================================================
-header    file format tag + the config that produced the records
-cell      one completed sweep cell (``ShardStore``)
-fig10     one completed case-study shard (``Fig10Store``)
-========  =======================================================
+==========  =======================================================
+kind        contents
+==========  =======================================================
+header      file format tag + the config that produced the records
+cell        one completed sweep cell (``ShardStore``)
+fig10       one completed case-study shard (``Fig10Store``)
+quarantine  key of a shard a ``--continue-past-quarantine`` run set
+            aside (both stores); loading ignores it, so a rerun
+            recomputes exactly those shards, and ``store summary``
+            reports the ones not yet resolved by a completed record
+==========  =======================================================
+
+Record field reference (beyond ``kind``):
+
+* ``header`` — ``{"format": "repro-sweep-v2" | "repro-fig10-v1",
+  "config": {...} | null}``; the config dict round-trips the frozen
+  :class:`~repro.experiments.config.SweepConfig` /
+  :class:`~repro.experiments.config.CaseStudyConfig` field for field.
+* ``cell`` — the cell key (``error_count`` int, ``probability`` float,
+  ``profiler`` str), ``words`` (list of per-word metric dicts, one per
+  Monte-Carlo word), and optional ``seconds`` (the cell's recorded
+  compute wall-clock, used for the summary's ETA).
+* ``fig10`` — the shard key (``probability`` float, ``code_index``
+  int, ``count`` int = at-risk stratum), the per-profiler ``before`` /
+  ``after`` / ``to_zero`` trajectory dicts, and optional ``seconds``.
+* ``quarantine`` — exactly the key fields of the ``cell`` or ``fig10``
+  record it stands in for, nothing else.
+
+Duplicate keys always resolve **last-wins** on load; the
+``python -m repro store`` toolbox compacts superseded records away and
+prunes quarantine markers that a later completed record resolved.
 """
 
 from __future__ import annotations
@@ -469,6 +493,12 @@ class ShardStore(JsonlStore):
                 cells[key] = cell  # duplicate keys: last append wins
                 if seconds is not None:
                     timings[key] = seconds
+            elif record.get("kind") == "quarantine":
+                # A continue-past-quarantine run set this cell aside; it
+                # was never computed, so a resume must recompute it —
+                # which ignoring the marker achieves.  `store summary`
+                # is what reports unresolved markers to operators.
+                continue
             else:
                 raise ValueError(f"{self.path}: unknown shard record on line {number + 1}")
         return SweepResult(config=config, cells=cells, timings=timings)
@@ -484,6 +514,25 @@ class ShardStore(JsonlStore):
         record = _cell_to_dict(cell, seconds)
         record["kind"] = "cell"
         self._write_record(record)
+
+    def append_quarantine(self, key: tuple[int, float, str]) -> None:
+        """Durably record that a run set this cell's shard aside.
+
+        The marker never shadows data: :meth:`load` ignores it (so a
+        resume recomputes the cell) and the toolbox prunes it once a
+        completed ``cell`` record with the same key lands.
+        """
+        if self._handle is None:
+            self.open()
+        error_count, probability, profiler = key
+        self._write_record(
+            {
+                "kind": "quarantine",
+                "error_count": int(error_count),
+                "probability": float(probability),
+                "profiler": str(profiler),
+            }
+        )
 
 
 #: Key of one case-study shard: (probability, code_index, at-risk count).
@@ -541,24 +590,48 @@ class Fig10Store(JsonlStore):
                 )
                 # Duplicate keys: last append wins, same as ShardStore.
                 shards[key] = (record["before"], record["after"], record["to_zero"])
+            elif record.get("kind") == "quarantine":
+                continue  # set-aside marker; the shard recomputes on resume
             else:
                 raise ValueError(f"{self.path}: unknown shard record on line {number + 1}")
         return config, shards
 
-    def append(self, key: Fig10Key, result: Fig10ShardResult) -> None:
-        """Durably append one completed shard (opens the store if needed)."""
+    def append(
+        self, key: Fig10Key, result: Fig10ShardResult, seconds: float | None = None
+    ) -> None:
+        """Durably append one completed shard (opens the store if needed).
+
+        ``seconds`` (the shard's recorded compute wall-clock) rides
+        along for the summary's coverage/ETA math; :meth:`load` ignores
+        it, so stores with and without timings resume identically.
+        """
         if self._handle is None:
             self.open()
         probability, code_index, count = key
         before, after, to_zero = result
+        record = {
+            "kind": "fig10",
+            "probability": probability,
+            "code_index": code_index,
+            "count": count,
+            "before": before,
+            "after": after,
+            "to_zero": to_zero,
+        }
+        if seconds is not None:
+            record["seconds"] = seconds
+        self._write_record(record)
+
+    def append_quarantine(self, key: Fig10Key) -> None:
+        """Durably record that a run set this case-study shard aside."""
+        if self._handle is None:
+            self.open()
+        probability, code_index, count = key
         self._write_record(
             {
-                "kind": "fig10",
-                "probability": probability,
-                "code_index": code_index,
-                "count": count,
-                "before": before,
-                "after": after,
-                "to_zero": to_zero,
+                "kind": "quarantine",
+                "probability": float(probability),
+                "code_index": int(code_index),
+                "count": int(count),
             }
         )

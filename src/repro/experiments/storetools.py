@@ -10,7 +10,15 @@ the operator's toolbox for those files, exposed as
 ``python -m repro store PATH {summary,compact,merge}``:
 
 * ``summary`` — one streaming pass: record counts, distinct keys,
-  superseded duplicates, torn tail, config, total cell seconds.  Never
+  superseded duplicates, torn tail, config, total cell seconds — plus
+  the campaign's *grid coverage*: the header config determines the full
+  grid (sweep stores: error counts × probabilities × profilers;
+  case-study stores: probabilities × codes × strata), so the summary
+  reports cells done / cells total, an ETA extrapolated from the
+  recorded per-cell seconds (single-worker compute; divide by the fleet
+  size for wall-clock), the derived grid dimensions (so two stores that
+  should merge but don't are diagnosed at a glance), and any
+  ``quarantine`` markers not yet resolved by a completed record.  Never
   materializes a :class:`~repro.experiments.runner.SweepResult`, so it
   is safe on stores far larger than memory.
 * ``compact`` — rewrite the store keeping only the *winning* record per
@@ -39,6 +47,7 @@ import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.experiments.monitor import estimate_eta, format_eta, format_grid, grid_shape
 from repro.experiments.store import (
     FORMAT_FIG10,
     FORMAT_V1,
@@ -74,6 +83,25 @@ def _record_key(path: Path, number: int, record: dict) -> tuple:
         )
     if kind == "fig10":
         return (
+            "fig10",
+            float(record["probability"]),
+            int(record["code_index"]),
+            int(record["count"]),
+        )
+    if kind == "quarantine":
+        # The marker carries exactly the key fields of the record it
+        # stands in for; prefixing the resolved key keeps it distinct
+        # from (and mappable onto) the completed record's key.
+        if "error_count" in record:
+            return (
+                "quarantine",
+                "cell",
+                int(record["error_count"]),
+                float(record["probability"]),
+                str(record["profiler"]),
+            )
+        return (
+            "quarantine",
             "fig10",
             float(record["probability"]),
             int(record["code_index"]),
@@ -116,6 +144,22 @@ class StoreSummary:
     #: Monte-Carlo words across intact cell records (sweep stores).
     words: int = 0
     torn_tail: bool = False
+    #: Grid dimensions derived from the header config (human rendition),
+    #: e.g. ``"4 error counts × 4 probabilities × 5 profilers = 80 cells"``.
+    grid: str | None = None
+    #: Full grid size derived from the header config.
+    cells_total: int | None = None
+    #: Remaining single-worker compute seconds, extrapolated from the
+    #: recorded per-cell seconds (``None`` when there is no rate yet).
+    eta_seconds: float | None = None
+    #: Shard keys quarantined by a ``--continue-past-quarantine`` run
+    #: and not yet resolved by a completed record of the same key.
+    quarantined: list = field(default_factory=list)
+
+    @property
+    def cells_done(self) -> int:
+        """Distinct completed work units, regardless of record kind."""
+        return sum(self.distinct.get(kind, 0) for kind in ("cell", "fig10"))
 
 
 def summarize(path: str | os.PathLike) -> StoreSummary:
@@ -138,6 +182,7 @@ def summarize(path: str | os.PathLike) -> StoreSummary:
     # Winning (last-appended) seconds/words per key, exactly what
     # loading would count; one streaming pass, O(distinct keys) memory.
     winning: dict[tuple, tuple[float, int]] = {}
+    markers: set[tuple] = set()
     for number, record in JsonlStore(path).iter_records(include_torn=True):
         if record is None:
             summary.torn_tail = True
@@ -146,6 +191,11 @@ def summarize(path: str | os.PathLike) -> StoreSummary:
         summary.records += 1
         if key == ("header",):
             summary.format, summary.config = _check_header(path, record)
+            continue
+        if key[0] == "quarantine":
+            if key in markers:
+                summary.superseded += 1
+            markers.add(key)
             continue
         if key in winning:
             summary.superseded += 1
@@ -157,6 +207,16 @@ def summarize(path: str | os.PathLike) -> StoreSummary:
         summary.distinct[key[0]] = summary.distinct.get(key[0], 0) + 1
         summary.total_seconds += seconds
         summary.words += words
+    # A quarantine marker is live only until a completed record of the
+    # same key lands (the targeted re-run resolved it).
+    summary.quarantined = sorted(key[2:] for key in markers if key[1:] not in winning)
+    shape = grid_shape(summary.config)
+    if shape is not None:
+        dims, summary.cells_total = shape
+        summary.grid = format_grid(dims, summary.cells_total)
+        summary.eta_seconds = estimate_eta(
+            summary.cells_done, summary.cells_total, summary.total_seconds
+        )
     return summary
 
 
@@ -175,6 +235,24 @@ def render_summary(summary: StoreSummary) -> str:
             lines.append(f"records  {summary.distinct[kind]} {label}")
     if not summary.distinct:
         lines.append("records  0 (header only)")
+    if summary.grid:
+        lines.append(f"grid     {summary.grid}")
+    if summary.cells_total:
+        done = summary.cells_done
+        share = 100.0 * done / summary.cells_total
+        progress = f"progress {done}/{summary.cells_total} cells done ({share:.1f}%)"
+        if done < summary.cells_total and summary.eta_seconds is not None:
+            progress += (
+                f" · eta ~{format_eta(summary.eta_seconds)} of single-worker "
+                "compute (divide by your worker count)"
+            )
+        lines.append(progress)
+    if summary.quarantined:
+        keys = ", ".join(str(tuple(key)) for key in summary.quarantined)
+        lines.append(
+            f"quarantine {len(summary.quarantined)} shard(s) awaiting a targeted "
+            f"re-run (rerun the same command with this --resume path): {keys}"
+        )
     if summary.superseded:
         lines.append(f"stale    {summary.superseded} superseded record(s) — run compact")
     if summary.words:
@@ -230,6 +308,12 @@ def compact(path: str | os.PathLike, output: str | os.PathLike | None = None) ->
         if key in winners:
             dropped += 1
         winners[key] = number
+    # A quarantine marker whose shard later completed is resolved —
+    # the targeted re-run happened — so compaction retires it; markers
+    # still awaiting their re-run survive the rewrite.
+    for key in [k for k in winners if k[0] == "quarantine" and k[1:] in winners]:
+        del winners[key]
+        dropped += 1
     temporary = destination.with_name(destination.name + ".compact-tmp")
     kept = 0
     with open(temporary, "w", encoding="utf-8") as handle:
@@ -313,6 +397,12 @@ def merge(
             winners[key] = (file_index, number)
     if merged_format is None:
         raise ValueError("none of the inputs carries a store header")
+    # Same marker semantics as compact: a quarantine marker resolved by
+    # a completed record in *any* input (the targeted-re-run-on-another-
+    # machine workflow) does not survive the merge.
+    for key in [k for k in winners if k[0] == "quarantine" and k[1:] in winners]:
+        del winners[key]
+        dropped += 1
     temporary = output.with_name(output.name + ".merge-tmp")
     kept = 0
     with open(temporary, "w", encoding="utf-8") as handle:

@@ -11,10 +11,16 @@ from pathlib import Path
 import pytest
 
 from repro.cli import build_parser
+from repro.experiments.monitor import build_status_parser
 from repro.experiments.storetools import build_store_parser
 
 ROOT = Path(__file__).resolve().parent.parent
-DOCS = [ROOT / "README.md", ROOT / "docs" / "architecture.md", ROOT / "docs" / "distributed.md"]
+DOCS = [
+    ROOT / "README.md",
+    ROOT / "docs" / "architecture.md",
+    ROOT / "docs" / "distributed.md",
+    ROOT / "docs" / "operations.md",
+]
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
@@ -22,7 +28,7 @@ FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
 
 def _real_flags() -> set[str]:
     flags = set()
-    for parser in (build_parser(), build_store_parser()):
+    for parser in (build_parser(), build_store_parser(), build_status_parser()):
         for action in parser._actions:
             flags.update(s for s in action.option_strings if s.startswith("--"))
     return flags
@@ -81,6 +87,43 @@ def test_readme_exhibit_commands_are_real():
     from repro.cli import COMMANDS
 
     readme = (ROOT / "README.md").read_text()
-    known = set(COMMANDS) | {"all", "worker", "store"}
+    known = set(COMMANDS) | {"all", "worker", "store", "status"}
     for command in re.findall(r"python -m repro ([a-z0-9-]+)", readme):
         assert command in known, f"README mentions unknown command {command!r}"
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_doc_commands_are_real(doc):
+    """Every `python -m repro <command>` in every doc must parse."""
+    from repro.cli import COMMANDS
+
+    known = set(COMMANDS) | {"all", "worker", "store", "status"}
+    for command in re.findall(r"python -m repro ([a-z0-9-]+)", doc.read_text()):
+        assert command in known, f"{doc.name} mentions unknown command {command!r}"
+
+
+def test_operations_runbook_is_cross_linked():
+    """The monitoring runbook must be reachable from the entry docs,
+    and link back to the docs it builds on."""
+    readme = (ROOT / "README.md").read_text()
+    distributed = (ROOT / "docs" / "distributed.md").read_text()
+    operations = (ROOT / "docs" / "operations.md").read_text()
+    assert "docs/operations.md" in readme
+    assert "operations.md" in distributed
+    assert "distributed.md" in operations
+    assert "architecture.md" in operations
+
+
+def test_operations_covers_the_control_plane_surfaces():
+    """The runbook must document every control-plane surface by name."""
+    operations = (ROOT / "docs" / "operations.md").read_text()
+    for surface in (
+        "--status-port",
+        "python -m repro status",
+        "--progress",
+        "--continue-past-quarantine",
+        "store summary",
+        "merge",
+        "repro-status-v1",
+    ):
+        assert surface in operations, f"operations.md must document {surface}"

@@ -107,6 +107,79 @@ class TestSummary:
             summarize(path)
 
 
+class TestGridCoverage:
+    """`store summary` derives the full grid from the embedded config."""
+
+    def test_complete_sweep_store(self, sweep_store):
+        summary = summarize(sweep_store)
+        assert summary.cells_total == 4  # 1 error count x 2 probs x 2 profilers
+        assert summary.cells_done == 4
+        assert summary.eta_seconds == 0.0
+        assert summary.grid == "1 error counts × 2 probabilities × 2 profilers = 4 cells"
+        text = render_summary(summary)
+        assert "grid     1 error counts × 2 probabilities × 2 profilers = 4 cells" in text
+        assert "progress 4/4 cells done (100.0%)" in text
+
+    def test_partial_store_reports_coverage_and_eta(self, sweep_store):
+        """An interrupted run (header + a prefix of cells) reports
+        cells-done/cells-total and extrapolates an ETA."""
+        lines = sweep_store.read_text().splitlines()
+        sweep_store.write_text("\n".join(lines[:3]) + "\n")  # header + 2 cells
+        summary = summarize(sweep_store)
+        assert summary.cells_done == 2
+        assert summary.cells_total == 4
+        assert summary.eta_seconds is not None and summary.eta_seconds > 0.0
+        # Remaining = done's average per-cell seconds x 2 missing cells.
+        assert summary.eta_seconds == pytest.approx(summary.total_seconds)
+        text = render_summary(summary)
+        assert "progress 2/4 cells done (50.0%)" in text
+        assert "eta ~" in text
+
+    def test_resumed_store_converges_to_full_coverage(self, sweep_store):
+        """Truncate, resume, summarize: coverage goes back to done."""
+        lines = sweep_store.read_text().splitlines()
+        sweep_store.write_text("\n".join(lines[:2]) + "\n")
+        assert summarize(sweep_store).cells_done == 1
+        run_sweep(CONFIG, resume=str(sweep_store))
+        resumed = summarize(sweep_store)
+        assert resumed.cells_done == resumed.cells_total == 4
+        assert resumed.eta_seconds == 0.0
+
+    def test_fig10_store_grid(self, fig10_store):
+        summary = summarize(fig10_store)
+        assert summary.grid == "1 probabilities × 2 codes × 2 strata = 4 cells"
+        assert summary.cells_done == summary.cells_total == 4
+        # Fig 10 shards record their compute seconds for the ETA math.
+        assert summary.total_seconds > 0.0
+
+    def test_mismatched_grids_visible_in_summaries(self, sweep_store, tmp_path):
+        """Satellite: mismatched merges are diagnosable from the summary
+        alone — the two grid lines differ."""
+        other = tmp_path / "other.jsonl"
+        run_sweep(
+            SweepConfig(
+                num_codes=2,
+                words_per_code=2,
+                num_rounds=16,
+                error_counts=(2, 3),
+                probabilities=(0.5,),
+                profilers=("Naive",),
+            ),
+            resume=str(other),
+        )
+        with pytest.raises(ValueError, match="different config"):
+            merge([sweep_store, other], tmp_path / "merged.jsonl")
+        assert summarize(sweep_store).grid != summarize(other).grid
+
+    def test_headerless_store_has_no_coverage(self, sweep_store):
+        lines = sweep_store.read_text().splitlines()
+        sweep_store.write_text("\n".join(lines[1:]) + "\n")
+        summary = summarize(sweep_store)
+        assert summary.cells_total is None
+        assert summary.grid is None
+        assert "progress" not in render_summary(summary)
+
+
 class TestCompact:
     def test_drops_superseded_and_torn_tail(self, sweep_store):
         before = ShardStore(sweep_store).load()
