@@ -127,6 +127,35 @@ def sweep_scaling(results_dir: pathlib.Path) -> dict[str, float]:
     print(f"\n[sweep scaling saved to {path}]")
 
 
+@pytest.fixture(scope="session")
+def kernel_scaling(results_dir: pathlib.Path) -> dict[str, float]:
+    """Session-wide record of GF(2) kernel-tier timings, persisted at teardown.
+
+    ``bench_kernels.py`` inserts ``label -> seconds`` entries
+    (``eliminate-unpacked-cpu``/``eliminate-packed-cpu``,
+    ``solve-unpacked-cpu``/``solve-packed-cpu``,
+    ``charge-int-cpu``/``charge-packed-cpu``, ``sweep-serial`` and
+    ``sweep-shared-pool``); the derived tier speedups are appended so
+    ``results/kernel_scaling.txt`` is self-describing.
+    """
+    record: dict[str, float] = {}
+    yield record
+    if not record:
+        return
+    lines = [f"{label}: {seconds:.3f} s" for label, seconds in sorted(record.items())]
+    for title, num, den in (
+        ("packed eliminate speedup vs unpacked (CPU)", "eliminate-unpacked-cpu", "eliminate-packed-cpu"),
+        ("packed solve speedup vs unpacked (CPU)", "solve-unpacked-cpu", "solve-packed-cpu"),
+        ("ChargeSystem packed basis vs integer basis (CPU)", "charge-int-cpu", "charge-packed-cpu"),
+        ("shared-cache pool speedup vs serial sweep (wall-clock)", "sweep-serial", "sweep-shared-pool"),
+    ):
+        if num in record and den in record:
+            lines.append(f"{title}: {record[num] / record[den]:.2f}x")
+    path = results_dir / "kernel_scaling.txt"
+    path.write_text("\n".join(lines) + "\n")
+    print(f"\n[kernel scaling saved to {path}]")
+
+
 def save_exhibit(results_dir: pathlib.Path, name: str, text: str) -> None:
     """Persist a rendered exhibit and echo it for -s runs."""
     path = results_dir / f"{name}.txt"

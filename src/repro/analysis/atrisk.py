@@ -40,6 +40,25 @@ is bit-identical to ``_solve_charge_ints(code, A | B, frozenset())`` for
 every split of the constraints, and cached eliminated states may be
 shared freely (``tests/test_charge_system.py`` pins this property over
 random SEC codes).
+
+Kernel tiers
+============
+
+The basis rows live in one of two representations, following the
+process-wide ``REPRO_GF2_TIER`` dispatch of :mod:`repro.ecc.gf2`:
+
+* default / ``unpacked`` — rows as Python integers (bit ``i`` = data bit
+  ``i``).  A CPython integer is already a word-packed bit vector, so for
+  the paper's ``k = 64`` this is a single machine word per row with zero
+  numpy overhead: the fastest representation for the Monte-Carlo hot
+  loop.
+* forced ``packed`` — rows as ``uint64`` word arrays in a
+  :class:`repro.ecc.gf2w.PackedBasis`, the same elimination expressed in
+  the packed kernel tier.  CI runs the full suite in this mode to pin
+  that both bases produce bit-identical canonical solutions.
+
+:func:`_solve_charge_ints` follows the same dispatch, so ground truth,
+crafted-pattern solving, and realizability all ride the selected tier.
 """
 
 from __future__ import annotations
@@ -50,6 +69,7 @@ from itertools import combinations
 
 import numpy as np
 
+from repro.ecc import gf2, gf2w
 from repro.ecc.linear_code import SystematicCode
 from repro.ecc.syndrome import PatternOutcome, analyze_error_pattern
 from repro.memory.cells import CellOrientation
@@ -71,6 +91,16 @@ __all__ = [
 _MAX_AT_RISK_FOR_ENUMERATION = 16
 
 
+def _packed_basis_selected() -> bool:
+    """Whether the charge solvers should use the packed word basis.
+
+    Auto dispatch keeps the integer basis — the constraint rows span at
+    most ``k`` columns and a Python int *is* a packed bit vector there —
+    so only an explicit ``REPRO_GF2_TIER=packed`` switches over.
+    """
+    return gf2.active_tier(0) == "packed"
+
+
 def _solve_charge_ints(
     code: SystematicCode,
     charged_ones: frozenset[int] | set[int],
@@ -86,8 +116,14 @@ def _solve_charge_ints(
 
     Returns the dataword as a bitmask (free bits 0), or ``None`` if the
     system is inconsistent.  All arithmetic stays in Python integers —
-    this runs inside the Monte-Carlo hot loop.
+    this runs inside the Monte-Carlo hot loop.  Under a forced
+    ``REPRO_GF2_TIER=packed`` the solve routes through the packed
+    :class:`ChargeSystem` basis instead; both return the canonical
+    minimally-charged solution (module docstring), so the dispatch is
+    invisible to callers.
     """
+    if _packed_basis_selected():
+        return ChargeSystem(code, tuple(charged_ones), tuple(forced_zeros)).solution_int()
     k = code.k
     forced_mask = 0  # data bits with a pinned value
     forced_values = 0  # the pinned values
@@ -143,12 +179,17 @@ class ChargeSystem:
     BEEP's crafted rounds rely on.
 
     Instances are cheap to fork (:meth:`with_charged` copies only the
-    pivot list) and safe to cache: extending a fork never mutates its
+    basis rows) and safe to cache: extending a fork never mutates its
     base, and the solution is canonical regardless of the order the
     constraints arrived in (see the module docstring).
+
+    The basis representation follows the kernel-tier dispatch (module
+    docstring): integer rows by default, a
+    :class:`repro.ecc.gf2w.PackedBasis` under a forced packed tier.  The
+    representation is fixed at construction; forks inherit it.
     """
 
-    __slots__ = ("code", "_pivots", "_infeasible")
+    __slots__ = ("code", "_basis", "_infeasible")
 
     def __init__(
         self,
@@ -157,9 +198,15 @@ class ChargeSystem:
         forced_zeros: frozenset[int] | set[int] | tuple[int, ...] = (),
     ) -> None:
         self.code = code
-        #: (pivot bit, row, rhs) triples; rows never contain an earlier
-        #: pivot's bit, so reverse-order back-substitution is valid.
-        self._pivots: list[tuple[int, int, int]] = []
+        #: Integer tier: (pivot bit, row, rhs) triples — rows never
+        #: contain an earlier pivot's bit, so reverse-order
+        #: back-substitution is valid.  Packed tier: the same invariants
+        #: inside a PackedBasis.
+        self._basis: list[tuple[int, int, int]] | gf2w.PackedBasis
+        if _packed_basis_selected():
+            self._basis = gf2w.PackedBasis(code.k)
+        else:
+            self._basis = []
         self._infeasible = False
         self.constrain(charged_ones, 1)
         self.constrain(forced_zeros, 0)
@@ -169,10 +216,32 @@ class ChargeSystem:
         """Whether the constraints admit any dataword."""
         return not self._infeasible
 
+    @property
+    def _pivots(self) -> list[tuple[int, int, int]]:
+        """The eliminated basis as (pivot bit, row, rhs) integer triples.
+
+        For the integer tier this is the live list; for the packed tier a
+        freshly-decoded snapshot.  Exposed for tests and debugging.
+        """
+        if isinstance(self._basis, gf2w.PackedBasis):
+            return self._basis.pivot_triples()
+        return self._basis
+
     def constrain(self, positions, target: int) -> None:
         """Pin the charge of codeword ``positions`` to ``target`` (0 or 1)."""
         code = self.code
         k = code.k
+        basis = self._basis
+        if isinstance(basis, gf2w.PackedBasis):
+            for position in positions:
+                if not 0 <= position < code.n:
+                    raise IndexError(f"position {position} out of range [0, {code.n})")
+                if position < k:
+                    basis.insert_bit(position, target)
+                else:
+                    basis.insert(code.parity_row_words[position - k], target)
+            self._infeasible = basis.infeasible
+            return
         for position in positions:
             if not 0 <= position < code.n:
                 raise IndexError(f"position {position} out of range [0, {code.n})")
@@ -185,7 +254,7 @@ class ChargeSystem:
         """Reduce one constraint row against the basis; extend or refute."""
         if self._infeasible:
             return
-        for pivot_bit, pivot_row, pivot_rhs in self._pivots:
+        for pivot_bit, pivot_row, pivot_rhs in self._basis:
             if row & pivot_bit:
                 row ^= pivot_row
                 rhs ^= pivot_rhs
@@ -193,7 +262,7 @@ class ChargeSystem:
             if rhs:
                 self._infeasible = True
             return
-        self._pivots.append((row & -row, row, rhs))
+        self._basis.append((row & -row, row, rhs))
 
     def with_charged(self, positions) -> ChargeSystem:
         """A fork of this system with ``positions`` additionally charged.
@@ -203,7 +272,10 @@ class ChargeSystem:
         """
         fork = ChargeSystem.__new__(ChargeSystem)
         fork.code = self.code
-        fork._pivots = list(self._pivots)
+        if isinstance(self._basis, gf2w.PackedBasis):
+            fork._basis = self._basis.copy()
+        else:
+            fork._basis = list(self._basis)
         fork._infeasible = self._infeasible
         fork.constrain(positions, 1)
         return fork
@@ -217,8 +289,10 @@ class ChargeSystem:
         """
         if self._infeasible:
             return None
+        if isinstance(self._basis, gf2w.PackedBasis):
+            return self._basis.solution_int()
         solution = 0
-        for pivot_bit, row, rhs in reversed(self._pivots):
+        for pivot_bit, row, rhs in reversed(self._basis):
             if rhs ^ ((row & solution & ~pivot_bit).bit_count() & 1):
                 solution |= pivot_bit
         return solution

@@ -30,6 +30,15 @@ state, making this safe under any ``multiprocessing`` start method
 (``fork`` inherits a snapshot; ``spawn`` starts cold; both converge to
 identical outputs).
 
+Above the process-local tier sits an optional **shared tier**
+(:mod:`repro.analysis.shared_memo`): when a sweep runs with
+``shared_cache=True`` the parent precomputes the per-code artifacts once
+and exposes them to pool workers through a shared-memory overlay.
+:meth:`Memo.get` consults that overlay on every local miss — same keys,
+same values — so a cold worker resolves precomputed entries without
+re-deriving them; hits land in the local store and count as
+``stats.shared_hits``.
+
 Cache statistics (:class:`CacheStats`) are exposed for tests and
 benchmarks to verify, e.g., that a sweep enumerates each word's ground
 truth exactly once.
@@ -43,6 +52,7 @@ from typing import Callable, Hashable, TypeVar
 
 import numpy as np
 
+from repro.analysis import shared_memo
 from repro.analysis.atrisk import (
     ChargeSystem,
     GroundTruth,
@@ -77,18 +87,26 @@ T = TypeVar("T")
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one memo cache."""
+    """Hit/miss counters of one memo cache.
+
+    ``shared_hits`` counts local misses that were resolved from the
+    shared overlay (:mod:`repro.analysis.shared_memo`) instead of being
+    recomputed; they are *not* included in ``hits`` or ``misses``, so
+    existing exactly-once assertions on ``misses`` keep their meaning.
+    """
 
     hits: int = 0
     misses: int = 0
+    shared_hits: int = 0
 
     @property
     def calls(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.shared_hits
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.shared_hits = 0
 
 
 class Memo:
@@ -111,13 +129,21 @@ class Memo:
         return len(self._store)
 
     def get(self, key: Hashable, compute: Callable[[], T]) -> T:
-        """The cached value for ``key``, computing and inserting on miss."""
+        """The cached value for ``key``, computing and inserting on miss.
+
+        A local miss consults the shared overlay first (see module
+        docstring); only keys absent from both tiers are computed.
+        """
         if key in self._store:
             self._store.move_to_end(key)
             self.stats.hits += 1
             return self._store[key]  # type: ignore[return-value]
-        value = compute()
-        self.stats.misses += 1
+        value = shared_memo.overlay_lookup(key)
+        if value is shared_memo.MISS:
+            value = compute()
+            self.stats.misses += 1
+        else:
+            self.stats.shared_hits += 1
         self._store[key] = value
         if len(self._store) > self.max_entries:
             self._store.popitem(last=False)

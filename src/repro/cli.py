@@ -38,6 +38,11 @@ Execution knobs (every choice is bit-identical to a serial run):
   case-study shards at ``PATH.fig10``); other exhibits ignore it.  An
   ``all`` run shares ``PATH`` across the sweep exhibits (they run one
   config) and routes fig10's shards to ``PATH.fig10`` too.
+* ``--shared-cache`` precomputes the sweep's cache artifacts (word
+  contexts, schedules, failure draws, aliasing tables) once in the
+  parent and publishes them in a shared-memory block that local pool
+  workers map zero-copy instead of re-deriving (fig6/7/8/9 and
+  headline; socket workers keep their own warm-up).
 * ``--timings`` appends the engine's per-cell wall-clock table for the
   exhibits that expose a sweep result (fig6/7/8/9 and headline).
 * ``--progress`` prints a periodic grid-coverage/ETA line to stderr as
@@ -249,6 +254,7 @@ def _sweep_exhibit(module) -> Callable[[argparse.Namespace], str]:
             backend=_execution_backend(args),
             resume=args.resume,
             progress=args.progress,
+            shared_cache=args.shared_cache,
         )
         if sweep.quarantined:
             # The exhibit reductions index the full grid; an incomplete
@@ -297,6 +303,7 @@ def _run_headline(args: argparse.Namespace) -> str:
         backend=backend,
         resume=args.resume,
         progress=args.progress,
+        shared_cache=args.shared_cache,
     )
     # The sweep cells and the case-study shards are different record
     # kinds; give the case study its own sibling store.
@@ -431,6 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend: serial, process, socket, or "
         "socket://HOST:PORT (default: serial for --jobs 1, else a "
         "process pool; all backends are bit-identical)",
+    )
+    parser.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="precompute the sweep's cache artifacts once and publish "
+        "them in a shared-memory block that pool workers map zero-copy "
+        "instead of re-deriving (fig6/7/8/9 and headline; bit-identical "
+        "either way; local process pools only — the socket backend's "
+        "workers warm their own caches as before)",
     )
     parser.add_argument(
         "--resume",

@@ -1,4 +1,4 @@
-"""Dense linear algebra over GF(2).
+"""Dense linear algebra over GF(2) — the tier-dispatching facade.
 
 Matrices are two-dimensional ``numpy`` arrays of dtype ``uint8`` containing
 0/1 entries; vectors are one-dimensional.  All arithmetic is modulo 2.
@@ -6,12 +6,58 @@ Matrices are two-dimensional ``numpy`` arrays of dtype ``uint8`` containing
 This module is the mathematical core of the repository: the on-die ECC
 encoder/decoder (:mod:`repro.ecc.linear_code`), the ground-truth at-risk-set
 computation (:mod:`repro.analysis.atrisk`), and BEEP's data-pattern crafting
-all reduce to GF(2) matrix operations implemented here.
+all reduce to GF(2) matrix operations exposed here.
+
+Kernel tiers
+============
+
+Two interchangeable kernel tiers implement the elimination ops
+(``row_reduce`` / ``rank`` / ``solve`` / ``is_consistent`` / ``nullspace``):
+
+``unpacked``
+    The reference tier kept in this module: rows packed into Python
+    integers, per-column pivot scan, whole-row integer XOR.  Lowest
+    constant overhead — wins on the small parity-check-shaped systems
+    that dominate unit tests and single solves.
+
+``packed``
+    The word-parallel tier in :mod:`repro.ecc.gf2w`: rows packed 64
+    columns per ``uint64`` word, elimination as broadcast XOR over all
+    rows at once.  Wins as matrices grow (reverse engineering, BEEP
+    crafted-pattern batches, wide ground-truth systems).
+
+Both tiers use the *same pivot-selection order* (first unreduced row with
+a one in the leftmost eligible column, eliminated from every row), so
+their outputs are bit-identical for every input — dispatch is purely a
+performance decision and every downstream exhibit is tier-independent.
+
+Dispatch picks ``packed`` for elimination when the operand has at least
+``_AUTO_PACKED_SIZE`` entries (a measured crossover — Python-int rows
+are themselves word-packed, so the packed kernel's per-column numpy
+overhead only amortizes on large systems) and ``unpacked`` below.  The
+``REPRO_GF2_TIER`` environment variable overrides the choice for the
+whole process: ``packed`` / ``unpacked`` force one tier everywhere
+(CI runs the tier-1 suite under both), ``auto`` (or unset) restores
+size-based dispatch.
+
+Matrix products (``matmul`` / ``matvec``) dispatch on the product's
+multiply-accumulate count instead: the packed XOR+popcount kernel
+(``np.packbits`` packing plus ``np.bitwise_count``) pays a per-call
+packing cost that only amortizes once the product does at least
+``_AUTO_PACKED_WORK`` bit-operations, so ``auto`` keeps single-pattern
+encodes on the historical widen-to-int64-then-mod path and routes batch
+encodes to the popcount kernel.  A forced tier overrides this too.
+Inputs must be 0/1 arrays; use :func:`is_bit_matrix` to validate
+untrusted data.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
+
+from repro.ecc import gf2w
 
 __all__ = [
     "identity",
@@ -25,16 +71,70 @@ __all__ = [
     "is_consistent",
     "nullspace",
     "is_bit_matrix",
+    "active_tier",
 ]
+
+#: Operand size (entries) at which auto dispatch switches to the packed tier.
+#: Below this the Python-int reference tier has lower constant overhead.
+#: Minimum matrix entry count before packed elimination beats the
+#: integer-row reference — the per-column numpy dispatch overhead of the
+#: packed kernel needs whole-matrix XOR width to amortize (measured
+#: crossover is near 256x256; the win grows with row count from there).
+_AUTO_PACKED_SIZE = 65536
+
+#: Minimum multiply-accumulate count (rows * inner * cols) before the
+#: popcount product kernel beats the int64 path — below it, per-call
+#: packing overhead dominates (measured crossover is near 2**14.5).
+_AUTO_PACKED_WORK = 32768
+
+_TIER_ENV = "REPRO_GF2_TIER"
+_TIERS = ("auto", "packed", "unpacked")
+
+
+def _tier() -> str:
+    value = os.environ.get(_TIER_ENV, "auto").strip().lower() or "auto"
+    if value not in _TIERS:
+        raise ValueError(
+            f"{_TIER_ENV} must be one of {_TIERS}, got {value!r}"
+        )
+    return value
+
+
+def active_tier(size: int = 0) -> str:
+    """The kernel tier an elimination op on ``size`` entries would use."""
+    tier = _tier()
+    if tier != "auto":
+        return tier
+    return "packed" if size >= _AUTO_PACKED_SIZE else "unpacked"
+
+
+def _product_tier(work: int) -> str:
+    """The kernel tier a product doing ``work`` multiply-accumulates uses."""
+    tier = _tier()
+    if tier != "auto":
+        return tier
+    return "packed" if work >= _AUTO_PACKED_WORK else "unpacked"
 
 
 def is_bit_matrix(matrix: np.ndarray) -> bool:
     """True if ``matrix`` contains only 0/1 entries."""
     arr = np.asarray(matrix)
+    if arr.dtype == np.bool_:
+        return True
+    if arr.dtype == np.uint8:
+        # Single reduction, no boolean temporaries, on the hot
+        # revalidation path.
+        return arr.size == 0 or int(arr.max()) <= 1
     return bool(np.all((arr == 0) | (arr == 1)))
 
 
 def _validated(matrix: np.ndarray, ndim: int) -> np.ndarray:
+    if isinstance(matrix, np.ndarray) and matrix.dtype == np.uint8:
+        if matrix.ndim != ndim:
+            raise ValueError(
+                f"expected a {ndim}-dimensional array, got shape {matrix.shape}"
+            )
+        return matrix
     arr = np.asarray(matrix, dtype=np.uint8)
     if arr.ndim != ndim:
         raise ValueError(f"expected a {ndim}-dimensional array, got shape {arr.shape}")
@@ -52,16 +152,27 @@ def zeros(rows: int, cols: int) -> np.ndarray:
 
 
 def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Matrix product modulo 2."""
-    a = np.asarray(a, dtype=np.uint8)
-    b = np.asarray(b, dtype=np.uint8)
-    # Accumulate in a wide dtype to avoid uint8 overflow, then reduce mod 2.
-    return (a.astype(np.int64) @ b.astype(np.int64) % 2).astype(np.uint8)
+    """Matrix product modulo 2 (operands must be 0/1)."""
+    a = _validated(a, 2)
+    b = _validated(b, 2)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch for matmul: {a.shape} @ {b.shape}")
+    if _product_tier(a.shape[0] * a.shape[1] * b.shape[1]) == "unpacked":
+        # Historical reference path: accumulate in a wide dtype to avoid
+        # uint8 overflow, then reduce mod 2.
+        return (a.astype(np.int64) @ b.astype(np.int64) % 2).astype(np.uint8)
+    return gf2w.matmul(a, b)
 
 
 def matvec(a: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Matrix-vector product modulo 2."""
-    return matmul(_validated(a, 2), np.asarray(v, dtype=np.uint8).reshape(-1, 1)).reshape(-1)
+    a = _validated(a, 2)
+    v = np.asarray(v, dtype=np.uint8).reshape(-1)
+    if v.shape[0] != a.shape[1]:
+        raise ValueError(f"shape mismatch for matvec: {a.shape} @ {v.shape}")
+    if _product_tier(a.shape[0] * a.shape[1]) == "unpacked":
+        return (a.astype(np.int64) @ v.astype(np.int64) % 2).astype(np.uint8)
+    return gf2w.matvec(a, v)
 
 
 def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -70,37 +181,30 @@ def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def _pack_rows(matrix: np.ndarray) -> list[int]:
-    """Pack each row into a Python integer (bit i = column i)."""
-    packed = []
-    for row in matrix:
-        value = 0
-        for col in np.flatnonzero(row):
-            value |= 1 << int(col)
-        packed.append(value)
-    return packed
+    """Pack each row into a Python integer (bit i = column i).
+
+    Vectorized via ``np.packbits``: one little-endian byte pass over the
+    whole matrix, then a bytes-to-int conversion per row.
+    """
+    arr = np.ascontiguousarray(matrix, dtype=np.uint8)
+    if arr.shape[1] == 0:
+        return [0] * arr.shape[0]
+    packed_bytes = np.packbits(arr, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed_bytes]
 
 
 def _unpack_rows(packed: list[int], cols: int) -> np.ndarray:
     """Inverse of :func:`_pack_rows`."""
-    matrix = np.zeros((len(packed), cols), dtype=np.uint8)
-    for row_index, value in enumerate(packed):
-        while value:
-            low = value & -value
-            matrix[row_index, low.bit_length() - 1] = 1
-            value ^= low
-    return matrix
+    num_bytes = (cols + 7) // 8
+    if num_bytes == 0:
+        return np.zeros((len(packed), 0), dtype=np.uint8)
+    buffer = b"".join(value.to_bytes(num_bytes, "little") for value in packed)
+    as_bytes = np.frombuffer(buffer, dtype=np.uint8).reshape(len(packed), num_bytes)
+    return np.unpackbits(as_bytes, axis=1, bitorder="little", count=cols)
 
 
-def row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
-    """Reduced row-echelon form over GF(2).
-
-    Returns ``(rref, pivot_columns)``.  ``matrix`` is not modified.
-
-    Rows are packed into Python integers so the elimination inner loop is
-    whole-row XOR — the matrices in this codebase are short and wide
-    (parity-check shaped), which this representation suits well.
-    """
-    arr = _validated(matrix, 2)
+def _row_reduce_unpacked(arr: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reference elimination: Python-int rows, per-column pivot scan."""
     rows, cols = arr.shape
     work = _pack_rows(arr)
     pivot_columns: list[int] = []
@@ -120,6 +224,19 @@ def row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
         pivot_columns.append(col)
         pivot_row += 1
     return _unpack_rows(work, cols), pivot_columns
+
+
+def row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns ``(rref, pivot_columns)``.  ``matrix`` is not modified.
+    Dispatches between the kernel tiers (module docstring); both produce
+    bit-identical output.
+    """
+    arr = _validated(matrix, 2)
+    if active_tier(arr.size) == "packed":
+        return gf2w.row_reduce(arr)
+    return _row_reduce_unpacked(arr)
 
 
 def rank(matrix: np.ndarray) -> int:

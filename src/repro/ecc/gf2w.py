@@ -1,0 +1,436 @@
+"""Word-parallel (bit-packed) GF(2) linear algebra — the packed kernel tier.
+
+Every operation in :mod:`repro.ecc.gf2` has a drop-in semantic twin here
+that works on matrices packed 64 columns to a ``uint64`` word: bit ``i``
+of word ``j`` holds column ``64*j + i`` (little-endian within the word,
+words ascending).  A ``(rows, cols)`` byte-per-bit matrix becomes a
+``(rows, ceil(cols/64))`` word matrix, so the XOR inner loop of Gaussian
+elimination touches 64 columns per machine word and the whole row set per
+``numpy`` operation::
+
+    columns          0 ........ 63   64 ....... 127  128 ...
+    packed row       [  word 0    ]  [  word 1    ]  [ word 2 ...
+                      bit 0 = col 0   bit 0 = col 64
+
+Packing goes through ``np.packbits(..., bitorder="little")`` and a
+``uint64`` view, so pack/unpack are single vectorized passes; matrix
+products use XOR + popcount (``np.bitwise_count``) over the packed words
+instead of wide-integer accumulation.
+
+Determinism contract
+====================
+
+The packed kernels follow the exact pivot-selection order of the
+unpacked reference (scan columns left to right, take the first unreduced
+row with a one in the pivot column), so ``row_reduce``/``rank``/
+``solve``/``is_consistent``/``nullspace`` here are *bit-identical* to
+their :mod:`repro.ecc.gf2` counterparts for every input — the facade in
+:mod:`repro.ecc.gf2` dispatches between the tiers freely on that basis
+(``REPRO_GF2_TIER`` forces either one; see that module's docstring).
+``tests/test_gf2w.py`` property-tests the equivalence over rectangular,
+rank-deficient, and multi-word (>64-column) matrices.
+
+:class:`PackedBasis` is the incremental lowest-bit row basis behind the
+packed tier of :class:`repro.analysis.atrisk.ChargeSystem`: rows are kept
+as packed words, each insertion reduces against the existing pivots with
+whole-row XOR, and back-substitution resolves the canonical
+free-variables-zero solution — the same algorithm (and therefore the same
+canonical solution) as the integer-row basis it mirrors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "words_for",
+    "pack_rows",
+    "unpack_rows",
+    "pack_vector",
+    "unpack_vector",
+    "row_reduce_packed",
+    "row_reduce",
+    "rank",
+    "solve",
+    "solve_many",
+    "is_consistent",
+    "nullspace",
+    "matmul",
+    "matmul_packed",
+    "matvec",
+    "PackedBasis",
+]
+
+#: Columns per packed word.
+WORD_BITS = 64
+
+_ONE = np.uint64(1)
+
+
+def words_for(cols: int) -> int:
+    """Packed words needed to hold ``cols`` columns."""
+    return (int(cols) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_rows(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(rows, cols)`` 0/1 matrix into ``(rows, words)`` uint64.
+
+    Bit ``i`` of word ``j`` is column ``64*j + i``.  Always returns a
+    fresh, writable array.
+    """
+    arr = np.ascontiguousarray(matrix, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-dimensional array, got shape {arr.shape}")
+    rows, cols = arr.shape
+    width = words_for(cols) * WORD_BITS
+    if width != cols:
+        padded = np.zeros((rows, width), dtype=np.uint8)
+        padded[:, :cols] = arr
+        arr = padded
+    packed_bytes = np.packbits(arr, axis=1, bitorder="little")
+    return packed_bytes.view(np.dtype("<u8")).astype(np.uint64, copy=False)
+
+
+def unpack_rows(packed: np.ndarray, cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows`: ``(rows, words)`` uint64 -> uint8 bits."""
+    words = np.ascontiguousarray(packed, dtype=np.dtype("<u8"))
+    if words.ndim != 2:
+        raise ValueError(f"expected a 2-dimensional array, got shape {words.shape}")
+    as_bytes = words.view(np.uint8)
+    return np.unpackbits(as_bytes, axis=1, bitorder="little", count=cols)
+
+
+def pack_vector(vector: np.ndarray) -> np.ndarray:
+    """Pack a length-``cols`` 0/1 vector into a ``(words,)`` uint64 row."""
+    return pack_rows(np.asarray(vector, dtype=np.uint8).reshape(1, -1))[0]
+
+
+def unpack_vector(packed: np.ndarray, cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_vector`."""
+    return unpack_rows(np.asarray(packed, dtype=np.uint64).reshape(1, -1), cols)[0]
+
+
+def _column_word_bit(col: int) -> tuple[int, np.uint64]:
+    """(word index, single-bit mask) addressing one column."""
+    return col // WORD_BITS, _ONE << np.uint64(col % WORD_BITS)
+
+
+def row_reduce_packed(
+    packed: np.ndarray, cols: int
+) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form of a packed matrix, in place on a copy.
+
+    Returns ``(rref_packed, pivot_columns)``.  Pivot selection matches
+    the unpacked reference exactly: scan columns in ascending order and
+    take the first row at or below the current pivot row with a one in
+    that column; eliminate the column from *every* other row.
+    """
+    work = np.array(packed, dtype=np.uint64, copy=True)
+    rows = work.shape[0]
+    pivot_columns: list[int] = []
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        word, bit = _column_word_bit(col)
+        column = work[:, word] & bit
+        candidates = np.nonzero(column[pivot_row:])[0]
+        if not candidates.size:
+            continue
+        source = pivot_row + int(candidates[0])
+        if source != pivot_row:
+            work[[pivot_row, source]] = work[[source, pivot_row]]
+            column[[pivot_row, source]] = column[[source, pivot_row]]
+        # Whole-matrix elimination: one boolean mask selects every row
+        # holding the pivot column, one broadcast XOR clears them all.
+        hits = column != 0
+        hits[pivot_row] = False
+        if hits.any():
+            work[hits] ^= work[pivot_row]
+        pivot_columns.append(col)
+        pivot_row += 1
+    return work, pivot_columns
+
+
+def row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Packed-tier twin of :func:`repro.ecc.gf2.row_reduce`."""
+    arr = np.asarray(matrix, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-dimensional array, got shape {arr.shape}")
+    cols = arr.shape[1]
+    reduced, pivots = row_reduce_packed(pack_rows(arr), cols)
+    return unpack_rows(reduced, cols), pivots
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Packed-tier twin of :func:`repro.ecc.gf2.rank`."""
+    arr = np.asarray(matrix, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-dimensional array, got shape {arr.shape}")
+    _, pivots = row_reduce_packed(pack_rows(arr), arr.shape[1])
+    return len(pivots)
+
+
+def _reduced_augmented(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, list[int], int]:
+    a = np.asarray(a, dtype=np.uint8)
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2-dimensional array, got shape {a.shape}")
+    b = np.asarray(b, dtype=np.uint8).reshape(-1)
+    if b.shape[0] != a.shape[0]:
+        raise ValueError(f"shape mismatch: A has {a.shape[0]} rows, b has {b.shape[0]} entries")
+    augmented = np.concatenate([a, b.reshape(-1, 1)], axis=1)
+    cols = augmented.shape[1]
+    reduced, pivots = row_reduce_packed(pack_rows(augmented), cols)
+    return unpack_rows(reduced, cols), pivots, a.shape[1]
+
+
+def is_consistent(a: np.ndarray, b: np.ndarray) -> bool:
+    """Packed-tier twin of :func:`repro.ecc.gf2.is_consistent`."""
+    _, pivots, num_cols = _reduced_augmented(a, b)
+    return num_cols not in pivots
+
+
+def solve(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    """Packed-tier twin of :func:`repro.ecc.gf2.solve`."""
+    reduced, pivots, num_cols = _reduced_augmented(a, b)
+    if num_cols in pivots:
+        return None
+    solution = np.zeros(num_cols, dtype=np.uint8)
+    for row_index, col in enumerate(pivots):
+        solution[col] = reduced[row_index, num_cols]
+    return solution
+
+
+def solve_many(
+    a: np.ndarray, rhs: np.ndarray, *, with_pivots: bool = False
+) -> np.ndarray | None | tuple[np.ndarray | None, list[int]]:
+    """Solve ``A x = b`` for every column ``b`` of ``rhs`` in one elimination.
+
+    ``rhs`` has shape ``(rows, planes)``; returns ``(planes, cols)``
+    solutions (each bit-identical to :func:`solve` on that column), or
+    ``None`` if *any* plane is inconsistent.  One RREF of the augmented
+    system replaces ``planes`` separate eliminations — the multi-plane
+    fast path :class:`repro.ecc.reverse_engineering.EccReverseEngineer`
+    solves all parity planes with.  With ``with_pivots=True`` the return
+    value is ``(solutions_or_None, pivot_columns)`` so callers can also
+    read off ``rank(A)`` without a second elimination.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    rhs = np.asarray(rhs, dtype=np.uint8)
+    if a.ndim != 2 or rhs.ndim != 2 or rhs.shape[0] != a.shape[0]:
+        raise ValueError(f"shape mismatch: A {a.shape} vs rhs {rhs.shape}")
+    rows, cols = a.shape
+    planes = rhs.shape[1]
+    augmented = np.concatenate([a, rhs], axis=1)
+    # Eliminate over A's columns only (the whole packed rows — RHS words
+    # included — ride along in each XOR): a pivot then never lands in an
+    # RHS plane, so inconsistency shows up as a zero-A row with a one
+    # left anywhere in its RHS part.
+    work, pivots = row_reduce_packed(pack_rows(augmented), cols)
+    reduced = unpack_rows(work, cols + planes)
+    pivot_row = len(pivots)
+    if pivot_row < rows and reduced[pivot_row:, cols:].any():
+        solutions = None
+    else:
+        solutions = np.zeros((planes, cols), dtype=np.uint8)
+        for row_index, col in enumerate(pivots):
+            solutions[:, col] = reduced[row_index, cols:]
+    return (solutions, pivots) if with_pivots else solutions
+
+
+def nullspace(matrix: np.ndarray) -> np.ndarray:
+    """Packed-tier twin of :func:`repro.ecc.gf2.nullspace`."""
+    a = np.asarray(matrix, dtype=np.uint8)
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2-dimensional array, got shape {a.shape}")
+    cols = a.shape[1]
+    reduced_packed, pivots = row_reduce_packed(pack_rows(a), cols)
+    reduced = unpack_rows(reduced_packed, cols)
+    free_columns = [c for c in range(cols) if c not in pivots]
+    basis = np.zeros((len(free_columns), cols), dtype=np.uint8)
+    for basis_index, free_col in enumerate(free_columns):
+        basis[basis_index, free_col] = 1
+        for row_index, pivot_col in enumerate(pivots):
+            if reduced[row_index, free_col]:
+                basis[basis_index, pivot_col] = 1
+    return basis
+
+
+# ----------------------------------------------------------------------
+# Packed matrix products: XOR + popcount
+# ----------------------------------------------------------------------
+
+#: Row-block size bounding the (block, n, words) popcount temporary.
+_MATMUL_BLOCK = 4096
+
+
+def matmul_packed(a_packed: np.ndarray, bt_packed: np.ndarray) -> np.ndarray:
+    """GF(2) product from packed operands: ``A`` rows x ``B^T`` rows.
+
+    ``a_packed`` is ``pack_rows(A)`` with shape ``(m, words)``;
+    ``bt_packed`` is ``pack_rows(B.T)`` with shape ``(n, words)`` over the
+    same inner dimension.  Each output bit is the parity of the popcount
+    of the AND of one row of each — all words at once.
+    """
+    m = a_packed.shape[0]
+    n = bt_packed.shape[0]
+    out = np.empty((m, n), dtype=np.uint8)
+    for start in range(0, m, _MATMUL_BLOCK):
+        block = a_packed[start : start + _MATMUL_BLOCK]
+        counts = np.bitwise_count(block[:, None, :] & bt_packed[None, :, :])
+        out[start : start + _MATMUL_BLOCK] = (
+            counts.sum(axis=2, dtype=np.uint64) & _ONE
+        ).astype(np.uint8)
+    return out
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed-tier twin of :func:`repro.ecc.gf2.matmul` (0/1 inputs)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch for matmul: {a.shape} @ {b.shape}")
+    return matmul_packed(pack_rows(a), pack_rows(np.ascontiguousarray(b.T)))
+
+
+def matvec(a: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Packed-tier twin of :func:`repro.ecc.gf2.matvec`."""
+    a = np.asarray(a, dtype=np.uint8)
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2-dimensional array, got shape {a.shape}")
+    v = np.asarray(v, dtype=np.uint8).reshape(-1)
+    if v.shape[0] != a.shape[1]:
+        raise ValueError(f"shape mismatch for matvec: {a.shape} @ {v.shape}")
+    counts = np.bitwise_count(pack_rows(a) & pack_vector(v)[None, :])
+    return (counts.sum(axis=1, dtype=np.uint64) & _ONE).astype(np.uint8)
+
+
+# ----------------------------------------------------------------------
+# Incremental packed row basis (the ChargeSystem packed tier)
+# ----------------------------------------------------------------------
+
+
+class PackedBasis:
+    """Lowest-bit GF(2) row basis over packed ``uint64`` rows.
+
+    The packed-tier twin of the integer-row basis inside
+    :class:`repro.analysis.atrisk.ChargeSystem`: each inserted row is
+    reduced against the existing pivots (whole-row XOR over the packed
+    words), a surviving row joins the basis with its lowest set bit as
+    pivot, and :meth:`solution_words` back-substitutes the canonical
+    free-variables-zero solution.  The algorithm is identical to the
+    integer basis, so the resulting pivots, feasibility, and canonical
+    solution are bit-identical for every insertion sequence.
+
+    Rows live in one capacity-doubling ``(capacity, words)`` array so a
+    fork (:meth:`copy`) is two array copies, mirroring the cheap-fork
+    contract the crafted-pattern epochs rely on.
+    """
+
+    __slots__ = ("words", "_rows", "_rhs", "_pivot_word", "_pivot_bit", "count", "infeasible")
+
+    def __init__(self, cols: int) -> None:
+        self.words = words_for(cols)
+        capacity = 8
+        self._rows = np.zeros((capacity, self.words), dtype=np.uint64)
+        self._rhs = np.zeros(capacity, dtype=np.uint8)
+        self._pivot_word = np.zeros(capacity, dtype=np.intp)
+        self._pivot_bit = np.zeros(capacity, dtype=np.uint64)
+        self.count = 0
+        self.infeasible = False
+
+    def copy(self) -> PackedBasis:
+        fork = PackedBasis.__new__(PackedBasis)
+        fork.words = self.words
+        fork._rows = self._rows.copy()
+        fork._rhs = self._rhs.copy()
+        fork._pivot_word = self._pivot_word.copy()
+        fork._pivot_bit = self._pivot_bit.copy()
+        fork.count = self.count
+        fork.infeasible = self.infeasible
+        return fork
+
+    def _grow(self) -> None:
+        def doubled(array):
+            grown = np.zeros((array.shape[0] * 2,) + array.shape[1:], dtype=array.dtype)
+            grown[: array.shape[0]] = array
+            return grown
+
+        self._rows = doubled(self._rows)
+        self._rhs = doubled(self._rhs)
+        self._pivot_word = doubled(self._pivot_word)
+        self._pivot_bit = doubled(self._pivot_bit)
+
+    def insert(self, row: np.ndarray, rhs: int) -> None:
+        """Reduce one packed constraint row against the basis; extend or refute."""
+        if self.infeasible:
+            return
+        row = np.array(row, dtype=np.uint64, copy=True).reshape(self.words)
+        rhs = int(rhs) & 1
+        for index in range(self.count):
+            if row[self._pivot_word[index]] & self._pivot_bit[index]:
+                row ^= self._rows[index]
+                rhs ^= int(self._rhs[index])
+        nonzero = np.nonzero(row)[0]
+        if not nonzero.size:
+            if rhs:
+                self.infeasible = True
+            return
+        if self.count >= self._rows.shape[0]:
+            self._grow()
+        word = int(nonzero[0])
+        value = row[word]
+        index = self.count
+        self._rows[index] = row
+        self._rhs[index] = rhs
+        self._pivot_word[index] = word
+        self._pivot_bit[index] = value & (~value + _ONE)  # lowest set bit
+        self.count += 1
+
+    def insert_bit(self, col: int, rhs: int) -> None:
+        """Insert a singleton row (one column set)."""
+        row = np.zeros(self.words, dtype=np.uint64)
+        word, bit = _column_word_bit(col)
+        row[word] = bit
+        self.insert(row, rhs)
+
+    def solution_words(self) -> np.ndarray | None:
+        """Canonical solution as packed words (free variables zero), or None."""
+        if self.infeasible:
+            return None
+        solution = np.zeros(self.words, dtype=np.uint64)
+        # Reverse order: later pivots are resolved before rows that may
+        # reference them; a row's own pivot bit is still zero in
+        # ``solution`` when its parity is taken, exactly as in the
+        # integer basis.
+        for index in range(self.count - 1, -1, -1):
+            parity = int(np.bitwise_count(self._rows[index] & solution).sum()) & 1
+            if int(self._rhs[index]) ^ parity:
+                solution[self._pivot_word[index]] |= self._pivot_bit[index]
+        return solution
+
+    def solution_int(self) -> int | None:
+        """Canonical solution as an integer bitmask, or None."""
+        solution = self.solution_words()
+        if solution is None:
+            return None
+        return int.from_bytes(
+            np.ascontiguousarray(solution, dtype=np.dtype("<u8")).tobytes(), "little"
+        )
+
+    def pivot_triples(self) -> list[tuple[int, int, int]]:
+        """The basis as integer ``(pivot bit, row, rhs)`` triples.
+
+        Matches the integer basis' internal representation bit for bit —
+        used by tests and debugging, not the hot path.
+        """
+        triples = []
+        for index in range(self.count):
+            row = int.from_bytes(
+                np.ascontiguousarray(self._rows[index], dtype=np.dtype("<u8")).tobytes(),
+                "little",
+            )
+            pivot = int(self._pivot_bit[index]) << (WORD_BITS * int(self._pivot_word[index]))
+            triples.append((pivot, row, int(self._rhs[index])))
+        return triples

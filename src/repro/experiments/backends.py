@@ -244,8 +244,27 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, jobs: int | None = 0) -> None:
+    def __init__(
+        self,
+        jobs: int | None = 0,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
+        #: Optional per-worker initializer (module-level, picklable), run
+        #: once when a pool worker starts.  The shared-cache tier uses it
+        #: to attach workers to the parent's published overlay block
+        #: (:func:`repro.analysis.shared_memo.attach_worker`); fork-start
+        #: children detect the inherited block and return immediately.
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+
+    def _pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
 
     def worker_hint(self) -> int:
         return self.jobs
@@ -254,7 +273,7 @@ class ProcessPoolBackend(ExecutionBackend):
         if len(shards) <= 1 or self.jobs <= 1:
             yield from SerialBackend().imap(worker, shards, chunksize)
             return
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pool = self._pool()
         try:
             yield from pool.map(worker, shards, chunksize=max(1, chunksize))
         finally:
@@ -271,7 +290,7 @@ class ProcessPoolBackend(ExecutionBackend):
             return
         chunksize = max(1, int(chunksize))
         chunks = _chunked(shards, chunksize)
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pool = self._pool()
         try:
             futures = {
                 pool.submit(_run_chunk, worker, chunk): index

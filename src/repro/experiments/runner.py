@@ -78,9 +78,14 @@ from typing import Any
 
 import numpy as np
 
+from repro.analysis import shared_memo
 from repro.analysis.atrisk import GroundTruth, max_simultaneous_post_errors
-from repro.analysis.memo import cached_ground_truth
-from repro.experiments.backends import ExecutionBackend, resolve_backend
+from repro.analysis.memo import _code_key, cached_ground_truth
+from repro.experiments.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    resolve_backend,
+)
 from repro.ecc.hamming import random_sec_code
 from repro.ecc.linear_code import SystematicCode
 from repro.memory.error_model import WordErrorProfile, sample_word_profile
@@ -407,8 +412,13 @@ def _words_for(config, error_count: int) -> tuple[_WordContext, ...]:
 
     Cached on the config — which must therefore be hashable, as the frozen
     :class:`~repro.experiments.config.SweepConfig` is — so a sweep samples
-    each (error_count, code, word) tuple exactly once per process.
+    each (error_count, code, word) tuple exactly once per process.  A
+    shared-cache worker resolves the whole tuple (ground truths included)
+    from the parent's published overlay instead of re-sampling.
     """
+    shared = shared_memo.overlay_lookup(("swords", config, error_count))
+    if shared is not shared_memo.MISS:
+        return shared
     return _sample_words(config, error_count)
 
 
@@ -420,6 +430,9 @@ def _readonly(array):
 @lru_cache(maxsize=4096)
 def _schedule_for(pattern: str, seed: int, k: int, num_rounds: int) -> Any:
     """Materialized standard pattern schedule, shared across a word's cells."""
+    shared = shared_memo.overlay_lookup(("sched", pattern, seed, k, num_rounds))
+    if shared is not shared_memo.MISS:
+        return shared
     return _readonly(make_pattern(pattern, seed).rounds(num_rounds, k))
 
 
@@ -428,12 +441,22 @@ def _encoded_schedule_for(
     code: SystematicCode, pattern: str, seed: int, num_rounds: int
 ) -> Any:
     """Encoding of the standard schedule under ``code``."""
+    shared = shared_memo.overlay_lookup(("enc", _code_key(code), pattern, seed, num_rounds))
+    if shared is not shared_memo.MISS:
+        return shared
     return _readonly(code.encode(_schedule_for(pattern, seed, code.k, num_rounds)))
 
 
 @lru_cache(maxsize=4096)
 def _draws_for(word_seed: int, num_rounds: int, count: int) -> Any:
-    """The word's Bernoulli failure draws (identical across cells)."""
+    """The word's Bernoulli failure draws (identical across cells).
+
+    Shared-cache workers map these — the largest per-word arrays — as
+    read-only zero-copy views over the parent's published block.
+    """
+    shared = shared_memo.overlay_lookup(("draws", word_seed, num_rounds, count))
+    if shared is not shared_memo.MISS:
+        return shared
     rng = derive_rng(word_seed, "failure-draws")
     return _readonly(rng.random((num_rounds, count)))
 
@@ -602,6 +625,7 @@ def run_sweep(
     backend: ExecutionBackend | str | None = None,
     resume: str | None = None,
     progress: bool | float = False,
+    shared_cache: bool = False,
 ) -> SweepResult:
     """Execute the full (error count x probability x profiler) grid.
 
@@ -627,6 +651,16 @@ def run_sweep(
             cells complete (``True`` = default cadence, a float = that
             many seconds between lines).  Purely observational: results
             are byte-identical with it on or off.
+        shared_cache: precompute the sweep's per-code artifacts (word
+            contexts with ground truths, schedules, failure draws,
+            aliasing tables) once in this process and publish them
+            through :mod:`repro.analysis.shared_memo` before the map
+            starts.  Process-pool workers attach the shared block (fork
+            children inherit the warm overlay outright) instead of
+            re-deriving each other's solves; the block is destroyed when
+            the map drains.  Bit-identical on or off; serial runs simply
+            start warm, and socket workers (possibly on other machines)
+            ignore it.
 
     A backend running in continue-past-quarantine mode may set shards
     aside instead of executing them; their keys come back on
@@ -646,6 +680,18 @@ def run_sweep(
     # Resolve (and validate) the backend before any store side effects:
     # a bad spec must not leave a header-only store file behind.
     executor = resolve_backend(backend, jobs)
+    shared_block = None
+    if shared_cache:
+        # Publish BEFORE the pool exists: ProcessPoolBackend creates its
+        # executor inside the map call, so fork children inherit the
+        # warm overlay and spawn children attach via the initializer.
+        shared_block = shared_memo.publish_sweep_artifacts(config)
+        if isinstance(executor, ProcessPoolBackend) and executor.jobs > 1:
+            executor = ProcessPoolBackend(
+                executor.jobs,
+                initializer=shared_memo.attach_worker,
+                initargs=(shared_block.name,),
+            )
     store: ShardStore | None = None
     persisted = SweepResult(config=None, cells={}, timings={})
     if resume is not None:
@@ -707,6 +753,11 @@ def run_sweep(
     finally:
         if store is not None:
             store.close()
+        if shared_block is not None:
+            # The pool has drained (or died) by the time the map loop
+            # exits; attached workers keep their mapping, new attaches
+            # must fail — the block's lifetime is exactly this map.
+            shared_block.destroy()
     fresh = SweepResult(config=config, cells=cells, timings=timings)
     merged = merge_sweeps([persisted, fresh]) if persisted.cells else fresh
     # Restore grid order (cells arrive in completion order, resumed ones
