@@ -69,17 +69,31 @@ Socket-fleet hardening (``--backend socket[://HOST:PORT]`` only; see
   renders it.
 * ``--continue-past-quarantine`` sets a chunk that exhausts its retry
   budget aside instead of aborting the campaign: the rest of the grid
-  completes, and the quarantined shard keys are printed (and recorded
-  in the ``--resume`` store) for a targeted re-run.  A run that
-  quarantined anything exits with status 3 so scripts cannot mistake
-  the partial exhibit for success.
+  completes, an end-of-map auto-retry pass re-runs each quarantined
+  chunk one shard at a time (healing the shards that were merely
+  collateral of a poison chunk-mate), and the shard keys still poison
+  after that are printed (and recorded in the ``--resume`` store) for
+  a targeted re-run.  A run that quarantined anything exits with
+  status 3 so scripts cannot mistake the partial exhibit for success.
+* ``--wire {v1,pickle}`` selects the frame codec on the work port:
+  ``v1`` (the default) speaks authenticated ``repro-wire-v1`` frames
+  (no pickle on the wire, per-frame HMAC-SHA256); ``pickle`` is the
+  legacy unauthenticated codec for old trusted fleets.  Server and
+  workers must agree.
+* ``--max-buffered-chunks N`` pauses dispatch while N completed chunks
+  sit unconsumed (backpressure for a slow consumer, e.g. a stalled
+  ``--resume`` disk).
 
 The ``worker`` subcommand turns the process into a socket-backend
 worker: it connects to a running ``--backend socket://...`` server and
 executes shard chunks.  Multi-sweep exhibits (ext-patterns, headline,
 ``all``) run one socket map per sweep, so after a server drains the
-worker keeps retrying the address for ``--linger`` seconds (default 10)
-and joins the next sweep before exiting.
+worker keeps retrying the address for ``--linger`` seconds (default 10,
+with jittered exponential backoff between attempts) and joins the next
+sweep before exiting.  ``--max-chunks N`` makes the worker elastic: it
+executes at most N chunks, then sends a clean ``leave`` goodbye and
+exits (no retry-budget charge server-side); SIGTERM drains the same
+way.
 
 The ``store`` subcommand is the shard-store toolbox
 (:mod:`repro.experiments.storetools`): ``python -m repro store PATH
@@ -190,6 +204,8 @@ def _execution_backend(args: argparse.Namespace):
             ("--heartbeat-timeout", args.heartbeat_timeout is not None),
             ("--status-port", args.status_port is not None),
             ("--continue-past-quarantine", args.continue_past_quarantine),
+            ("--wire", args.wire is not None),
+            ("--max-buffered-chunks", args.max_buffered_chunks is not None),
         )
         if given
     ]
@@ -227,6 +243,10 @@ def _execution_backend(args: argparse.Namespace):
         options["status_port"] = args.status_port
     if args.continue_past_quarantine:
         options["continue_past_quarantine"] = True
+    if args.wire is not None:
+        options["wire"] = args.wire
+    if args.max_buffered_chunks is not None:
+        options["max_buffered_chunks"] = args.max_buffered_chunks
     if not options:
         return spec
     return resolve_backend(spec, args.jobs, **options)
@@ -503,10 +523,36 @@ def build_parser() -> argparse.ArgumentParser:
         "in the --resume store) for a targeted re-run",
     )
     parser.add_argument(
+        "--wire",
+        choices=["v1", "pickle"],
+        default=None,
+        help="socket fleet frame codec: v1 (authenticated repro-wire-v1 "
+        "frames, the default) or pickle (legacy unauthenticated codec "
+        "for old trusted fleets); the server and its workers must agree",
+    )
+    parser.add_argument(
+        "--max-buffered-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="socket backend only: pause dispatching new chunks while N "
+        "completed chunks sit unconsumed by a slow consumer "
+        "(backpressure; default: unbounded)",
+    )
+    parser.add_argument(
         "--connect",
         default=None,
         metavar="HOST:PORT",
         help="socket-backend server to join (worker subcommand only)",
+    )
+    parser.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N chunks, then leave the fleet cleanly "
+        "with a drain goodbye (worker subcommand only; elastic "
+        "scale-down with no retry-budget charge)",
     )
     parser.add_argument(
         "--linger",
@@ -569,6 +615,8 @@ def main(argv: list[str] | None = None) -> int:
                 args.connect,
                 linger=args.linger,
                 auth_token=args.auth_token or os.environ.get(AUTH_TOKEN_ENV) or None,
+                wire=args.wire or "v1",
+                max_chunks=args.max_chunks,
             )
         except WorkerRejectedError as error:
             # A wrong secret will be wrong on every retry; fail loudly

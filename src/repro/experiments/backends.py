@@ -17,9 +17,10 @@ Backends
   ``concurrent.futures.ProcessPoolExecutor`` (``--backend process``,
   the default whenever ``jobs > 1``).
 * :class:`SocketBackend` — a TCP work server.  Shards travel to worker
-  processes as length-prefixed pickle frames; workers are either
-  spawned locally by the backend (``spawn_workers=N``) or started on
-  any machine with the repo installed via::
+  processes as authenticated ``repro-wire-v1`` frames (see
+  :mod:`repro.experiments.wire`); workers are either spawned locally by
+  the backend (``spawn_workers=N``) or started on any machine with the
+  repo installed via::
 
       python -m repro worker --connect HOST:PORT
 
@@ -74,45 +75,90 @@ protocol (see ``docs/distributed.md`` for the runbook):
   :class:`~repro.experiments.monitor.StatusServer`; read it with
   ``python -m repro status HOST:PORT`` (see ``docs/operations.md``).
 
-Wire format
-===========
+Wire format (``repro-wire-v1``)
+===============================
 
-Every message on the **work port** is one length-prefixed frame: an
-8-byte big-endian payload length followed by that many bytes of pickle
-(``pickle.HIGHEST_PROTOCOL``).  The payload is always a tuple whose
-first element names the frame kind:
+Every message on the **work port** is one :mod:`repro.experiments.wire`
+frame: a ``RPW1`` preamble with explicit header/blob lengths, a JSON
+header carrying the frame kind, the map's campaign id, a per-direction
+sequence number and the tagged-node payload, binary blob sections for
+bulk data, and a trailing HMAC-SHA256 verified with
+:func:`hmac.compare_digest` (keyed from the shared secret when the
+fleet has one, from a fixed integrity label otherwise).  The payload is
+always a tuple whose first element names the frame kind:
 
 ==========  =========  ===================================================
 frame       direction  payload
 ==========  =========  ===================================================
 hello       w → s      ``("hello", worker_pid, auth_token_or_None)``
-welcome     s → w      ``("welcome", heartbeat_interval_seconds)``
+welcome     s → w      ``("welcome", heartbeat_interval, campaign_id,
+                       mac_mode)`` — the worker adopts the campaign id
+                       and MAC mode (``"token"``/``"default"``) from it
 reject      s → w      ``("reject", reason)`` — handshake refused
 task        s → w      ``("task", chunk_index, worker_fn, [shards...])``
 heartbeat   w → s      ``("heartbeat",)`` — streamed while a task runs
 result      w → s      ``("result", chunk_index, [results...])``
 error       w → s      ``("error", chunk_index, traceback_text)``
+badframe    w → s      ``("badframe", reason)`` — the worker received a
+                       frame it could not use; the server resends the
+                       in-flight task (transport retry, no budget spent)
+nack        s → w      ``("nack",)`` — the server received an unusable
+                       frame; the worker resends its last result
+leave       w → s      ``("leave",)`` — drain goodbye: dispatch nothing
+                       more, no retry-budget charge (elastic fleets)
 shutdown    s → w      ``("shutdown",)`` — session over, worker may exit
 ==========  =========  ===================================================
+
+A frame that fails its MAC or decode is rejected *per frame* (the
+``badframe``/``nack`` recovery above) instead of killing the session;
+duplicated or replayed frames are dropped by their stale sequence
+numbers; only structural stream damage (bad magic, absurd lengths)
+drops the connection — and then the in-flight chunk requeues and the
+worker's linger loop reconnects.  The legacy length-prefixed *pickle*
+codec survives behind the explicit ``--wire pickle`` flag (both sides
+must agree); it has no MAC and trusts its peer with code execution, so
+it is for old trusted clusters only.
 
 The **status port** is a different protocol entirely — line-delimited
 JSON, one ``repro-status-v1`` snapshot per connection, schema in
 :mod:`repro.experiments.monitor` — so operators can poll it with
-``curl``/``nc`` without speaking pickle.
+``curl``/``nc`` without speaking the work protocol.
 
-Security note: the socket protocol exchanges pickles and is meant for
-trusted clusters only (the paper's artifact assumes the same); the
-default bind address is loopback.  The auth token gates *accidental*
-joins (a stray worker pointed at the wrong port, a port scanner) — it
-is not a substitute for network-level isolation, because pickles are
-code.  The status port is read-only and carries no secrets, but binds
+Security note: under ``--wire v1`` the only code reference a frame can
+carry is a module-level *name* (resolved by import, never pickle
+construction), and every frame is authenticated — with a shared secret
+this blocks work injection by peers that do not know it.  The MAC does
+not encrypt: the hello's join token and the shard payloads are readable
+on the wire, so confidentiality still needs network isolation or a TLS
+tunnel.  The status port is read-only and carries no secrets, but binds
 the same host as the work port: routable bind, routable status.
+
+Elastic fleets and graceful degradation
+=======================================
+
+Workers may join *after* dispatch has started (the
+``workers_expected`` barrier only gates the first task) and leave
+mid-campaign: a worker that reaches its ``--max-chunks`` budget or
+receives SIGTERM sends a ``leave`` frame, drains cleanly, and is never
+charged against any retry budget; the status snapshot counts the churn
+(``fleet.left_total``).  At the end of a ``--continue-past-quarantine``
+map, the auto-retry pass (``auto_retry=True``) re-runs every
+quarantined multi-shard chunk at one-shard granularity, healing the
+shards that were merely collateral and shrinking the reported poison
+set to exactly the bad shards.  ``max_buffered_chunks`` bounds how many
+completed chunks the server holds for a slow consumer before pausing
+dispatch (backpressure).
 """
 
 from __future__ import annotations
 
+import hmac
 import os
 import pickle
+import random
+import secrets
+import select
+import signal
 import socket
 import struct
 import subprocess
@@ -124,6 +170,14 @@ from abc import ABC, abstractmethod
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterator, Sequence
+
+from repro.experiments.wire import (
+    MAX_FRAME,
+    WIRE_CHOICES,
+    FrameRejected,
+    StreamDesync,
+    make_session,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -144,6 +198,18 @@ DEFAULT_HEARTBEAT_TIMEOUT = 60.0
 
 #: Requeues a chunk may spend on worker deaths before being quarantined.
 DEFAULT_CHUNK_RETRIES = 2
+
+#: In-session transport retries (task resends after ``badframe``, result
+#: resends after ``nack``) before the connection is declared hopeless and
+#: dropped — at which point the ordinary requeue/retry-budget machinery
+#: takes over.  Generous: a chaos test corrupting 5% of frames should
+#: never exhaust it, while a deterministic per-frame failure (code skew)
+#: exhausts it in well under a second.
+_TRANSPORT_RETRIES = 8
+
+#: Worker reconnect backoff (linger loop): first delay and growth cap.
+_BACKOFF_BASE = 0.2
+_BACKOFF_CAP = 5.0
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -180,6 +246,11 @@ class ExecutionBackend(ABC):
     #: ``continue_past_quarantine`` mode ever populates this; the local
     #: backends execute every shard or raise, so it stays empty.
     quarantined_shards: tuple[int, ...] = ()
+
+    #: Shard indices that exhausted a chunk's retry budget but executed
+    #: successfully when the end-of-map auto-retry pass re-ran them one
+    #: at a time (their results WERE yielded).  Socket backend only.
+    healed_shards: tuple[int, ...] = ()
 
     @abstractmethod
     def imap(self, worker: Callable, shards: Sequence, chunksize: int = 1) -> Iterator:
@@ -305,7 +376,9 @@ class ProcessPoolBackend(ExecutionBackend):
 
 
 # ----------------------------------------------------------------------
-# Socket backend: length-prefixed pickle protocol
+# Socket backend.  The framing lives in :mod:`repro.experiments.wire`;
+# the legacy helpers below are the raw pickle codec kept for the
+# ``--wire pickle`` escape hatch and its tests.
 # ----------------------------------------------------------------------
 
 _LENGTH = struct.Struct(">Q")
@@ -337,10 +410,30 @@ def _recv_msg(sock: socket.socket) -> tuple | None:
     if header is None:
         return None
     (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME:
+        raise StreamDesync(
+            f"pickle frame announces {length} bytes (> {MAX_FRAME}); "
+            "stream is desynchronized or hostile"
+        )
     payload = _recv_exact(sock, length)
     if payload is None:
         raise ConnectionError("socket closed between header and payload")
     return pickle.loads(payload)
+
+
+def _tokens_match(presented, expected: str) -> bool:
+    """Timing-safe join-token comparison — never ``==`` on the secret.
+
+    A plain ``==`` short-circuits on the first differing character, so
+    an attacker who can time the handshake learns the token prefix byte
+    by byte; :func:`hmac.compare_digest` compares in constant time.
+    ``presented`` came off the wire and may be anything.
+    """
+    if not isinstance(presented, str):
+        return False
+    return hmac.compare_digest(
+        presented.encode("utf-8"), expected.encode("utf-8")
+    )
 
 
 def parse_address(address: str) -> tuple[str, int]:
@@ -356,7 +449,12 @@ class WorkerRejectedError(RuntimeError):
 
 
 def _worker_session(
-    host: str, port: int, auth_token: str | None = None
+    host: str,
+    port: int,
+    auth_token: str | None = None,
+    wire: str = "v1",
+    budget: list | None = None,
+    drain: threading.Event | None = None,
 ) -> tuple[int, bool]:
     """Serve one server connection until it shuts the worker down.
 
@@ -371,17 +469,27 @@ def _worker_session(
     frames at the cadence the server's ``welcome`` frame requested, so
     the server can tell "still computing" from "hard-killed" and
     requeue only the latter.
+
+    Per-frame recovery (``--wire v1``): a frame this worker cannot use
+    answers with ``badframe`` (the server resends the task); a ``nack``
+    from the server resends this worker's cached last reply.  ``budget``
+    is a mutable ``[chunks remaining]`` cell shared with the caller —
+    when it reaches zero the worker sends a ``leave`` goodbye *before*
+    its final result, so the server deterministically stops dispatching
+    to it.  ``drain`` is an event (set by SIGTERM) that makes an idle
+    worker send ``leave`` and wait for the server's ``shutdown``.
     """
     executed = 0
+    session = make_session(wire, auth_token)
     try:
         with socket.create_connection((host, port)) as sock:
             # Heartbeats interleave with result frames on one socket;
-            # the lock keeps each length-prefixed frame atomic.
+            # the lock keeps each frame atomic.
             send_lock = threading.Lock()
 
             def send(message: tuple) -> None:
                 with send_lock:
-                    _send_msg(sock, message)
+                    session.send(sock, message)
 
             send(("hello", os.getpid(), auth_token))
             busy = threading.Event()
@@ -400,56 +508,71 @@ def _worker_session(
 
             heartbeats = threading.Thread(target=beat, daemon=True)
             heartbeats.start()
+            if drain is not None:
+
+                def goodbye_on_drain() -> None:
+                    # SIGTERM sets ``drain`` from the signal handler; a
+                    # thread sends the goodbye so the handler itself
+                    # never touches the socket (it could interrupt the
+                    # main thread while it holds ``send_lock``).
+                    while not drain.wait(timeout=0.2):
+                        if stop.is_set():
+                            return
+                    if stop.is_set():
+                        return
+                    try:
+                        send(("leave",))
+                    except OSError:
+                        pass
+
+                threading.Thread(target=goodbye_on_drain, daemon=True).start()
+            #: Last result/error frame sent, cached for ``nack`` resends.
+            last_reply: list = [None]
+            left = False
             try:
                 while True:
                     try:
-                        message = _recv_msg(sock)
-                    except OSError:
-                        raise
-                    except Exception:
-                        # A frame that fails to *unpickle* (version skew
-                        # between the server's repo and this worker's, or a
-                        # worker function whose module isn't importable
-                        # here) must surface as an error the server aborts
-                        # on — crashing instead would just make the server
-                        # requeue the chunk onto the next identically-skewed
-                        # worker forever.  The frame was fully read, so the
-                        # stream stays aligned.
-                        send(
-                            (
-                                "error",
-                                -1,
-                                "worker could not unpickle a task frame (code skew "
-                                f"between server and worker?):\n{traceback.format_exc()}",
-                            )
-                        )
+                        message = session.recv(sock)
+                    except FrameRejected as error:
+                        # One unusable frame on an aligned stream: ask
+                        # the server to resend instead of dying (the old
+                        # codec killed the session here, feeding every
+                        # replacement worker the same poison frame).
+                        send(("badframe", str(error)))
                         continue
                     if message is None or message[0] == "shutdown":
                         break
                     if message[0] == "welcome":
                         # The server dictates the heartbeat cadence so one
-                        # knob (its timeout) governs both sides.
+                        # knob (its timeout) governs both sides, and hands
+                        # down the campaign id + MAC mode for this map.
                         if len(message) > 1:
                             interval[0] = max(0.05, float(message[1]))
+                        if len(message) > 2 and message[2]:
+                            session.campaign = str(message[2])
+                        session.secure(str(message[3]) if len(message) > 3 else None)
                         continue
                     if message[0] == "reject":
                         reason = message[1] if len(message) > 1 else "rejected by server"
                         raise WorkerRejectedError(str(reason))
+                    if message[0] == "nack":
+                        # The server could not use our last frame (line
+                        # corruption): resend the cached reply verbatim.
+                        if last_reply[0] is not None:
+                            send(last_reply[0])
+                        continue
                     try:
                         kind, index, worker, chunk = message
                         if kind != "task":
                             raise ValueError(f"unexpected frame kind {kind!r}")
                     except (ValueError, TypeError):
-                        # Same rationale as the unpickle guard: a frame of
-                        # the wrong shape (protocol skew) must abort the
-                        # server's map, not crash this worker into an
-                        # infinite requeue loop.
+                        # A frame of the wrong shape (protocol skew) gets
+                        # the same per-frame treatment as a corrupt one.
                         send(
                             (
-                                "error",
-                                -1,
-                                "worker received a malformed task frame (protocol "
-                                f"skew between server and worker?):\n{traceback.format_exc()}",
+                                "badframe",
+                                "malformed task frame (protocol skew between "
+                                f"server and worker?):\n{traceback.format_exc()}",
                             )
                         )
                         continue
@@ -458,10 +581,31 @@ def _worker_session(
                         results = [worker(shard) for shard in chunk]
                     except Exception:
                         busy.clear()
-                        send(("error", index, traceback.format_exc()))
+                        last_reply[0] = ("error", index, traceback.format_exc())
+                        send(last_reply[0])
                     else:
                         busy.clear()
-                        send(("result", index, results))
+                        if budget is not None and not left:
+                            budget[0] -= 1
+                            if budget[0] <= 0:
+                                # Goodbye *before* the final result: the
+                                # server sees the leave first and will not
+                                # dispatch past this chunk.
+                                left = True
+                                send(("leave",))
+                        last_reply[0] = ("result", index, results)
+                        try:
+                            send(last_reply[0])
+                        except TypeError:
+                            # Result not expressible on this wire format:
+                            # a real task failure, not a transport one.
+                            last_reply[0] = (
+                                "error",
+                                index,
+                                "result not encodable on this wire format:\n"
+                                + traceback.format_exc(),
+                            )
+                            send(last_reply[0])
                         executed += 1
             finally:
                 stop.set()
@@ -471,20 +615,48 @@ def _worker_session(
     return executed, True
 
 
+def _reconnect_backoff(
+    base: float = _BACKOFF_BASE,
+    cap: float = _BACKOFF_CAP,
+    rng: Callable[[], float] = random.random,
+) -> Iterator[float]:
+    """Jittered exponential backoff delays for the linger reconnect loop.
+
+    A dead server with a large fleet must not be hammered in lockstep:
+    each failed attempt doubles the delay up to ``cap``, and every delay
+    is jittered by ±50% so the fleet's retries spread out instead of
+    arriving as synchronized thundering herds.  The caller restarts the
+    generator after any successful session (the next map of the same
+    exhibit usually binds within moments).
+    """
+    delay = base
+    while True:
+        yield delay * (0.5 + rng())
+        delay = min(delay * 2.0, cap)
+
+
 def run_worker(
-    address: str, linger: float = 0.0, auth_token: str | None = None
+    address: str,
+    linger: float = 0.0,
+    auth_token: str | None = None,
+    wire: str = "v1",
+    max_chunks: int | None = None,
 ) -> tuple[int, bool]:
     """Socket-backend worker loop: ``python -m repro worker --connect ...``.
 
     Connects to a :class:`SocketBackend` server, then pulls ``task``
     frames (a chunk of shards plus the module-level worker function,
-    pickled by reference), executes them, and streams ``result`` frames
+    shipped by reference), executes them, and streams ``result`` frames
     back until the server sends ``shutdown``.  Exceptions inside a task
     are reported as ``error`` frames with the formatted traceback and do
     not kill the worker.  Returns ``(chunks executed, reached)`` where
     ``reached`` records whether any session drained cleanly — the CLI
     uses it to tell "server unreachable" (alarm) from "queue was
     legitimately empty" (healthy) when the count is zero.
+
+    ``wire`` selects the frame codec (``v1`` — authenticated
+    ``repro-wire-v1`` frames, the default — or the legacy ``pickle``
+    codec); it must match the server's ``--wire``.
 
     ``auth_token`` is presented in the join handshake; a server that
     requires a different secret answers with a ``reject`` frame, which
@@ -499,25 +671,63 @@ def run_worker(
     sweep, each draining its workers with ``shutdown``, so after a
     session ends the worker keeps retrying the address for ``linger``
     seconds and joins the next map that binds it.  ``0`` exits after the
-    first session (or immediately if no server is listening).
+    first session (or immediately if no server is listening).  Failed
+    reconnect attempts back off exponentially with jitter (capped at
+    ``_BACKOFF_CAP`` seconds) so a dead server is not hammered.
+
+    ``max_chunks`` makes the worker *elastic*: after executing that many
+    chunks it sends a ``leave`` goodbye and exits cleanly, with no
+    retry-budget charge on the server (scale-down, spot-instance
+    reclaim, rolling restarts).  SIGTERM triggers the same drain for an
+    idle or busy worker (at most the in-flight chunk completes first).
     """
     host, port = parse_address(address)
     executed = 0
     reached = False
-    deadline = time.monotonic() + max(0.0, linger)
-    while True:
-        chunks, clean = _worker_session(host, port, auth_token=auth_token)
-        executed += chunks
-        reached = reached or clean
-        if chunks or clean:
-            # A session that served chunks or drained cleanly refreshes
-            # the window: the next map of the same exhibit usually
-            # starts within moments.  A server that was never reachable
-            # does not — the linger clock keeps running.
-            deadline = time.monotonic() + max(0.0, linger)
-        if time.monotonic() >= deadline:
-            return executed, reached
-        time.sleep(0.2)
+    budget = None
+    if max_chunks is not None:
+        max_chunks = int(max_chunks)
+        if max_chunks <= 0:
+            raise ValueError("max_chunks must be positive (or None)")
+        budget = [max_chunks]
+    drain = threading.Event()
+    try:
+        # Only the main thread may install handlers; tests drive
+        # run_worker from threads, where SIGTERM drain simply stays off.
+        previous_handler = signal.signal(signal.SIGTERM, lambda *_: drain.set())
+    except ValueError:
+        previous_handler = None
+    try:
+        deadline = time.monotonic() + max(0.0, linger)
+        backoff = _reconnect_backoff()
+        while True:
+            chunks, clean = _worker_session(
+                host, port, auth_token=auth_token, wire=wire,
+                budget=budget, drain=drain,
+            )
+            executed += chunks
+            reached = reached or clean
+            if budget is not None and budget[0] <= 0:
+                return executed, reached  # drained at --max-chunks
+            if drain.is_set():
+                return executed, reached  # SIGTERM drain: clean exit
+            if chunks or clean:
+                # A session that served chunks or drained cleanly
+                # refreshes the window and resets the backoff: the next
+                # map of the same exhibit usually starts within moments.
+                # A server that was never reachable does not — the
+                # linger clock keeps running and the delays keep growing.
+                deadline = time.monotonic() + max(0.0, linger)
+                backoff = _reconnect_backoff()
+            now = time.monotonic()
+            if now >= deadline:
+                return executed, reached
+            time.sleep(min(next(backoff), max(0.05, deadline - now)))
+            if drain.is_set():
+                return executed, reached
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
 
 
 class _RemoteTaskError(RuntimeError):
@@ -528,6 +738,13 @@ class _RemoteTaskError(RuntimeError):
 #: mode): the consume loop recognizes it, records the chunk's shard
 #: indices, and moves on without yielding results for them.
 _QUARANTINED = object()
+
+#: Placeholder a *split* chunk leaves in the completion map (continue
+#: mode with ``auto_retry``): the chunk's shards were re-queued as
+#: single-shard chunks for the end-of-map auto-retry pass, so the
+#: consume loop skips the placeholder — the results (or one-shard
+#: quarantines) arrive under the new chunk indices.
+_SPLIT = object()
 
 
 class SocketBackend(ExecutionBackend):
@@ -572,6 +789,23 @@ class SocketBackend(ExecutionBackend):
             the work port; ``0`` picks an ephemeral port, resolved as
             :attr:`status_address` while a map runs); ``None`` disables
             the status server entirely.
+        wire: frame codec on the work port — ``"v1"`` (authenticated
+            ``repro-wire-v1`` frames, the default) or ``"pickle"`` (the
+            legacy unauthenticated codec, for old trusted fleets only).
+            Workers must be started with the matching ``--wire``.
+        auto_retry: in continue-past-quarantine mode, re-run each
+            quarantined multi-shard chunk at one-shard granularity at
+            the end of the map, so :attr:`quarantined_shards` shrinks to
+            exactly the poison shards and the collateral shards land on
+            :attr:`healed_shards` (with their results yielded normally).
+            On by default; only meaningful with
+            ``continue_past_quarantine``.
+        max_buffered_chunks: backpressure bound — pause dispatching new
+            chunks while this many completed chunks sit unconsumed by a
+            slow consumer (a stalled store disk, a saturated pipe).
+            In-flight chunks are always received, so the bound can be
+            briefly exceeded and no deadlock is possible.  ``None`` (the
+            default) buffers without bound.
     """
 
     name = "socket"
@@ -587,6 +821,9 @@ class SocketBackend(ExecutionBackend):
         max_chunk_retries: int = DEFAULT_CHUNK_RETRIES,
         continue_past_quarantine: bool = False,
         status_port: int | None = None,
+        wire: str = "v1",
+        auto_retry: bool = True,
+        max_buffered_chunks: int | None = None,
     ) -> None:
         self.bind_host, self.bind_port = parse_address(bind)
         if spawn_workers < 0:
@@ -599,6 +836,10 @@ class SocketBackend(ExecutionBackend):
             raise ValueError("max_chunk_retries must be >= 0")
         if status_port is not None and not 0 <= status_port <= 65535:
             raise ValueError("status_port must be a TCP port (or None)")
+        if wire not in WIRE_CHOICES:
+            raise ValueError(f"wire must be one of {WIRE_CHOICES}, got {wire!r}")
+        if max_buffered_chunks is not None and max_buffered_chunks < 1:
+            raise ValueError("max_buffered_chunks must be >= 1 (or None)")
         self.spawn_workers = spawn_workers
         self.timeout = timeout
         self.auth_token = auth_token
@@ -607,12 +848,17 @@ class SocketBackend(ExecutionBackend):
         self.max_chunk_retries = max_chunk_retries
         self.continue_past_quarantine = continue_past_quarantine
         self.status_port = status_port
+        self.wire = wire
+        self.auto_retry = auto_retry
+        self.max_buffered_chunks = max_buffered_chunks
         #: Resolved ``(host, port)`` of the live listener (set per map).
         self.address: tuple[str, int] | None = None
         #: Resolved ``(host, port)`` of the live status server (per map).
         self.status_address: tuple[str, int] | None = None
         #: Shard indices the last map quarantined (continue mode only).
         self.quarantined_shards: tuple[int, ...] = ()
+        #: Shard indices the auto-retry pass healed (continue mode only).
+        self.healed_shards: tuple[int, ...] = ()
 
     def _heartbeat_interval(self) -> float:
         """Cadence workers are told to beat at (quarter of the deadline)."""
@@ -670,6 +916,9 @@ class SocketBackend(ExecutionBackend):
             "--linger",
             "0",
             "--spawned",
+            # Both sides of the wire must speak the same codec.
+            "--wire",
+            self.wire,
         ]
         return [
             subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
@@ -703,33 +952,110 @@ class SocketBackend(ExecutionBackend):
         silently misaligning every later result.)
         """
         self.quarantined_shards = ()
+        self.healed_shards = ()
         if not len(shards):
             return
         chunksize = max(1, int(chunksize))
-        chunks = _chunked(shards, chunksize)
-        total = len(chunks)
-        pending: deque[int] = deque(range(total))
+        #: One id per map so a frame from a stale server/worker pairing
+        #: (a worker that lingered across maps, a chaos replay) is
+        #: rejected per-frame instead of corrupting this campaign.
+        campaign = secrets.token_hex(8)
+        #: Shard indices per chunk.  Chunk identity is *this list*, not
+        #: ``base + offset``: the auto-retry pass appends single-shard
+        #: chunks past the original tail when it splits a poison chunk.
+        chunk_shards: list[list[int]] = [
+            list(range(i, min(i + chunksize, len(shards))))
+            for i in range(0, len(shards), chunksize)
+        ]
+        original_total = len(chunk_shards)
+        pending: deque[int] = deque(range(original_total))
+        #: Split singles parked until the main grid drains (end-of-map
+        #: auto-retry): re-running them early would just feed the same
+        #: healthy fleet into the poison shard over and over.
+        deferred: deque[int] = deque()
         completed: dict[int, list] = {}
         #: Worker deaths charged against each chunk's retry budget.
         attempts: dict[int, int] = {}
         #: Chunk indices set aside in continue-past-quarantine mode.
         quarantined: list[int] = []
+        #: Shard indices healed by the auto-retry pass (consumer-owned).
+        healed: list[int] = []
         #: Live per-worker registry for the status snapshot: handler id
-        #: -> {pid, last_seen, chunk}; mutated only under ``condition``.
+        #: -> {pid, last_seen, chunk, leaving}; mutated under ``condition``.
         fleet: dict[int, dict] = {}
-        state = {"error": None, "handlers": 0, "done": 0, "joined": 0, "retries": 0}
+        state = {
+            "error": None,
+            "handlers": 0,
+            "done": 0,
+            "joined": 0,
+            "left": 0,
+            "retries": 0,
+            "in_flight": 0,
+            # Chunks that must complete for the map to finish; grows
+            # when a poison chunk is split into auto-retry singles.
+            "expected": original_total,
+        }
         condition = threading.Condition()
         done = threading.Event()
+
+        def dispatchable() -> bool:
+            """Under ``condition``: is there a chunk ready to hand out?
+
+            Promotes the deferred auto-retry singles once the main grid
+            has fully drained (nothing pending, nothing in flight) —
+            the "end of map" in end-of-map auto-retry.
+            """
+            if pending:
+                return True
+            if (
+                deferred
+                and state["in_flight"] == 0
+                and state["done"] >= state["expected"] - len(deferred)
+            ):
+                pending.extend(deferred)
+                deferred.clear()
+                return True
+            return False
+
+        def backpressured() -> bool:
+            """Under ``condition``: is the completed-chunk buffer full?"""
+            return (
+                self.max_buffered_chunks is not None
+                and len(completed) >= self.max_buffered_chunks
+            )
 
         def handle(conn: socket.socket) -> None:
             """Serve one worker connection until the whole map completes.
 
             An idle handler (queue momentarily empty) must *wait*, not
             dismiss its worker: another worker may still fail mid-chunk
-            and requeue work that only this one can pick up.
+            and requeue work that only this one can pick up.  While it
+            waits it polls the socket, because an idle worker may still
+            speak — a ``leave`` goodbye (SIGTERM drain) that must turn
+            into a prompt ``shutdown``, not a task.
             """
             current: int | None = None
             me: dict | None = None
+            session = make_session(self.wire, self.auth_token)
+
+            def poll_goodbye() -> str | None:
+                """Drain frames an *idle* worker sent; ``"leave"``/``"eof"``
+                end the session, anything else (a straggler heartbeat)
+                is ignorable."""
+                while select.select([conn], [], [], 0)[0]:
+                    conn.settimeout(5)
+                    try:
+                        early = session.recv(conn)
+                    except FrameRejected:
+                        continue
+                    finally:
+                        conn.settimeout(self.heartbeat_timeout)
+                    if early is None:
+                        return "eof"
+                    if early[0] == "leave":
+                        return "leave"
+                return None
+
             try:
                 with conn:
                     # A connection that never speaks (port scan, health
@@ -737,56 +1063,131 @@ class SocketBackend(ExecutionBackend):
                     # it counts in state["handlers"], the all-workers-
                     # died fail-fast is suppressed.  Bound the hello.
                     conn.settimeout(5)
-                    hello = _recv_msg(conn)
+                    hello = session.recv(conn)
                     if not hello or hello[0] != "hello":
                         return
                     token = hello[2] if len(hello) > 2 else None
-                    if self.auth_token is not None and token != self.auth_token:
+                    if self.auth_token is not None and not _tokens_match(
+                        token, self.auth_token
+                    ):
                         # Reject *before* the connection is trusted with
                         # any task frame; the worker surfaces the reason
                         # and exits instead of linger-retrying.
                         try:
-                            _send_msg(conn, ("reject", "bad or missing auth token"))
+                            session.send(conn, ("reject", "bad or missing auth token"))
                         except OSError:
                             pass
                         return
-                    _send_msg(conn, ("welcome", self._heartbeat_interval()))
+                    # The welcome is the last handshake frame (fixed MAC
+                    # key); it hands the worker the campaign id and the
+                    # MAC mode both sides use from here on.
+                    session.send(
+                        conn,
+                        (
+                            "welcome",
+                            self._heartbeat_interval(),
+                            campaign,
+                            session.mac_mode,
+                        ),
+                    )
+                    session.campaign = campaign
+                    session.secure()
                     # While a chunk is in flight every frame — heartbeat
                     # or reply — must arrive within the deadline, or the
                     # worker is presumed dead and the chunk requeued.
                     conn.settimeout(self.heartbeat_timeout)
-                    me = {"pid": hello[1], "last_seen": time.monotonic(), "chunk": None}
+                    me = {
+                        "pid": hello[1],
+                        "last_seen": time.monotonic(),
+                        "chunk": None,
+                        "leaving": False,
+                    }
                     with condition:
                         state["joined"] += 1
                         fleet[id(me)] = me
                         condition.notify_all()
+                    goodbye: str | None = None
                     while True:
-                        with condition:
-                            while (
-                                (not pending or state["joined"] < self.workers_expected)
-                                and state["error"] is None
-                                and state["done"] < total
-                                and not done.is_set()
-                            ):
-                                condition.wait(0.1)
-                            if (
-                                done.is_set()  # consumer abandoned the map
-                                or state["error"] is not None
-                                or state["done"] >= total
-                            ):
+                        # -- wait for a dispatchable chunk ---------------
+                        current = None
+                        while current is None:
+                            goodbye = poll_goodbye()
+                            if goodbye:
                                 break
-                            current = pending.popleft()
-                            me["chunk"] = current
-                            me["last_seen"] = time.monotonic()
-                        _send_msg(conn, ("task", current, worker, chunks[current]))
+                            with condition:
+                                if (
+                                    done.is_set()  # consumer abandoned the map
+                                    or state["error"] is not None
+                                    or state["done"] >= state["expected"]
+                                ):
+                                    break
+                                if (
+                                    state["joined"] >= self.workers_expected
+                                    and not backpressured()
+                                    and dispatchable()
+                                ):
+                                    current = pending.popleft()
+                                    state["in_flight"] += 1
+                                    me["chunk"] = current
+                                    me["last_seen"] = time.monotonic()
+                                    continue
+                                condition.wait(0.1)
+                        if current is None:
+                            break  # map over, or the worker said goodbye
+                        # -- dispatch, then pump frames until the reply --
+                        task = (
+                            "task",
+                            current,
+                            worker,
+                            [shards[i] for i in chunk_shards[current]],
+                        )
+                        session.send(conn, task)
+                        resends = nacks = 0
                         while True:
-                            reply = _recv_msg(conn)
+                            try:
+                                reply = session.recv(conn)
+                            except FrameRejected:
+                                # Corrupt-but-aligned frame from the
+                                # worker: ask it to resend its reply
+                                # instead of declaring it dead.
+                                nacks += 1
+                                if nacks > _TRANSPORT_RETRIES:
+                                    raise ConnectionError(
+                                        "worker kept sending unusable frames; "
+                                        "dropping the connection"
+                                    )
+                                session.send(conn, ("nack",))
+                                continue
                             if reply is None:
                                 raise ConnectionError("worker hung up mid-task")
                             with condition:
                                 me["last_seen"] = time.monotonic()
-                            if reply[0] != "heartbeat":
-                                break
+                            if reply[0] == "heartbeat":
+                                continue
+                            if reply[0] == "leave":
+                                # Drain goodbye ahead of the final result
+                                # (--max-chunks): take the result, then
+                                # stop dispatching to this worker.
+                                goodbye = "leave"
+                                continue
+                            if reply[0] == "badframe":
+                                # The worker could not use our task frame;
+                                # resend it in place (transport retry, no
+                                # retry-budget charge).
+                                resends += 1
+                                if resends > _TRANSPORT_RETRIES:
+                                    detail = reply[1] if len(reply) > 1 else "unknown"
+                                    raise ConnectionError(
+                                        "worker could not use the task frame "
+                                        f"after {resends} sends: {detail}"
+                                    )
+                                session.send(conn, task)
+                                continue
+                            if reply[0] in ("result", "error") and reply[1] != current:
+                                # Stale resend (nack crossfire duplicate);
+                                # the reply for *this* chunk still follows.
+                                continue
+                            break
                         kind, index, payload = reply
                         with condition:
                             if kind == "error":
@@ -796,11 +1197,19 @@ class SocketBackend(ExecutionBackend):
                             else:
                                 completed[index] = payload
                                 state["done"] += 1
+                            state["in_flight"] -= 1
                             current = None
                             me["chunk"] = None
                             condition.notify_all()
+                        if goodbye:
+                            break
+                    if goodbye == "leave":
+                        with condition:
+                            me["leaving"] = True
+                            state["left"] += 1
+                            condition.notify_all()
                     try:
-                        _send_msg(conn, ("shutdown",))
+                        session.send(conn, ("shutdown",))
                     except OSError:
                         pass
             except Exception:
@@ -815,13 +1224,28 @@ class SocketBackend(ExecutionBackend):
                 # just that chunk aside and finishing the grid.
                 with condition:
                     if current is not None:
+                        state["in_flight"] -= 1
                         attempts[current] = attempts.get(current, 0) + 1
                         state["retries"] += 1
                         if attempts[current] > self.max_chunk_retries:
                             if self.continue_past_quarantine:
-                                quarantined.append(current)
-                                completed[current] = _QUARANTINED
-                                state["done"] += 1
+                                if self.auto_retry and len(chunk_shards[current]) > 1:
+                                    # Auto-retry: don't quarantine the
+                                    # whole chunk — park each of its
+                                    # shards as a single-shard chunk for
+                                    # the end-of-map pass, so only the
+                                    # truly poison shard(s) stay
+                                    # quarantined and the rest heal.
+                                    for shard_index in chunk_shards[current]:
+                                        chunk_shards.append([shard_index])
+                                        deferred.append(len(chunk_shards) - 1)
+                                    state["expected"] += len(chunk_shards[current])
+                                    completed[current] = _SPLIT
+                                    state["done"] += 1
+                                else:
+                                    quarantined.append(current)
+                                    completed[current] = _QUARANTINED
+                                    state["done"] += 1
                             else:
                                 state["error"] = RuntimeError(
                                     f"shard chunk {current} was lost by "
@@ -866,15 +1290,14 @@ class SocketBackend(ExecutionBackend):
             """Assemble the repro-status-v1 JSON snapshot (status port)."""
             with condition:
                 now = time.monotonic()
-                in_flight = sum(
-                    1 for info in fleet.values() if info["chunk"] is not None
-                )
                 return {
                     "format": "repro-status-v1",
                     "elapsed": round(now - started_at, 3),
+                    "wire": self.wire,
                     "fleet": {
                         "size": len(fleet),
                         "joined_total": state["joined"],
+                        "left_total": state["left"],
                         "expected": self.workers_expected,
                     },
                     "workers": [
@@ -886,13 +1309,15 @@ class SocketBackend(ExecutionBackend):
                         for info in fleet.values()
                     ],
                     "chunks": {
-                        "total": total,
+                        "total": state["expected"],
                         "done": state["done"],
                         "pending": len(pending),
-                        "in_flight": in_flight,
+                        "deferred": len(deferred),
+                        "in_flight": state["in_flight"],
                     },
                     "retries": state["retries"],
                     "quarantined": sorted(quarantined),
+                    "healed": len(healed),
                 }
 
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
@@ -917,12 +1342,17 @@ class SocketBackend(ExecutionBackend):
                 self.status_address = status_server.address
             acceptor.start()
             workers = self._spawn_local_workers(self.address[1])
-            while served < total:
+            while True:
                 with condition:
+                    # ``expected`` can grow while we wait (auto-retry
+                    # splits), so the exit check re-reads it under the
+                    # lock every iteration.
+                    if served >= state["expected"]:
+                        break
                     while state["error"] is None and not (
                         next_chunk in completed if ordered else completed
                     ):
-                        self._check_liveness(workers, state, total)
+                        self._check_liveness(workers, state)
                         if deadline is not None and time.monotonic() > deadline:
                             barrier = (
                                 f" (start barrier: {state['joined']} of "
@@ -931,7 +1361,8 @@ class SocketBackend(ExecutionBackend):
                                 else ""
                             )
                             raise TimeoutError(
-                                f"socket backend timed out with {total - state['done']}"
+                                "socket backend timed out with "
+                                f"{state['expected'] - state['done']}"
                                 f" chunk(s) outstanding{barrier}"
                             )
                         condition.wait(timeout=0.1)
@@ -945,25 +1376,35 @@ class SocketBackend(ExecutionBackend):
                         next_chunk += 1
                     else:
                         index, results = completed.popitem()
+                    # The freed buffer slot lifts the backpressure gate.
+                    condition.notify_all()
                 served += 1
-                base = index * chunksize
-                if results is _QUARANTINED:
-                    if ordered:
-                        # imap()/map() callers pair results with shards
-                        # positionally; silently skipping a chunk would
-                        # shift every later result onto the wrong shard.
-                        # Only the index-carrying imap_unordered path can
-                        # skip safely.
-                        raise RuntimeError(
-                            f"shard chunk {index} was quarantined, but this map "
-                            "was consumed in shard order (imap/map), which "
-                            "cannot represent a hole; use imap_unordered with "
-                            "continue_past_quarantine"
-                        )
-                    quarantined_shards.extend(
-                        range(base, base + len(chunks[index]))
+                shard_indices = chunk_shards[index]
+                if (results is _QUARANTINED or results is _SPLIT) and ordered:
+                    # imap()/map() callers pair results with shards
+                    # positionally; silently skipping a chunk (or moving
+                    # its shards to late out-of-order singles) would
+                    # shift every later result onto the wrong shard.
+                    # Only the index-carrying imap_unordered path can
+                    # represent either.
+                    raise RuntimeError(
+                        f"shard chunk {index} was quarantined, but this map "
+                        "was consumed in shard order (imap/map), which "
+                        "cannot represent a hole; use imap_unordered with "
+                        "continue_past_quarantine"
                     )
-                    self.quarantined_shards = tuple(quarantined_shards)
+                if results is _SPLIT:
+                    print(
+                        f"repro: chunk {index} exhausted its retry budget "
+                        f"({self.max_chunk_retries}); re-running its "
+                        f"{len(shard_indices)} shard(s) one at a time at end "
+                        "of map (auto-retry)",
+                        file=sys.stderr,
+                    )
+                    continue
+                if results is _QUARANTINED:
+                    quarantined_shards.extend(shard_indices)
+                    self.quarantined_shards = tuple(sorted(quarantined_shards))
                     print(
                         f"repro: chunk {index} quarantined after exhausting its "
                         f"retry budget ({self.max_chunk_retries}); continuing "
@@ -971,8 +1412,22 @@ class SocketBackend(ExecutionBackend):
                         file=sys.stderr,
                     )
                     continue
-                for offset, result in enumerate(results):
-                    yield base + offset, result
+                if index >= original_total:
+                    # A split single that completed: its shard was
+                    # collateral damage of a poison chunk-mate, healed
+                    # by the one-shard re-run.
+                    healed.extend(shard_indices)
+                    self.healed_shards = tuple(sorted(healed))
+                for shard_index, result in zip(shard_indices, results):
+                    yield shard_index, result
+            if healed:
+                print(
+                    f"repro: auto-retry healed {len(healed)} of "
+                    f"{len(healed) + len(quarantined_shards)} shard(s) from "
+                    "quarantined chunks; poison set narrowed to "
+                    f"{len(quarantined_shards)} shard(s)",
+                    file=sys.stderr,
+                )
         finally:
             # Reached on normal completion AND when the consumer closes
             # the generator early (e.g. the shard store hit a disk
@@ -995,7 +1450,7 @@ class SocketBackend(ExecutionBackend):
             self.address = None
             self.status_address = None
 
-    def _check_liveness(self, workers, state, total) -> None:
+    def _check_liveness(self, workers, state) -> None:
         """Fail fast when every possible worker is gone but work remains.
 
         Only applies when the backend spawned its own workers: a server
@@ -1003,12 +1458,12 @@ class SocketBackend(ExecutionBackend):
         """
         if not workers or state["handlers"] > 0:
             return
-        if state["done"] >= total:
+        if state["done"] >= state["expected"]:
             return
         if all(process.poll() is not None for process in workers):
             state["error"] = RuntimeError(
                 "all spawned socket workers exited with "
-                f"{total - state['done']} chunk(s) outstanding "
+                f"{state['expected'] - state['done']} chunk(s) outstanding "
                 f"(exit codes: {[process.returncode for process in workers]})"
             )
 
@@ -1036,9 +1491,10 @@ def resolve_backend(
     ``socket_options`` forwards the campaign-hardening knobs
     (``auth_token``, ``workers_expected``, ``heartbeat_timeout``,
     ``max_chunk_retries``, ``continue_past_quarantine``,
-    ``status_port``) to a socket spec's :class:`SocketBackend`;
-    supplying them with a non-socket spec or a pre-built instance is an
-    error, because they would be silently dropped.
+    ``status_port``, ``wire``, ``auto_retry``, ``max_buffered_chunks``)
+    to a socket spec's :class:`SocketBackend`; supplying them with a
+    non-socket spec or a pre-built instance is an error, because they
+    would be silently dropped.
     """
     if isinstance(backend, ExecutionBackend):
         if socket_options:

@@ -35,12 +35,15 @@ a single JSON object:
 
     {"format": "repro-status-v1",
      "elapsed": 12.3,
-     "fleet": {"size": 2, "joined_total": 3, "expected": 2},
+     "wire": "v1",
+     "fleet": {"size": 2, "joined_total": 3, "left_total": 1, "expected": 2},
      "workers": [{"pid": 4242, "heartbeat_age": 0.4, "chunk": 7},
                  {"pid": 4243, "heartbeat_age": 1.2, "chunk": null}],
-     "chunks": {"total": 9, "done": 5, "pending": 2, "in_flight": 2},
+     "chunks": {"total": 9, "done": 5, "pending": 2, "deferred": 0,
+                "in_flight": 2},
      "retries": 1,
-     "quarantined": [3]}
+     "quarantined": [3],
+     "healed": 0}
 
 Field semantics:
 
@@ -48,19 +51,32 @@ Field semantics:
 field                     meaning
 ========================  ==============================================
 ``elapsed``               seconds since the map started serving
+``wire``                  frame codec on the work port (``v1``/``pickle``)
 ``fleet.size``            workers connected *right now*
-``fleet.joined_total``    workers that ever joined (deaths included)
+``fleet.joined_total``    workers that ever joined (deaths included) —
+                          elastic fleets grow this past ``size``
+``fleet.left_total``      workers that drained out cleanly (``leave``
+                          goodbye: ``--max-chunks``, SIGTERM) — churn,
+                          not deaths
 ``fleet.expected``        the ``--workers-expected`` start barrier
 ``workers[].pid``         worker's reported process id
 ``workers[].heartbeat_age`` seconds since the worker's last frame
 ``workers[].chunk``       chunk index in flight, ``null`` when idle
-``chunks.total``          chunks in this map
+``chunks.total``          chunks in this map (grows when the auto-retry
+                          pass splits a poison chunk into singles)
 ``chunks.done``           chunks completed (quarantined ones included)
 ``chunks.pending``        queue depth: chunks waiting for a worker
+``chunks.deferred``       single-shard retry chunks parked for the
+                          end-of-map auto-retry pass
 ``chunks.in_flight``      chunks currently executing somewhere
 ``retries``               requeues charged against retry budgets so far
 ``quarantined``           chunk indices set aside past their budget
+``healed``                shards recovered by the auto-retry pass
 ========================  ==============================================
+
+Fields added by later protocol revisions are additive: clients must
+tolerate their absence (``repro status`` renders pre-elastic snapshots
+without churn/healed lines rather than failing).
 
 See ``docs/operations.md`` for the monitoring runbook.
 """
@@ -387,10 +403,15 @@ class StatusServer:
                 break
             with conn:
                 try:
+                    # Slow-consumer shedding: a stalled client (full
+                    # receive buffer, half-open connection) must not
+                    # wedge the status thread — drop it and serve the
+                    # next poll instead.
+                    conn.settimeout(5.0)
                     payload = json.dumps(self._snapshot())
                     conn.sendall(payload.encode("utf-8") + b"\n")
                 except OSError:
-                    pass  # client went away mid-write; next poll will work
+                    pass  # client went away or stalled; next poll will work
 
     def close(self) -> None:
         self._done.set()
@@ -454,12 +475,17 @@ def render_status(snapshot: dict) -> str:
         f"status   {snapshot.get('format', '?')} · "
         f"{float(snapshot.get('elapsed', 0.0)):.1f}s elapsed"
     ]
+    if snapshot.get("wire"):
+        lines[0] += f" · wire {snapshot['wire']}"
     fleet = snapshot.get("fleet", {})
     expected = fleet.get("expected") or 0
     barrier = f", {expected} expected" if expected else ""
+    churn = ""
+    if fleet.get("left_total"):
+        churn = f", {fleet['left_total']} drained out"
     lines.append(
         f"fleet    {fleet.get('size', 0)} worker(s) connected "
-        f"({fleet.get('joined_total', 0)} joined in total{barrier})"
+        f"({fleet.get('joined_total', 0)} joined in total{churn}{barrier})"
     )
     for worker in snapshot.get("workers", []):
         chunk = worker.get("chunk")
@@ -469,10 +495,18 @@ def render_status(snapshot: dict) -> str:
             f"last frame {float(worker.get('heartbeat_age', 0.0)):.1f}s ago"
         )
     chunks = snapshot.get("chunks", {})
-    lines.append(
+    chunk_line = (
         f"chunks   {chunks.get('done', 0)}/{chunks.get('total', 0)} done · "
         f"{chunks.get('pending', 0)} queued · {chunks.get('in_flight', 0)} in flight"
     )
+    if chunks.get("deferred"):
+        chunk_line += f" · {chunks['deferred']} deferred for auto-retry"
+    lines.append(chunk_line)
+    if snapshot.get("healed"):
+        lines.append(
+            f"healed   {snapshot['healed']} shard(s) recovered by the "
+            "end-of-map auto-retry pass"
+        )
     if snapshot.get("retries"):
         lines.append(f"retries  {snapshot['retries']} chunk requeue(s) so far")
     quarantined = snapshot.get("quarantined") or []

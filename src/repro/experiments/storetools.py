@@ -17,8 +17,12 @@ the operator's toolbox for those files, exposed as
   reports cells done / cells total, an ETA extrapolated from the
   recorded per-cell seconds (single-worker compute; divide by the fleet
   size for wall-clock), the derived grid dimensions (so two stores that
-  should merge but don't are diagnosed at a glance), and any
-  ``quarantine`` markers not yet resolved by a completed record.  Never
+  should merge but don't are diagnosed at a glance), and the quarantine
+  ledger: ``quarantine`` markers not yet resolved by a completed record
+  are listed as awaiting a re-run, while markers a later completed
+  record *did* resolve (the backend's end-of-map auto-retry pass, or a
+  targeted re-run) are reported as healed — never double-counted
+  against grid coverage.  Never
   materializes a :class:`~repro.experiments.runner.SweepResult`, so it
   is safe on stores far larger than memory.
 * ``compact`` — rewrite the store keeping only the *winning* record per
@@ -155,6 +159,10 @@ class StoreSummary:
     #: Shard keys quarantined by a ``--continue-past-quarantine`` run
     #: and not yet resolved by a completed record of the same key.
     quarantined: list = field(default_factory=list)
+    #: Shard keys whose quarantine marker *was* resolved by a later
+    #: completed record (the end-of-map auto-retry pass, or a targeted
+    #: re-run): reported as healed, never counted against coverage.
+    healed: list = field(default_factory=list)
 
     @property
     def cells_done(self) -> int:
@@ -208,8 +216,12 @@ def summarize(path: str | os.PathLike) -> StoreSummary:
         summary.total_seconds += seconds
         summary.words += words
     # A quarantine marker is live only until a completed record of the
-    # same key lands (the targeted re-run resolved it).
+    # same key lands (the auto-retry pass or a targeted re-run resolved
+    # it); resolved markers are reported as healed, not quarantined —
+    # and never double-counted against grid coverage (the completed
+    # record already counts the cell done exactly once).
     summary.quarantined = sorted(key[2:] for key in markers if key[1:] not in winning)
+    summary.healed = sorted(key[2:] for key in markers if key[1:] in winning)
     shape = grid_shape(summary.config)
     if shape is not None:
         dims, summary.cells_total = shape
@@ -252,6 +264,13 @@ def render_summary(summary: StoreSummary) -> str:
         lines.append(
             f"quarantine {len(summary.quarantined)} shard(s) awaiting a targeted "
             f"re-run (rerun the same command with this --resume path): {keys}"
+        )
+    if summary.healed:
+        keys = ", ".join(str(tuple(key)) for key in summary.healed)
+        lines.append(
+            f"healed   {len(summary.healed)} shard(s) resolved since being "
+            f"quarantined (auto-retry or targeted re-run; compact retires "
+            f"the markers): {keys}"
         )
     if summary.superseded:
         lines.append(f"stale    {summary.superseded} superseded record(s) — run compact")

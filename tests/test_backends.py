@@ -9,6 +9,7 @@ retry budgets, the workers-expected start barrier).
 """
 
 import socket
+import struct
 import threading
 import time
 
@@ -21,13 +22,16 @@ from repro.experiments.backends import (
     SerialBackend,
     SocketBackend,
     WorkerRejectedError,
+    _reconnect_backoff,
     _recv_msg,
     _send_msg,
+    _tokens_match,
     parse_address,
     resolve_backend,
     resolve_jobs,
     run_worker,
 )
+from repro.experiments.wire import MAX_FRAME, StreamDesync, make_session
 from repro.experiments.config import CaseStudyConfig, SweepConfig
 from repro.experiments.runner import run_sweep
 
@@ -309,12 +313,17 @@ class TestHeartbeats:
 
         def silent_worker():
             host, port = _wait_for_address(backend)
+            session = make_session("v1", None)
             with socket.create_connection((host, port)) as sock:
-                _send_msg(sock, ("hello", 0, None))
+                session.send(sock, ("hello", 0, None))
                 while True:
-                    message = _recv_msg(sock)
+                    message = session.recv(sock)
                     if message is None:
                         return
+                    if message[0] == "welcome":
+                        session.campaign = str(message[2])
+                        session.secure(str(message[3]))
+                        continue
                     if message[0] == "task":
                         hung.set()
                         # Take the chunk, never reply, never heartbeat:
@@ -532,3 +541,263 @@ class TestExternalWorker:
         ).map(_identity, [3, 4], chunksize=1)
         assert first == [2, 4]
         assert second == [6, 8]
+
+
+class TestTimingSafeTokens:
+    """Satellite: the join-token check must never be a bare ``==``."""
+
+    def test_tokens_match_semantics(self):
+        assert _tokens_match("secret", "secret")
+        assert not _tokens_match("secrex", "secret")
+        assert not _tokens_match("", "secret")
+        assert not _tokens_match(None, "secret")
+        assert not _tokens_match(42, "secret")
+        assert not _tokens_match(["secret"], "secret")
+
+    def test_handshake_never_compares_secret_with_equality(self):
+        """Regression: ``==`` short-circuits on the first differing byte,
+        leaking the token prefix to anyone who can time the handshake."""
+        import inspect
+
+        import repro.experiments.backends as backends_module
+
+        source = inspect.getsource(backends_module)
+        assert "== self.auth_token" not in source
+        assert "self.auth_token ==" not in source
+        assert "_tokens_match(" in source
+
+
+class TestReconnectBackoff:
+    """Satellite: linger reconnects use jittered exponential backoff."""
+
+    def test_delays_double_to_cap(self):
+        # rng pinned to 0.5 makes the jitter factor exactly 1.0.
+        backoff = _reconnect_backoff(base=0.2, cap=5.0, rng=lambda: 0.5)
+        delays = [next(backoff) for _ in range(8)]
+        assert delays[0] == pytest.approx(0.2)
+        for earlier, later in zip(delays, delays[1:]):
+            assert later >= earlier
+        assert delays[-2] == pytest.approx(5.0)
+        assert delays[-1] == pytest.approx(5.0)  # capped, not still doubling
+
+    def test_jitter_spreads_a_fleet(self):
+        low = next(_reconnect_backoff(base=1.0, cap=9.0, rng=lambda: 0.0))
+        high = next(_reconnect_backoff(base=1.0, cap=9.0, rng=lambda: 1.0))
+        assert low == pytest.approx(0.5)
+        assert high == pytest.approx(1.5)
+
+
+class TestMalformedFrames:
+    """Satellite: torn/oversized/undecodable frames must not kill fleets."""
+
+    def test_oversized_length_prefix_is_desync_not_allocation(self):
+        left, right = socket.socketpair()
+        with left, right:
+            left.sendall(struct.pack(">Q", MAX_FRAME + 1))
+            with pytest.raises(StreamDesync):
+                _recv_msg(right)
+
+    def test_torn_header_mid_recv_raises_connection_error(self):
+        left, right = socket.socketpair()
+        with left:
+            left.sendall(b"\x00\x00\x00\x00\x00")  # 5 of 8 length bytes
+            left.shutdown(socket.SHUT_WR)
+            with pytest.raises(ConnectionError):
+                _recv_msg(right)
+        right.close()
+
+    def test_undecodable_task_frame_worker_survives_and_chunk_resends(self):
+        """A task frame the worker cannot decode (here: a function
+        reference that does not resolve) must draw a ``badframe`` reply,
+        not kill the worker; the server resends and the chunk completes."""
+        import hashlib
+        import hmac as hmac_module
+        import json
+
+        from repro.experiments import wire as wire_module
+
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        host, port = server.getsockname()
+        outcome = {}
+
+        def fake_server():
+            conn, _ = server.accept()
+            session = make_session("v1", None)
+            with conn:
+                conn.settimeout(SOCKET_TIMEOUT)
+                hello = session.recv(conn)
+                assert hello[0] == "hello"
+                campaign = "feedfacefeedface"
+                session.send(
+                    conn, ("welcome", 5.0, campaign, session.mac_mode)
+                )
+                session.campaign = campaign
+                session.secure()
+                # Hand-build a task frame whose function reference cannot
+                # resolve on the worker (pack_frame would refuse to encode
+                # it, which is exactly why it must be forged by hand).
+                header = json.dumps(
+                    {
+                        "v": 1,
+                        "kind": "task",
+                        "campaign": campaign,
+                        "seq": session._send_seq + 1,
+                        "body": [
+                            "t",
+                            0,
+                            ["fn", "no.such.module:missing"],
+                            ["l", 1],
+                        ],
+                        "blobs": [],
+                    },
+                    separators=(",", ":"),
+                ).encode("utf-8")
+                preamble = wire_module._PREAMBLE.pack(
+                    wire_module.MAGIC, len(header), 0
+                )
+                data = preamble + header
+                conn.sendall(
+                    data
+                    + hmac_module.new(
+                        session._key, data, hashlib.sha256
+                    ).digest()
+                )
+                session._send_seq += 1
+
+                def next_reply():
+                    while True:
+                        reply = session.recv(conn)
+                        if reply is not None and reply[0] == "heartbeat":
+                            continue
+                        return reply
+
+                reply = next_reply()
+                outcome["first"] = reply[0]
+                # The worker survived: resend the chunk properly.
+                session.send(conn, ("task", 0, _identity, [21]))
+                outcome["second"] = next_reply()
+                session.send(conn, ("shutdown",))
+
+        thread = threading.Thread(target=fake_server, daemon=True)
+        thread.start()
+        executed, reached = run_worker(f"{host}:{port}")
+        thread.join(timeout=SOCKET_TIMEOUT)
+        server.close()
+        assert outcome["first"] == "badframe"
+        assert outcome["second"] == ("result", 0, [42])
+        assert (executed, reached) == (1, True)
+
+
+class TestElasticFleet:
+    """Workers join after dispatch started and leave mid-campaign."""
+
+    def test_worker_joins_mid_campaign(self):
+        backend = SocketBackend(spawn_workers=1, timeout=SOCKET_TIMEOUT)
+        late = {}
+
+        def late_joiner():
+            host, port = _wait_for_address(backend)
+            time.sleep(0.5)  # dispatch to worker one is well underway
+            late["session"] = run_worker(f"{host}:{port}")
+
+        threading.Thread(target=late_joiner, daemon=True).start()
+        results = backend.map(_sleepy, list(range(8)), chunksize=1)
+        assert results == [v * 2 for v in range(8)]
+        # The late joiner really took work off the first worker's plate.
+        assert late["session"][0] >= 1
+        assert late["session"][1] is True
+
+    def test_max_chunks_drains_cleanly_mid_campaign(self):
+        """An elastic worker leaves after its chunk budget with a clean
+        goodbye — no retry-budget charge, no lost chunks."""
+        backend = SocketBackend(
+            spawn_workers=0, max_chunk_retries=0, timeout=SOCKET_TIMEOUT
+        )
+        sessions = {}
+
+        def fleet():
+            host, port = _wait_for_address(backend)
+            address = f"{host}:{port}"
+
+            def capped():
+                sessions["capped"] = run_worker(address, max_chunks=2)
+
+            threading.Thread(target=capped, daemon=True).start()
+            time.sleep(0.3)
+            sessions["rest"] = run_worker(address)
+
+        threading.Thread(target=fleet, daemon=True).start()
+        # max_chunk_retries=0: any chunk lost to an unclean leave would
+        # abort the whole map, so success proves the goodbye was clean.
+        results = backend.map(_identity, list(range(6)), chunksize=1)
+        assert results == [v * 2 for v in range(6)]
+        assert sessions["capped"] == (2, True)
+
+    def test_backpressure_bounds_in_flight_dispatch(self):
+        backend = SocketBackend(
+            spawn_workers=2, max_buffered_chunks=1, timeout=SOCKET_TIMEOUT
+        )
+        assert backend.map(_identity, list(range(8)), chunksize=1) == [
+            v * 2 for v in range(8)
+        ]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="wire"):
+            SocketBackend(wire="v2")
+        with pytest.raises(ValueError, match="max_buffered_chunks"):
+            SocketBackend(max_buffered_chunks=0)
+        with pytest.raises(ValueError, match="max_chunks"):
+            run_worker("127.0.0.1:9", max_chunks=0)
+
+
+class TestLegacyPickleWire:
+    """``--wire pickle`` stays available as an explicit escape hatch."""
+
+    def test_pickle_wire_end_to_end(self):
+        backend = SocketBackend(
+            spawn_workers=1, wire="pickle", timeout=SOCKET_TIMEOUT
+        )
+        assert backend.map(_identity, [1, 2, 3], chunksize=1) == [2, 4, 6]
+
+
+class TestAutoRetry:
+    """End-of-map auto-retry shrinks poison chunks to single shards."""
+
+    def test_poison_chunk_shrinks_to_single_bad_shard(self, capsys):
+        backend = SocketBackend(
+            spawn_workers=6,
+            max_chunk_retries=1,
+            continue_past_quarantine=True,
+            timeout=SOCKET_TIMEOUT,
+        )
+        got = sorted(
+            backend.imap_unordered(
+                _exit_on_poison, ["a", "poison", "b", "c"], chunksize=2
+            )
+        )
+        # Chunk [a, poison] died twice, was split, and the auto-retry
+        # pass healed shard 0 while isolating shard 1 as the poison.
+        assert got == [(0, "a"), (2, "b"), (3, "c")]
+        assert backend.quarantined_shards == (1,)
+        assert backend.healed_shards == (0,)
+        stderr = capsys.readouterr().err
+        assert "auto-retry" in stderr
+
+    def test_auto_retry_off_quarantines_the_whole_chunk(self):
+        backend = SocketBackend(
+            spawn_workers=4,
+            max_chunk_retries=1,
+            continue_past_quarantine=True,
+            auto_retry=False,
+            timeout=SOCKET_TIMEOUT,
+        )
+        got = sorted(
+            backend.imap_unordered(
+                _exit_on_poison, ["a", "poison", "b", "c"], chunksize=2
+            )
+        )
+        assert got == [(2, "b"), (3, "c")]
+        assert backend.quarantined_shards == (0, 1)
+        assert backend.healed_shards == ()

@@ -1,0 +1,202 @@
+"""Chaos suite: campaigns must complete bit-identically under injected
+transport faults and process death.
+
+Each test runs a real :class:`SocketBackend` campaign with real worker
+processes connected *through* :class:`chaos.ChaosProxy`, which injects
+one fault class per test (corruption, drops, duplicates, delays,
+connection tears) from a seeded RNG.  The acceptance test combines
+frame corruption, a SIGKILLed worker, and a late-joining worker over a
+full sweep and diffs the result bit-for-bit against a serial run — with
+the proxy simultaneously auditing that no pickle frame ever appears on
+the wire under ``--wire v1``.
+"""
+
+import threading
+import time
+
+from chaos import ChaosProxy, FaultPlan, WorkerFleet
+from repro.experiments.backends import SocketBackend
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import run_sweep
+
+SOCKET_TIMEOUT = 180.0
+
+CONFIG = SweepConfig(
+    num_codes=2,
+    words_per_code=2,
+    num_rounds=16,
+    error_counts=(2, 3),
+    probabilities=(0.5, 1.0),
+    profilers=("Naive", "HARP-U"),
+)
+
+
+def _double(value):
+    return value * 2
+
+
+def _slow_double(value):
+    time.sleep(0.15)
+    return value * 2
+
+
+def _run_map_through_proxy(
+    plan,
+    items,
+    worker=_double,
+    *,
+    workers=2,
+    chunksize=1,
+    heartbeat=1.0,
+    wire="v1",
+    kill_after=None,
+    join_late=None,
+):
+    """One campaign: backend behind the chaos proxy, external fleet."""
+    backend = SocketBackend(
+        spawn_workers=0,
+        heartbeat_timeout=heartbeat,
+        timeout=SOCKET_TIMEOUT,
+        wire=wire,
+    )
+    outcome = {}
+
+    def campaign():
+        outcome["results"] = backend.map(worker, items, chunksize=chunksize)
+
+    runner = threading.Thread(target=campaign, daemon=True)
+    runner.start()
+    while backend.address is None:
+        time.sleep(0.01)
+    with ChaosProxy(backend.address, plan) as proxy:
+        host, port = proxy.address
+        fleet = WorkerFleet(
+            f"{host}:{port}", linger=SOCKET_TIMEOUT / 2, wire=wire
+        )
+        with fleet:
+            fleet.spawn(workers)
+            if kill_after is not None:
+                fleet.kill_one_after(kill_after)
+            if join_late is not None:
+                fleet.join_late(join_late)
+            runner.join(timeout=SOCKET_TIMEOUT)
+    assert not runner.is_alive(), "campaign hung under injected faults"
+    return outcome["results"], proxy
+
+
+class TestFaultClasses:
+    """Each fault class alone: the campaign completes bit-identically."""
+
+    def test_corrupted_frames(self):
+        items = list(range(16))
+        results, proxy = _run_map_through_proxy(
+            FaultPlan(corrupt=0.08, seed=11), items
+        )
+        assert results == [v * 2 for v in items]
+        assert proxy.violations == []
+
+    def test_dropped_frames(self):
+        items = list(range(12))
+        results, proxy = _run_map_through_proxy(
+            FaultPlan(drop=0.05, seed=22), items
+        )
+        assert results == [v * 2 for v in items]
+        assert proxy.violations == []
+
+    def test_duplicated_frames(self):
+        items = list(range(16))
+        results, proxy = _run_map_through_proxy(
+            FaultPlan(duplicate=0.2, seed=33), items
+        )
+        assert results == [v * 2 for v in items]
+        assert proxy.stats.duplicated > 0  # replays really happened
+        assert proxy.violations == []
+
+    def test_delayed_frames(self):
+        items = list(range(16))
+        results, proxy = _run_map_through_proxy(
+            FaultPlan(delay=0.25, delay_seconds=0.05, seed=44), items
+        )
+        assert results == [v * 2 for v in items]
+        assert proxy.stats.delayed > 0
+        assert proxy.violations == []
+
+    def test_torn_connections(self):
+        items = list(range(12))
+        results, proxy = _run_map_through_proxy(
+            FaultPlan(truncate=0.04, seed=55), items
+        )
+        assert results == [v * 2 for v in items]
+        assert proxy.violations == []
+
+
+class TestProcessChaos:
+    """Wire noise plus process death plus elastic membership."""
+
+    def test_sigkill_plus_late_joiner_under_corruption(self):
+        items = list(range(24))
+        results, proxy = _run_map_through_proxy(
+            FaultPlan(corrupt=0.05, seed=66),
+            items,
+            worker=_slow_double,
+            workers=2,
+            kill_after=0.8,
+            join_late=1.2,
+        )
+        assert results == [v * 2 for v in items]
+        assert proxy.violations == []
+
+
+class TestWireAudit:
+    """The proxy doubles as the no-pickle-on-the-wire assertion."""
+
+    def test_v1_campaign_has_no_wire_violations(self):
+        items = list(range(8))
+        results, proxy = _run_map_through_proxy(FaultPlan(seed=77), items)
+        assert results == [v * 2 for v in items]
+        assert proxy.stats.frames > 0
+        assert proxy.violations == []
+
+    def test_pickle_wire_is_detected(self):
+        """Negative control: a legacy ``--wire pickle`` fleet through the
+        same proxy trips the audit immediately."""
+        items = list(range(4))
+        results, proxy = _run_map_through_proxy(
+            FaultPlan(seed=88), items, wire="pickle"
+        )
+        assert results == [v * 2 for v in items]
+        assert proxy.violations  # pickle frames are not RPW1 frames
+
+
+class TestChaosSweepBitIdentity:
+    """Acceptance: a full sweep under combined chaos (5% corruption, one
+    SIGKILLed worker, one late joiner) is bit-identical to serial."""
+
+    def test_sweep_bit_identical_under_combined_chaos(self):
+        serial = run_sweep(CONFIG)
+        backend = SocketBackend(
+            spawn_workers=0, heartbeat_timeout=2.0, timeout=SOCKET_TIMEOUT
+        )
+        outcome = {}
+
+        def campaign():
+            outcome["sweep"] = run_sweep(CONFIG, backend=backend)
+
+        runner = threading.Thread(target=campaign, daemon=True)
+        runner.start()
+        while backend.address is None:
+            time.sleep(0.01)
+        plan = FaultPlan(corrupt=0.05, seed=1234)
+        with ChaosProxy(backend.address, plan) as proxy:
+            host, port = proxy.address
+            with WorkerFleet(f"{host}:{port}", linger=SOCKET_TIMEOUT / 2) as fleet:
+                fleet.spawn(2)
+                fleet.kill_one_after(1.0)
+                fleet.join_late(1.5)
+                runner.join(timeout=SOCKET_TIMEOUT)
+        assert not runner.is_alive(), "chaos sweep hung"
+        assert proxy.violations == []
+        chaos_sweep = outcome["sweep"]
+        assert chaos_sweep.cells.keys() == serial.cells.keys()
+        for key in serial.cells:
+            assert chaos_sweep.cells[key].words == serial.cells[key].words, key

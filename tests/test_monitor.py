@@ -257,6 +257,27 @@ class TestStatusProtocol:
         assert "1 chunk requeue(s)" in text
         assert "quarantine chunk(s) 3" in text
 
+    def test_render_shows_elastic_churn_and_auto_retry_fields(self):
+        """The elastic-transport snapshot fields render; their absence
+        (a pre-elastic server) must not break rendering either — the
+        schema is additive."""
+        snapshot = {
+            **self.SNAPSHOT,
+            "wire": "v1",
+            "fleet": {**self.SNAPSHOT["fleet"], "left_total": 1},
+            "chunks": {**self.SNAPSHOT["chunks"], "deferred": 2},
+            "healed": 3,
+        }
+        text = render_status(snapshot)
+        assert "wire v1" in text
+        assert "1 drained out" in text
+        assert "2 deferred for auto-retry" in text
+        assert "3 shard(s) recovered" in text
+        # The legacy snapshot (no churn fields) stays renderable.
+        legacy = render_status(self.SNAPSHOT)
+        assert "drained out" not in legacy
+        assert "auto-retry" not in legacy
+
     def test_status_cli_renders_and_exits_zero(self, capsys):
         server = _serve_snapshot(self.SNAPSHOT)
         try:

@@ -171,6 +171,37 @@ class TestGridCoverage:
             merge([sweep_store, other], tmp_path / "merged.jsonl")
         assert summarize(sweep_store).grid != summarize(other).grid
 
+    def test_healed_quarantine_marker_reported_resolved(self, sweep_store):
+        """A quarantine marker whose cell later completed (the auto-retry
+        pass, or a targeted re-run) is reported as healed — not listed
+        as quarantined, and never double-counted against coverage."""
+        key = (2, 0.5, "Naive")
+        with ShardStore(sweep_store) as store:
+            store.append_quarantine(key)
+        summary = summarize(sweep_store)
+        assert summary.quarantined == []  # the completed cell resolves it
+        assert summary.healed == [key]
+        assert summary.cells_done == summary.cells_total == 4  # no double count
+        text = render_summary(summary)
+        assert "healed   1 shard(s) resolved" in text
+        assert "progress 4/4 cells done (100.0%)" in text
+        assert "quarantine " not in text
+
+    def test_unresolved_marker_still_listed_quarantined(self, sweep_store):
+        """A marker with no completed record of its key stays in the
+        awaiting-re-run list and is not claimed healed."""
+        lines = sweep_store.read_text().splitlines()
+        sweep_store.write_text("\n".join(lines[:3]) + "\n")  # drop 2 cells
+        missing = (2, 1.0, "HARP-U")
+        with ShardStore(sweep_store) as store:
+            store.append_quarantine(missing)
+        summary = summarize(sweep_store)
+        assert summary.quarantined == [missing]
+        assert summary.healed == []
+        text = render_summary(summary)
+        assert "awaiting a targeted" in text
+        assert "healed" not in text
+
     def test_headerless_store_has_no_coverage(self, sweep_store):
         lines = sweep_store.read_text().splitlines()
         sweep_store.write_text("\n".join(lines[1:]) + "\n")
