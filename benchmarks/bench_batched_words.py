@@ -1,0 +1,160 @@
+"""Bench: cell-batched simulation kernel vs the per-word scalar path.
+
+Times the non-adaptive Fig 6 grid (default ``SweepConfig`` scale, the
+three profilers the batched kernel dispatches) through
+:func:`simulate_words_batched` against the per-word
+:func:`simulate_word` reference, asserts bit identity of every trace,
+and pins the speedup floor recorded in
+``benchmarks/results/BENCH_batched.json``.
+
+Modes:
+
+- full (default): measures the complete 48-cell grid and **rewrites**
+  ``BENCH_batched.json`` with the observed numbers (keeping the pinned
+  floor), so the repo's perf trajectory stays machine-readable.
+- smoke (``REPRO_BENCH_SMOKE=1``): measures a reduced 12-cell slice of
+  the same grid and only asserts the committed floor — the CI
+  perf-regression gate.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.analysis.memo import clear_analysis_caches
+from repro.experiments import runner as engine
+from repro.experiments.config import SweepConfig
+from repro.memory.error_model import WordErrorProfile
+from repro.profiling import PROFILER_REGISTRY
+from repro.profiling.runner import simulate_word, simulate_words_batched
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_batched.json"
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+NON_ADAPTIVE = ("Naive", "HARP-U", "HARP-A")
+FULL_GRID = SweepConfig(profilers=NON_ADAPTIVE)
+SMOKE_GRID = SweepConfig(
+    profilers=NON_ADAPTIVE, error_counts=(2, 5), probabilities=(0.5, 1.0)
+)
+GRID = SMOKE_GRID if SMOKE else FULL_GRID
+#: Best-of repetitions; CPU time is compared, so scheduler noise mostly
+#: cancels, but the floor assertion still wants the minimum.
+REPS = 5
+
+
+def _cells(config: SweepConfig):
+    for error_count in config.error_counts:
+        words = engine._words_for(config, error_count)
+        for probability in config.probabilities:
+            for name in config.profilers:
+                yield PROFILER_REGISTRY[name], words, probability, error_count
+
+
+def _scalar_grid(config: SweepConfig):
+    runs = []
+    for cls, words, probability, _error_count in _cells(config):
+        for ctx in words:
+            profile = WordErrorProfile(
+                ctx.positions, tuple(probability for _ in ctx.positions)
+            )
+            runs.append(
+                simulate_word(
+                    cls(ctx.code, seed=ctx.word_seed),
+                    profile,
+                    config.num_rounds,
+                    ctx.word_seed,
+                    artifacts=engine._artifacts_for(ctx, config),
+                )
+            )
+    return runs
+
+
+def _batched_grid(config: SweepConfig):
+    runs = []
+    for cls, words, probability, error_count in _cells(config):
+        profiles = [
+            WordErrorProfile(ctx.positions, tuple(probability for _ in ctx.positions))
+            for ctx in words
+        ]
+        profilers = [cls(ctx.code, seed=ctx.word_seed) for ctx in words]
+        runs.extend(
+            simulate_words_batched(
+                profilers,
+                profiles,
+                config.num_rounds,
+                [ctx.word_seed for ctx in words],
+                batch_artifacts=engine._batch_stacks_for(config, error_count),
+            )
+        )
+    return runs
+
+
+def _best_of(run, reps: int = REPS):
+    best, result = None, None
+    for _ in range(reps):
+        clear_analysis_caches()
+        run()  # warm the decode memos outside the timed region
+        start = time.process_time()
+        result = run()
+        elapsed = time.process_time() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _load_floor() -> float:
+    if BASELINE_PATH.exists():
+        return float(json.loads(BASELINE_PATH.read_text())["floor"])
+    return 3.0
+
+
+def test_batched_kernel_speedup_floor():
+    engine.clear_engine_caches()
+    scalar_seconds, scalar_runs = _best_of(lambda: _scalar_grid(GRID))
+    batched_seconds, batched_runs = _best_of(lambda: _batched_grid(GRID))
+
+    # Bit identity over the whole grid, word for word.
+    assert len(scalar_runs) == len(batched_runs)
+    for reference, candidate in zip(scalar_runs, batched_runs):
+        assert reference.identified_per_round == candidate.identified_per_round
+        assert reference.observed_per_round == candidate.observed_per_round
+        assert reference.failures_per_round == candidate.failures_per_round
+
+    speedup = scalar_seconds / batched_seconds
+    floor = _load_floor()
+    summary = (
+        f"batched kernel: scalar {scalar_seconds:.3f}s CPU, "
+        f"batched {batched_seconds:.3f}s CPU, {speedup:.2f}x "
+        f"({'smoke' if SMOKE else 'full'} grid, floor {floor:.1f}x)"
+    )
+    print(f"\n{summary}")
+
+    assert speedup >= floor, summary
+
+    if not SMOKE:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "bench": "bench_batched_words",
+                    "floor": floor,
+                    "speedup": round(speedup, 2),
+                    "scalar_cpu_s": round(scalar_seconds, 3),
+                    "batched_cpu_s": round(batched_seconds, 3),
+                    "grid": {
+                        "num_codes": GRID.num_codes,
+                        "words_per_code": GRID.words_per_code,
+                        "num_rounds": GRID.num_rounds,
+                        "error_counts": list(GRID.error_counts),
+                        "probabilities": list(GRID.probabilities),
+                        "profilers": list(GRID.profilers),
+                    },
+                    "reps": REPS,
+                    "timing": "best-of CPU (time.process_time)",
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"[baseline saved to {BASELINE_PATH}]")

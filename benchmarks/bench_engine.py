@@ -348,6 +348,87 @@ def test_metrics_reduction_batched_speedup(metrics_cell, sweep_scaling):
     assert speedup >= 1.2, f"batched metrics reduction {speedup:.2f}x < 1.2x over loop"
 
 
+def test_simulate_words_batched_speedup(sweep_scaling):
+    """The cell-batched kernel must be bit-identical and beat the loop.
+
+    A compact non-adaptive cell set (one code, three profilers, 48
+    words x 128 rounds); the authoritative Fig 6-grid floor lives in
+    ``bench_batched_words.py`` — this entry just lands the kernel in the
+    ``sweep_scaling`` trajectory next to its engine siblings.
+    """
+    from repro.profiling.runner import WordArtifacts, simulate_words_batched
+
+    rng = np.random.default_rng(2021)
+    code = random_sec_code(64, rng)
+    words = [
+        (sample_word_profile(code, 4, 0.5, rng), trial) for trial in range(48)
+    ]
+    # Precompute the schedule encodings once, like the sweep engine does:
+    # the kernels should be compared on simulation, not RNG re-derivation.
+    artifacts = []
+    for profile, seed in words:
+        probe = PROFILER_REGISTRY["Naive"](code, seed=seed)
+        schedule = np.stack([probe.pattern_for_round(r) for r in range(128)])
+        artifacts.append(
+            WordArtifacts(schedule=schedule, codewords=code.encode(schedule))
+        )
+
+    def scalar_pass():
+        return [
+            simulate_word(
+                PROFILER_REGISTRY[name](code, seed=seed),
+                profile,
+                128,
+                word_seed=seed,
+                artifacts=artifact,
+            )
+            for name in ("Naive", "HARP-U", "HARP-A")
+            for (profile, seed), artifact in zip(words, artifacts)
+        ]
+
+    def batched_pass():
+        runs = []
+        for name in ("Naive", "HARP-U", "HARP-A"):
+            runs.extend(
+                simulate_words_batched(
+                    [PROFILER_REGISTRY[name](code, seed=seed) for _, seed in words],
+                    [profile for profile, _ in words],
+                    128,
+                    [seed for _, seed in words],
+                    artifacts=artifacts,
+                )
+            )
+        return runs
+
+    clear_analysis_caches()
+    reference = scalar_pass()
+    candidate = batched_pass()
+    for ref, got in zip(reference, candidate):
+        assert ref.identified_per_round == got.identified_per_round
+        assert ref.observed_per_round == got.observed_per_round
+        assert ref.failures_per_round == got.failures_per_round
+
+    best_scalar = best_batched = None
+    for _ in range(3):
+        clear_analysis_caches()
+        scalar_pass()  # warm the decode memos outside the timed region
+        started = time.process_time()
+        scalar_pass()
+        elapsed = time.process_time() - started
+        best_scalar = elapsed if best_scalar is None else min(best_scalar, elapsed)
+        clear_analysis_caches()
+        batched_pass()
+        started = time.process_time()
+        batched_pass()
+        elapsed = time.process_time() - started
+        best_batched = elapsed if best_batched is None else min(best_batched, elapsed)
+    sweep_scaling["words-scalar-cpu"] = best_scalar
+    sweep_scaling["words-batched-cpu"] = best_batched
+    assert best_batched < best_scalar, (
+        f"batched kernel {best_batched:.3f}s not faster than scalar {best_scalar:.3f}s"
+    )
+
+
 # ----------------------------------------------------------------------
 # PAPER-preset wall-clock (one grid slice, extrapolated to the full grid)
 # ----------------------------------------------------------------------

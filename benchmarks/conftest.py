@@ -13,6 +13,7 @@ speedup is tracked across the bench trajectory.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -52,6 +53,32 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+def write_scaling_json(
+    results_dir: pathlib.Path,
+    name: str,
+    record: dict[str, float],
+    speedups: dict[str, float],
+) -> None:
+    """Persist a scaling record as JSON beside its ``.txt`` rendition.
+
+    The text files are for humans; the JSON twins give the repo a
+    machine-readable perf trajectory (same timings, same derived
+    speedups) that regression tooling can diff across commits.
+    """
+    path = results_dir / f"{name}.json"
+    path.write_text(
+        json.dumps(
+            {
+                "bench": name,
+                "timings_s": {label: round(value, 3) for label, value in sorted(record.items())},
+                "speedups": {label: round(value, 2) for label, value in speedups.items()},
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
 @pytest.fixture(scope="session")
 def adaptive_scaling(results_dir: pathlib.Path) -> dict[str, float]:
     """Session-wide record of adaptive-path wall-clocks, persisted at teardown.
@@ -67,6 +94,7 @@ def adaptive_scaling(results_dir: pathlib.Path) -> dict[str, float]:
     if not record:
         return
     lines = [f"{label}: {seconds:.3f} s" for label, seconds in sorted(record.items())]
+    speedups: dict[str, float] = {}
     for title, num, den in (
         ("adaptive speedup vs PR1 engine (serial wall-clock)", "pr1-adaptive-serial", "adaptive-serial"),
         ("adaptive speedup vs PR1 engine (serial CPU)", "pr1-adaptive-serial-cpu", "adaptive-serial-cpu"),
@@ -74,9 +102,11 @@ def adaptive_scaling(results_dir: pathlib.Path) -> dict[str, float]:
         ("fig10 parallel speedup vs serial (wall-clock)", "fig10-serial", "fig10-parallel"),
     ):
         if num in record and den in record:
-            lines.append(f"{title}: {record[num] / record[den]:.2f}x")
+            speedups[title] = record[num] / record[den]
+            lines.append(f"{title}: {speedups[title]:.2f}x")
     path = results_dir / "adaptive_scaling.txt"
     path.write_text("\n".join(lines) + "\n")
+    write_scaling_json(results_dir, "adaptive_scaling", record, speedups)
     print(f"\n[adaptive scaling saved to {path}]")
 
 
@@ -97,18 +127,17 @@ def sweep_scaling(results_dir: pathlib.Path) -> dict[str, float]:
         for label, seconds in sorted(record.items())
         if not label.endswith("-estimate")  # derived, rendered below
     ]
-    if "legacy-serial" in record and "engine-serial" in record:
-        ratio = record["legacy-serial"] / record["engine-serial"]
-        lines.append(f"engine speedup vs legacy (serial wall-clock): {ratio:.2f}x")
-    if "legacy-serial-cpu" in record and "engine-serial-cpu" in record:
-        ratio = record["legacy-serial-cpu"] / record["engine-serial-cpu"]
-        lines.append(f"engine speedup vs legacy (serial CPU): {ratio:.2f}x")
-    if "engine-serial" in record and "engine-parallel" in record:
-        ratio = record["engine-serial"] / record["engine-parallel"]
-        lines.append(f"parallel speedup vs engine-serial (wall-clock): {ratio:.2f}x")
-    if "metrics-loop-cpu" in record and "metrics-batched-cpu" in record:
-        ratio = record["metrics-loop-cpu"] / record["metrics-batched-cpu"]
-        lines.append(f"batched metrics reduction speedup vs per-word loop (CPU): {ratio:.2f}x")
+    speedups: dict[str, float] = {}
+    for title, num, den in (
+        ("engine speedup vs legacy (serial wall-clock)", "legacy-serial", "engine-serial"),
+        ("engine speedup vs legacy (serial CPU)", "legacy-serial-cpu", "engine-serial-cpu"),
+        ("parallel speedup vs engine-serial (wall-clock)", "engine-serial", "engine-parallel"),
+        ("batched metrics reduction speedup vs per-word loop (CPU)", "metrics-loop-cpu", "metrics-batched-cpu"),
+        ("batched word kernel speedup vs scalar (CPU)", "words-scalar-cpu", "words-batched-cpu"),
+    ):
+        if num in record and den in record:
+            speedups[title] = record[num] / record[den]
+            lines.append(f"{title}: {speedups[title]:.2f}x")
     if "paper-grid-estimate" in record:
         from repro.experiments.config import PAPER
 
@@ -124,6 +153,7 @@ def sweep_scaling(results_dir: pathlib.Path) -> dict[str, float]:
         )
     path = results_dir / "sweep_scaling.txt"
     path.write_text("\n".join(lines) + "\n")
+    write_scaling_json(results_dir, "sweep_scaling", record, speedups)
     print(f"\n[sweep scaling saved to {path}]")
 
 
@@ -143,6 +173,7 @@ def kernel_scaling(results_dir: pathlib.Path) -> dict[str, float]:
     if not record:
         return
     lines = [f"{label}: {seconds:.3f} s" for label, seconds in sorted(record.items())]
+    speedups: dict[str, float] = {}
     for title, num, den in (
         ("packed eliminate speedup vs unpacked (CPU)", "eliminate-unpacked-cpu", "eliminate-packed-cpu"),
         ("packed solve speedup vs unpacked (CPU)", "solve-unpacked-cpu", "solve-packed-cpu"),
@@ -150,9 +181,11 @@ def kernel_scaling(results_dir: pathlib.Path) -> dict[str, float]:
         ("shared-cache pool speedup vs serial sweep (wall-clock)", "sweep-serial", "sweep-shared-pool"),
     ):
         if num in record and den in record:
-            lines.append(f"{title}: {record[num] / record[den]:.2f}x")
+            speedups[title] = record[num] / record[den]
+            lines.append(f"{title}: {speedups[title]:.2f}x")
     path = results_dir / "kernel_scaling.txt"
     path.write_text("\n".join(lines) + "\n")
+    write_scaling_json(results_dir, "kernel_scaling", record, speedups)
     print(f"\n[kernel scaling saved to {path}]")
 
 

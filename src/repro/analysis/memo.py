@@ -75,6 +75,7 @@ __all__ = [
     "indirect_prediction_cache",
     "crafted_pattern_cache",
     "beep_expansion_cache",
+    "mismatch_consequence_cache",
     "cached_ground_truth",
     "cached_predict_indirect",
     "cached_crafted_assignment",
@@ -149,6 +150,79 @@ class Memo:
             self._store.popitem(last=False)
         return value
 
+    def peek(self, key: Hashable, default: T | None = None) -> T | None:
+        """The cached value for ``key`` without computing anything on a miss.
+
+        Consults the shared overlay like :meth:`get` (a resolved overlay
+        entry lands in the local store and counts as a shared hit); an
+        absent key returns ``default`` and leaves the statistics alone,
+        so batch producers can probe-then-:meth:`insert` without
+        double-counting misses.
+        """
+        value = self._store.get(key, shared_memo.MISS)
+        if value is not shared_memo.MISS:
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return value  # type: ignore[return-value]
+        value = shared_memo.overlay_lookup(key)
+        if value is shared_memo.MISS:
+            return default
+        self.stats.shared_hits += 1
+        self._store[key] = value
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return value  # type: ignore[return-value]
+
+    def peek_many(self, keys: list) -> list:
+        """:meth:`peek` over a key batch in one call.
+
+        Returns one entry per key — the cached value or ``None`` — with
+        the same statistics accounting as per-key :meth:`peek` (local
+        hits, overlay resolutions as shared hits, absences untouched).
+        The batched simulation kernel probes every distinct pattern of a
+        cell through this path, so the per-call overhead of ``peek``
+        matters at the ~10^3-keys-per-cell scale.
+        """
+        store = self._store
+        move_to_end = store.move_to_end
+        miss = shared_memo.MISS
+        out: list = []
+        append = out.append
+        hits = 0
+        for key in keys:
+            value = store.get(key, miss)
+            if value is not miss:
+                move_to_end(key)
+                hits += 1
+                append(value)
+                continue
+            value = shared_memo.overlay_lookup(key)
+            if value is miss:
+                append(None)
+                continue
+            self.stats.shared_hits += 1
+            store[key] = value
+            if len(store) > self.max_entries:
+                store.popitem(last=False)
+            append(value)
+        self.stats.hits += hits
+        return out
+
+    def insert(self, key: Hashable, value: T) -> T:
+        """Insert a value computed outside the memo (counts as one miss).
+
+        The batched simulation kernel resolves whole groups of keys in
+        one vectorized pass instead of calling :meth:`get` per key; each
+        insert still increments ``stats.misses`` exactly once, so the
+        exactly-once accounting the tests pin keeps its meaning.
+        """
+        self.stats.misses += 1
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return value
+
     def clear(self) -> None:
         self._store.clear()
         self.stats.reset()
@@ -174,6 +248,14 @@ indirect_prediction_cache = Memo(max_entries=8192)
 crafted_pattern_cache = Memo(max_entries=131072)
 #: Per-(code, target) aliasing-pair tables for BEEP hypothesis expansion.
 beep_expansion_cache = Memo(max_entries=8192)
+#: Decode consequences of one (code, read mode, failure pattern): the
+#: mismatch set a profiler observes when that pattern fails.  Promoted
+#: out of ``simulate_word``'s per-run dict so repeated cells on the same
+#: code — every (probability, profiler) cell re-simulates the same words
+#: — share resolved patterns across runs and shared-memory workers.  A
+#: paper-scale cell sees tens of thousands of distinct patterns per
+#: code; the bound must hold a sweep's working set or the LRU thrashes.
+mismatch_consequence_cache = Memo(max_entries=131072)
 
 
 def cached_ground_truth(
@@ -306,6 +388,45 @@ class CodeAnalysisCaches:
         """
         return self.crafted_epoch(anchors).assignment(pair)
 
+    def decode_consequences(
+        self,
+        mode: str,
+        failed: tuple[int, ...],
+        compute: Callable[[], frozenset[int]],
+    ) -> frozenset[int]:
+        """Memoized mismatch set of one (read mode, failure pattern).
+
+        The pattern's decode consequence is pure in (parity-check matrix,
+        read mode, failed positions): bypass reads observe the failed
+        data positions verbatim, normal reads observe the post-correction
+        data errors.  ``compute`` supplies the mode-appropriate resolver
+        (the caches stay import-free of the profiling layer); the scalar
+        ``simulate_word`` keeps a per-run dict in front of this shared
+        tier, so the memo is consulted once per distinct pattern per run.
+        """
+        return mismatch_consequence_cache.get(("mis", self._key, mode, failed), compute)
+
+    def peek_decode_consequences(
+        self, mode: str, failed: tuple[int, ...]
+    ) -> frozenset[int] | None:
+        """The cached mismatch set for one pattern, or ``None`` if absent."""
+        return mismatch_consequence_cache.peek(("mis", self._key, mode, failed))
+
+    def peek_decode_consequences_many(
+        self, mode: str, patterns: list[tuple[int, ...]]
+    ) -> list[frozenset[int] | None]:
+        """Bulk :meth:`peek_decode_consequences` over a pattern batch."""
+        key = self._key
+        return mismatch_consequence_cache.peek_many(
+            [("mis", key, mode, failed) for failed in patterns]
+        )
+
+    def insert_decode_consequences(
+        self, mode: str, failed: tuple[int, ...], mismatches: frozenset[int]
+    ) -> frozenset[int]:
+        """Share a mismatch set resolved by a batched producer."""
+        return mismatch_consequence_cache.insert(("mis", self._key, mode, failed), mismatches)
+
     def aliasing_pairs(self, target: int) -> tuple[tuple[int, int], ...]:
         """Memoized :func:`repro.ecc.code_analysis.aliasing_pairs_for_target`.
 
@@ -353,4 +474,5 @@ def clear_analysis_caches() -> None:
     indirect_prediction_cache.clear()
     crafted_pattern_cache.clear()
     beep_expansion_cache.clear()
+    mismatch_consequence_cache.clear()
     _code_caches_registry.clear()

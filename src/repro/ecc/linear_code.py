@@ -235,6 +235,22 @@ class SystematicCode:
             detected_uncorrectable=False,
         )
 
+    def syndrome_ints_batch(self, codewords: np.ndarray) -> np.ndarray:
+        """Syndrome integers of a ``(batch, n)`` array in one GF(2) product.
+
+        The multi-RHS product goes through the :mod:`repro.ecc.gf2`
+        facade, so a large enough batch rides the packed ``gf2w.matmul``
+        popcount kernel; the bit-rows then pack into the same integers
+        :meth:`syndrome_int` produces (LSB = syndrome row 0), ready for
+        :meth:`correction_for_syndrome` lookups.
+        """
+        arr = np.asarray(codewords, dtype=np.uint8)
+        if arr.ndim != 2 or arr.shape[1] != self.n:
+            raise ValueError(f"expected shape (batch, {self.n}), got {arr.shape}")
+        syndromes = gf2.matmul(arr, self.parity_check_matrix.T)
+        weights = 1 << np.arange(self.p, dtype=np.int64)
+        return syndromes.astype(np.int64) @ weights
+
     def decode_batch(self, codewords: np.ndarray) -> np.ndarray:
         """Decode a ``(batch, n)`` array, returning ``(batch, k)`` datawords.
 
@@ -244,9 +260,7 @@ class SystematicCode:
         arr = np.asarray(codewords, dtype=np.uint8)
         if arr.ndim != 2 or arr.shape[1] != self.n:
             raise ValueError(f"expected shape (batch, {self.n}), got {arr.shape}")
-        syndromes = gf2.matmul(arr, self.parity_check_matrix.T)
-        weights = 1 << np.arange(self.p, dtype=np.int64)
-        syndrome_ints = syndromes.astype(np.int64) @ weights
+        syndrome_ints = self.syndrome_ints_batch(arr)
         corrected = arr.copy()
         for row in np.flatnonzero(syndrome_ints):
             pattern = self._syndrome_table.get(int(syndrome_ints[row]))

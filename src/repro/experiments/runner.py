@@ -92,10 +92,13 @@ from repro.memory.error_model import WordErrorProfile, sample_word_profile
 from repro.memory.patterns import make_pattern, pattern_is_seeded
 from repro.profiling import PROFILER_REGISTRY
 from repro.profiling.runner import (
+    BatchedWordArtifacts,
     WordArtifacts,
     WordRunResult,
+    batched_kernel_enabled,
     clear_charge_mask_cache,
     simulate_word,
+    simulate_words_batched,
 )
 from repro.utils.rng import derive_rng, derive_seed
 
@@ -461,6 +464,80 @@ def _draws_for(word_seed: int, num_rounds: int, count: int) -> Any:
     return _readonly(rng.random((num_rounds, count)))
 
 
+def _build_batch_stacks(config, error_count: int) -> BatchedWordArtifacts | None:
+    """Stack one error count's batched-kernel inputs (uncached core).
+
+    Encodes every code's schedules in one ``(words x rounds, k)`` GF(2)
+    product and lays the results out as dense ``(words, rounds, ...)``
+    arrays, so each (probability, profiler) cell of the error count
+    slices zero-copy views instead of restacking per-word artifacts.
+    Returns ``None`` for a non-uniform word population (mixed codeword
+    length or at-risk count) — the batched kernel then stacks per group
+    from the per-word artifacts, and the scalar path is unaffected.
+    """
+    words = _words_for(config, error_count)
+    if not words:
+        return None
+    n = words[0].code.n
+    at_risk = len(words[0].positions)
+    if not at_risk or any(
+        ctx.code.n != n or len(ctx.positions) != at_risk for ctx in words
+    ):
+        return None
+    num_rounds = config.num_rounds
+    codewords = np.empty((len(words), num_rounds, n), dtype=np.uint8)
+    draws = np.empty((len(words), num_rounds, at_risk), dtype=np.float64)
+    positions = np.empty((len(words), at_risk), dtype=np.intp)
+    by_code: dict[int, tuple[SystematicCode, list[int]]] = {}
+    for index, ctx in enumerate(words):
+        draws[index] = _draws_for(ctx.word_seed, num_rounds, at_risk)
+        positions[index] = ctx.positions
+        entry = by_code.get(id(ctx.code))
+        if entry is None:
+            entry = by_code[id(ctx.code)] = (ctx.code, [])
+        entry[1].append(index)
+    for code, indices in by_code.values():
+        schedules = [
+            _schedule_for(
+                config.pattern,
+                words[i].word_seed if pattern_is_seeded(config.pattern) else 0,
+                code.k,
+                num_rounds,
+            )
+            for i in indices
+        ]
+        encoded = code.encode(np.concatenate(schedules, axis=0))
+        codewords[indices] = encoded.reshape(len(indices), num_rounds, n)
+    return BatchedWordArtifacts(
+        codewords=_readonly(codewords),
+        draws=_readonly(draws),
+        positions=_readonly(positions),
+    )
+
+
+@lru_cache(maxsize=64)
+def _batch_stacks_for(config, error_count: int) -> BatchedWordArtifacts | None:
+    """Pre-stacked batched-kernel inputs of one error count.
+
+    Cached per process and shared by every (probability, profiler) cell
+    of the error count; a shared-cache worker assembles the container
+    from the parent's published zero-copy array views instead of
+    restacking (the largest arrays of the overlay, published once per
+    sweep under ``("bstack", ...)`` keys).
+    """
+    stacked_codewords = shared_memo.overlay_lookup(("bstack", config, error_count, "codewords"))
+    if stacked_codewords is not shared_memo.MISS:
+        stacked_draws = shared_memo.overlay_lookup(("bstack", config, error_count, "draws"))
+        stacked_positions = shared_memo.overlay_lookup(("bstack", config, error_count, "positions"))
+        if stacked_draws is not shared_memo.MISS and stacked_positions is not shared_memo.MISS:
+            return BatchedWordArtifacts(
+                codewords=stacked_codewords,
+                draws=stacked_draws,
+                positions=stacked_positions,
+            )
+    return _build_batch_stacks(config, error_count)
+
+
 def _artifacts_for(ctx: _WordContext, config) -> WordArtifacts:
     """Assemble the per-word precomputed inputs for ``simulate_word``.
 
@@ -489,6 +566,7 @@ def clear_engine_caches() -> None:
     _schedule_for.cache_clear()
     _encoded_schedule_for.cache_clear()
     _draws_for.cache_clear()
+    _batch_stacks_for.cache_clear()
     clear_charge_mask_cache()
 
 
@@ -543,29 +621,66 @@ def run_shard(shard: SweepShard) -> tuple[SweepCell, float]:
 
     Words simulate and reduce in :data:`_METRICS_BATCH`-sized groups so a
     worker's peak memory holds one group's traces, not the whole cell's.
+    Non-adaptive cells whose profiler declares the ``observe_many``
+    contract dispatch each group to the cell-batched kernel
+    (:func:`~repro.profiling.runner.simulate_words_batched`) over
+    zero-copy slices of the error count's pre-stacked inputs; adaptive
+    cells — and runs forced scalar via ``REPRO_SIM_KERNEL=scalar`` —
+    take the per-word reference path.  Both are bit-identical.
     """
     started = time.perf_counter()
     config = shard.config
     words = _words_for(config, shard.error_count)
     profiler_cls = PROFILER_REGISTRY[shard.profiler]
+    use_batched = (
+        not profiler_cls.adaptive and profiler_cls.batched and batched_kernel_enabled()
+    )
+    stacks = _batch_stacks_for(config, shard.error_count) if use_batched else None
     metrics: list[WordMetrics] = []
     for start in range(0, len(words), _METRICS_BATCH):
         group = words[start : start + _METRICS_BATCH]
-        runs: list[WordRunResult] = []
-        for ctx in group:
-            profile = WordErrorProfile(
-                ctx.positions, tuple(shard.probability for _ in ctx.positions)
-            )
-            profiler = profiler_cls(ctx.code, seed=ctx.word_seed, pattern=config.pattern)
-            runs.append(
-                simulate_word(
-                    profiler,
-                    profile,
-                    config.num_rounds,
-                    ctx.word_seed,
-                    artifacts=_artifacts_for(ctx, config),
+        profiles = [
+            WordErrorProfile(ctx.positions, tuple(shard.probability for _ in ctx.positions))
+            for ctx in group
+        ]
+        if use_batched:
+            profilers = [
+                profiler_cls(ctx.code, seed=ctx.word_seed, pattern=config.pattern)
+                for ctx in group
+            ]
+            group_stacks = None
+            if stacks is not None:
+                stop = start + len(group)
+                group_stacks = BatchedWordArtifacts(
+                    codewords=stacks.codewords[start:stop],
+                    draws=stacks.draws[start:stop],
+                    positions=stacks.positions[start:stop],
                 )
+            runs = simulate_words_batched(
+                profilers,
+                profiles,
+                config.num_rounds,
+                [ctx.word_seed for ctx in group],
+                artifacts=(
+                    None
+                    if group_stacks is not None
+                    else [_artifacts_for(ctx, config) for ctx in group]
+                ),
+                batch_artifacts=group_stacks,
             )
+        else:
+            runs = []
+            for ctx, profile in zip(group, profiles):
+                profiler = profiler_cls(ctx.code, seed=ctx.word_seed, pattern=config.pattern)
+                runs.append(
+                    simulate_word(
+                        profiler,
+                        profile,
+                        config.num_rounds,
+                        ctx.word_seed,
+                        artifacts=_artifacts_for(ctx, config),
+                    )
+                )
         metrics.extend(
             metrics_for_words(runs, [ctx.ground_truth for ctx in group], config.num_rounds)
         )

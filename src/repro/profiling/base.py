@@ -52,6 +52,17 @@ class Profiler(ABC):
     #: Whether pattern choice depends on past observations.  Non-adaptive
     #: profilers can be simulated on the vectorized fast path.
     adaptive: bool = False
+    #: Whether :meth:`observe_many` faithfully replays this profiler's
+    #: :meth:`observe` semantics from distinct mismatch events alone.
+    #: Declaring ``batched = True`` vouches for three properties the
+    #: cell-batched kernel relies on: (1) the profiler's state after
+    #: round ``r`` depends only on the *union* of the mismatch sets seen
+    #: up to ``r`` (so repeated sets collapse to their first occurrence),
+    #: (2) :meth:`read_mode_for` is round-independent, and (3) ``observe``
+    #: ignores the ``written`` dataword.  Subclasses that break any of
+    #: these must leave it ``False`` (the kernel then refuses them) or
+    #: override :meth:`observe_many` accordingly, as the oracle does.
+    batched: bool = False
 
     def __init__(self, code: SystematicCode, seed: int, pattern: str = "random") -> None:
         self.code = code
@@ -94,6 +105,38 @@ class Profiler(ABC):
         mismatches: frozenset[int],
     ) -> None:
         """Record the mismatching data positions of this round's read-back."""
+
+    def observe_many(
+        self, events: list[tuple[int, frozenset[int]]]
+    ) -> list[tuple[int, frozenset[int], frozenset[int]]]:
+        """Consume a whole run's distinct mismatch events in one call.
+
+        ``events`` holds one ``(first_round, mismatches)`` pair per
+        distinct mismatch set of the run, ascending by round — the
+        batched kernel's compressed replay of calling :meth:`observe`
+        every round.  Returns the change points of the identification
+        state as ``(round, identified, identified_observed)`` triples:
+        the cumulative sets are materialized to frozensets only at those
+        boundaries, never per round.  The default implementation covers
+        plain accumulate semantics (``observe`` unions mismatches into
+        the observed set); subclasses with extra per-observation state
+        override it (see :class:`~repro.profiling.harp.HarpAProfiler`)
+        and vouch for the replay with the :attr:`batched` flag.
+        """
+        changes: list[tuple[int, frozenset[int], frozenset[int]]] = []
+        observed = self._observed
+        for round_index, mismatches in events:
+            before = len(observed)
+            observed.update(mismatches)
+            if len(observed) != before:
+                # One snapshot per change point: for accumulate semantics
+                # ``identified_observed`` is exactly frozenset(_observed)
+                # and ``identified`` only adds the prediction channel.
+                snapshot = frozenset(observed)
+                predicted = self.identified_predicted
+                identified = snapshot | predicted if predicted else snapshot
+                changes.append((round_index, identified, snapshot))
+        return changes
 
     # ------------------------------------------------------------------
     # Identification state

@@ -29,6 +29,9 @@ class HarpUProfiler(Profiler):
 
     name = "HARP-U"
     adaptive = False
+    #: Bypass reads accumulate raw mismatches — the base ``observe_many``
+    #: replay is exact, and ``read_mode_for`` is round-independent.
+    batched = True
 
     def read_mode_for(self, round_index: int) -> str:
         return ReadMode.BYPASS
@@ -66,6 +69,28 @@ class HarpAProfiler(HarpUProfiler):
             # (the same (code, observed set) recurs across probability
             # levels and words).
             self._predicted = cached_predict_indirect(self.code, self._observed)
+
+    def observe_many(
+        self, events: list[tuple[int, frozenset[int]]]
+    ) -> list[tuple[int, frozenset[int], frozenset[int]]]:
+        """Batched replay: refresh the prediction at each growth event.
+
+        The observed set after any round is the union of the distinct
+        mismatch sets seen so far, and ``_predicted`` is a pure function
+        of that union — so replaying only the distinct events visits
+        exactly the same (observed, predicted) states, at the same
+        rounds, as the per-round ``observe`` loop.
+        """
+        changes: list[tuple[int, frozenset[int], frozenset[int]]] = []
+        observed = self._observed
+        for round_index, mismatches in events:
+            before = len(observed)
+            observed.update(mismatches)
+            if len(observed) != before:
+                snapshot = frozenset(observed)
+                self._predicted = cached_predict_indirect(self.code, observed)
+                changes.append((round_index, snapshot | self._predicted, snapshot))
+        return changes
 
     @property
     def identified_predicted(self) -> frozenset[int]:

@@ -23,6 +23,9 @@ class NaiveProfiler(Profiler):
 
     name = "Naive"
     adaptive = False
+    #: Pure accumulate semantics: the base ``observe_many`` replays
+    #: ``observe`` exactly, so whole cells batch through the kernel.
+    batched = True
 
     def observe(
         self,

@@ -24,6 +24,7 @@ class OracleProfiler(Profiler):
 
     name = "Oracle"
     adaptive = False
+    batched = True
 
     def __init__(
         self,
@@ -48,3 +49,20 @@ class OracleProfiler(Profiler):
             self._revealed = True
             self._observed.update(self._truth.post_correction_at_risk)
             self._observed.update(self._truth.direct_at_risk)
+
+    def observe_many(
+        self, events: list[tuple[int, frozenset[int]]]
+    ) -> list[tuple[int, frozenset[int], frozenset[int]]]:
+        """The oracle reveals on its first observation — always round 0.
+
+        The scalar harness calls ``observe`` every round (including
+        rounds without failures), so the reveal lands at round 0
+        regardless of ``events`` — which may be empty for a word with
+        no at-risk bits.
+        """
+        if self._revealed:
+            return []
+        self._revealed = True
+        self._observed.update(self._truth.post_correction_at_risk)
+        self._observed.update(self._truth.direct_at_risk)
+        return [(0, self.identified, self.identified_observed)]

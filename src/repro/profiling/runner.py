@@ -35,10 +35,13 @@ and ``tests/test_adaptive_caches.py`` pin that.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.memo import code_caches
 from repro.ecc.linear_code import SystematicCode
 from repro.memory.cells import CellOrientation
 from repro.memory.error_model import WordErrorProfile, check_profile_positions
@@ -46,12 +49,44 @@ from repro.profiling.base import Profiler, ReadMode
 from repro.utils.rng import derive_rng
 
 __all__ = [
+    "BatchedWordArtifacts",
     "WordArtifacts",
     "WordRunResult",
     "simulate_word",
+    "simulate_words_batched",
     "post_correction_data_errors",
+    "post_correction_data_errors_batch",
+    "batched_kernel_enabled",
     "clear_charge_mask_cache",
 ]
+
+
+#: Environment knob selecting the engine's simulation kernel: ``auto``
+#: (default) dispatches non-adaptive cells to the cell-batched
+#: :func:`simulate_words_batched`, ``scalar`` forces the per-word
+#: reference path everywhere.  Both produce bit-identical results; the
+#: knob exists for benchmarking and as an escape hatch.
+#: Interned (word positions, failure bitmask) -> failed-positions tuple.
+#: Value-only cache (no invalidation hazard); the cap bounds pathological
+#: sweeps, normal grids hold a few thousand entries.
+_PATTERN_TUPLES: dict[tuple, tuple[int, ...]] = {}
+_PATTERN_TUPLES_MAX = 1 << 20
+
+_KERNEL_ENV = "REPRO_SIM_KERNEL"
+_KERNEL_MODES = ("auto", "scalar")
+
+
+def batched_kernel_enabled() -> bool:
+    """Whether the sweep engine may dispatch cells to the batched kernel.
+
+    Reads ``REPRO_SIM_KERNEL`` on every call (mirroring the
+    ``REPRO_GF2_TIER`` dispatch) so tests and operators can flip the
+    kernel without reloading modules.
+    """
+    value = os.environ.get(_KERNEL_ENV, "auto").strip().lower() or "auto"
+    if value not in _KERNEL_MODES:
+        raise ValueError(f"{_KERNEL_ENV} must be one of {_KERNEL_MODES}, got {value!r}")
+    return value == "auto"
 
 
 #: Cross-run charge-mask cache for adaptive (crafted) patterns: the mask
@@ -93,6 +128,37 @@ def post_correction_data_errors(code: SystematicCode, failed: tuple[int, ...]) -
     return frozenset(p for p in post if p < code.k)
 
 
+def post_correction_data_errors_batch(
+    code: SystematicCode, patterns: Sequence[tuple[int, ...]]
+) -> list[frozenset[int]]:
+    """Batched :func:`post_correction_data_errors` over failure patterns.
+
+    Builds one indicator matrix over all patterns and resolves every
+    syndrome through a single multi-RHS GF(2) product
+    (:meth:`~repro.ecc.linear_code.SystematicCode.syndrome_ints_batch`,
+    which rides the packed ``gf2w`` kernel at scale) instead of
+    per-pattern column XORs.  Bit-identical to mapping the scalar helper.
+    """
+    if not patterns:
+        return []
+    indicators = np.zeros((len(patterns), code.n), dtype=np.uint8)
+    for row, failed in enumerate(patterns):
+        indicators[row, list(failed)] = 1
+    syndrome_ints = code.syndrome_ints_batch(indicators)
+    k = code.k
+    results: list[frozenset[int]] = []
+    for failed, syndrome in zip(patterns, syndrome_ints.tolist()):
+        if not failed:
+            results.append(frozenset())
+            continue
+        correction = code.correction_for_syndrome(syndrome)
+        post = set(failed)
+        if correction:
+            post ^= set(correction)
+        results.append(frozenset(p for p in post if p < k))
+    return results
+
+
 @dataclass
 class WordRunResult:
     """Per-round identification trace of one (profiler, word) simulation.
@@ -126,6 +192,31 @@ def _failure_draws(
     """Pre-drawn uniform variates, shape (num_rounds, at-risk count)."""
     rng = derive_rng(word_seed, "failure-draws")
     return rng.random((num_rounds, profile.count))
+
+
+def _failure_tuples(
+    failed_matrix: np.ndarray, positions: np.ndarray, num_rounds: int
+) -> list[tuple[int, ...]]:
+    """Per-round failed-position tuples from a boolean (rounds, at-risk) mask.
+
+    One ``nonzero`` pass plus splitting on the cumulative row counts
+    replaces the per-element dict loop: ``nonzero`` is row-major, so each
+    row's columns come out ascending (matching the sorted profile
+    positions) and the running counts are exactly the row boundaries.
+    The split slices a single ``tolist`` materialization — cheaper than
+    ``np.split``'s per-piece view construction on dense masks.
+    """
+    failed_by_round: list[tuple[int, ...]] = [()] * num_rounds
+    counts = np.count_nonzero(failed_matrix, axis=1)
+    rows = np.flatnonzero(counts)
+    if rows.size:
+        mapped = positions[np.nonzero(failed_matrix)[1]].tolist()
+        bounds = np.cumsum(counts[rows]).tolist()
+        start = 0
+        for row, stop in zip(rows.tolist(), bounds):
+            failed_by_round[row] = tuple(mapped[start:stop])
+            start = stop
+    return failed_by_round
 
 
 @dataclass(frozen=True)
@@ -240,21 +331,17 @@ def simulate_word(
             codewords = code.encode(written_rounds) if profile.count else None
         if profile.count:
             failed_matrix = charge_of(codewords) & (draws < probabilities)
-            # One nonzero pass replaces per-round mask reductions; nonzero
-            # returns row-major order, so columns stay ascending per round
-            # (matching the sorted profile positions).
-            position_values = profile.positions
-            failed_by_round: list[tuple[int, ...]] = [()] * num_rounds
-            grouped: dict[int, list[int]] = {}
-            for row, col in zip(*(index.tolist() for index in np.nonzero(failed_matrix))):
-                grouped.setdefault(row, []).append(position_values[col])
-            for row, failed_positions in grouped.items():
-                failed_by_round[row] = tuple(failed_positions)
+            failed_by_round = _failure_tuples(failed_matrix, positions, num_rounds)
         else:
             failed_by_round = [()] * num_rounds
 
     # Failure patterns repeat across rounds (always at p=1.0, often below),
-    # and decode consequences are pure in the pattern — memoize per run.
+    # and decode consequences are pure in (code, mode, pattern).  A
+    # per-run dict fronts the shared analysis-layer memo
+    # (CodeAnalysisCaches.decode_consequences), so repeated cells on the
+    # same code — and shared-memory workers — reuse each other's decodes
+    # while the per-round hot path stays a plain dict hit.
+    analysis_caches = code_caches(code)
     mismatch_cache: dict[tuple[str, tuple[int, ...]], frozenset[int]] = {}
     previous_observed_count = -1
     previous_predicted: frozenset[int] | None = None
@@ -316,9 +403,13 @@ def simulate_word(
             if mode == ReadMode.BYPASS:
                 # Raw data bits: mismatches are exactly the failed data
                 # positions.
-                mismatches = frozenset(p for p in failed if p < code.k)
+                mismatches = analysis_caches.decode_consequences(
+                    mode, failed, lambda: frozenset(p for p in failed if p < code.k)
+                )
             else:
-                mismatches = post_correction_data_errors(code, failed)
+                mismatches = analysis_caches.decode_consequences(
+                    mode, failed, lambda: post_correction_data_errors(code, failed)
+                )
             mismatch_cache[key] = mismatches
         profiler.observe(round_index, written, mismatches)
         # Rebuild the cumulative frozensets only when the profiler's state
@@ -340,3 +431,395 @@ def simulate_word(
         observed_per_round=observed_trace,
         failures_per_round=failure_trace,
     )
+
+
+@dataclass(frozen=True)
+class BatchedWordArtifacts:
+    """Pre-stacked batch inputs shared by a whole sweep cell.
+
+    The engine derives these once per (config, error count) — see
+    ``repro.experiments.runner._batch_stacks_for`` — and hands the
+    batched kernel zero-copy slices per word group, so no per-cell
+    restacking happens.  Requires a uniform word population (same
+    codeword length, same at-risk count); like :class:`WordArtifacts`,
+    shapes are validated but contents trusted.
+
+    Attributes:
+        codewords: ``(words, rounds, n)`` standard-schedule encodings.
+        draws: ``(words, rounds, count)`` uniform failure variates.
+        positions: ``(words, count)`` sorted at-risk codeword positions.
+    """
+
+    codewords: np.ndarray | None = None
+    draws: np.ndarray | None = None
+    positions: np.ndarray | None = None
+
+
+def _batched_codewords(
+    profilers: Sequence[Profiler],
+    profiles: Sequence[WordErrorProfile],
+    num_rounds: int,
+    standard: list[bool],
+    artifacts: Sequence[WordArtifacts | None] | None,
+    batch_artifacts: BatchedWordArtifacts | None,
+) -> tuple[list[np.ndarray | None], list[bool]]:
+    """Per-word ``(rounds, n)`` codeword arrays, encoding misses in batch.
+
+    Returns the arrays plus a per-word flag marking rows served straight
+    from ``batch_artifacts`` (a group covering only such rows can use
+    the stacked array itself instead of re-stacking views).  Words with
+    no at-risk bits are skipped — their codewords are never consulted.
+    """
+    count = len(profilers)
+    codewords_list: list[np.ndarray | None] = [None] * count
+    from_stack = [False] * count
+    stacked = batch_artifacts.codewords if batch_artifacts is not None else None
+    to_encode: dict[int, tuple[SystematicCode, list[int], list[np.ndarray]]] = {}
+    for index, (profiler, profile) in enumerate(zip(profilers, profiles)):
+        if not profile.count:
+            continue
+        code = profiler.code
+        if (
+            stacked is not None
+            and standard[index]
+            and stacked.shape == (count, num_rounds, code.n)
+        ):
+            codewords_list[index] = stacked[index]
+            from_stack[index] = True
+            continue
+        word_artifacts = artifacts[index] if artifacts is not None else None
+        schedule = None
+        if (
+            word_artifacts is not None
+            and word_artifacts.schedule is not None
+            and standard[index]
+            and word_artifacts.schedule.shape == (num_rounds, code.k)
+        ):
+            codewords = word_artifacts.codewords
+            if codewords is not None and codewords.shape == (num_rounds, code.n):
+                codewords_list[index] = codewords
+                continue
+            schedule = word_artifacts.schedule
+        if schedule is None:
+            schedule = np.stack(
+                [profiler.pattern_for_round(r) for r in range(num_rounds)]
+            )
+        entry = to_encode.get(id(code))
+        if entry is None:
+            entry = to_encode[id(code)] = (code, [], [])
+        entry[1].append(index)
+        entry[2].append(schedule)
+    # One encode per code over (words x rounds, k): the multi-RHS parity
+    # product rides the packed GF(2) kernel once the batch is large.
+    for code, indices, schedules in to_encode.values():
+        encoded = code.encode(np.concatenate(schedules, axis=0))
+        for position, index in enumerate(indices):
+            codewords_list[index] = encoded[
+                position * num_rounds : (position + 1) * num_rounds
+            ]
+    return codewords_list, from_stack
+
+
+def simulate_words_batched(
+    profilers: Sequence[Profiler],
+    profiles: Sequence[WordErrorProfile],
+    num_rounds: int,
+    word_seeds: Sequence[int],
+    orientation: CellOrientation | None = None,
+    artifacts: Sequence[WordArtifacts | None] | None = None,
+    batch_artifacts: BatchedWordArtifacts | None = None,
+) -> list[WordRunResult]:
+    """Simulate a whole cell of words through one vectorized pass.
+
+    The cell-batched twin of :func:`simulate_word` for non-adaptive
+    profilers that declare :attr:`~repro.profiling.base.Profiler.batched`:
+    schedules encode in one GF(2) product per code, failure draws resolve
+    through a single 3-D charged-mask comparison, the distinct failure
+    patterns of the whole batch decode through one multi-RHS syndrome
+    product per (code, read mode) — shared with every other run through
+    the promoted decode-consequence memo — and each profiler consumes its
+    run as compressed mismatch events
+    (:meth:`~repro.profiling.base.Profiler.observe_many`), so cumulative
+    sets materialize only at trace change points.  Bit-identical to
+    calling :func:`simulate_word` per word, on both GF(2) tiers —
+    property-tested in ``tests/test_batched_kernel.py`` and pinned at
+    >=3x in ``benchmarks/bench_batched_words.py``.
+
+    Args:
+        profilers: one fresh profiler instance per word (same contract as
+            the scalar path: a profiler is consumed by its run).
+        profiles: per-word at-risk profiles.
+        num_rounds: rounds to simulate (same for every word of a cell).
+        word_seeds: per-word failure-draw seeds.
+        orientation: cell orientation shared by the batch (``None`` =
+            all true cells).
+        artifacts: optional per-word precomputed inputs.
+        batch_artifacts: optional pre-stacked cell inputs; takes
+            precedence over ``artifacts`` where present.
+
+    Raises:
+        ValueError: for an adaptive or non-``batched`` profiler, length
+            mismatches, or precomputed arrays of the wrong shape.
+    """
+    count = len(profilers)
+    if len(profiles) != count or len(word_seeds) != count:
+        raise ValueError(
+            f"batch length mismatch: {count} profilers, {len(profiles)} "
+            f"profiles, {len(word_seeds)} word seeds"
+        )
+    if artifacts is not None and len(artifacts) != count:
+        raise ValueError(f"batch length mismatch: {len(artifacts)} artifacts for {count} words")
+    for profiler in profilers:
+        if profiler.adaptive or not profiler.batched:
+            raise ValueError(
+                f"profiler {profiler.name!r} does not support the batched "
+                "kernel (adaptive or batched=False); use simulate_word"
+            )
+    if not count:
+        return []
+    for profiler, profile in zip(profilers, profiles):
+        check_profile_positions(profile, profiler.code.n)
+    if not num_rounds:
+        return [WordRunResult([], [], []) for _ in range(count)]
+
+    batch_draws = batch_artifacts.draws if batch_artifacts is not None else None
+    if batch_draws is not None:
+        for profile in profiles:
+            if batch_draws.shape != (count, num_rounds, profile.count):
+                raise ValueError(
+                    f"precomputed batch draws shape {batch_draws.shape} != "
+                    f"({count}, {num_rounds}, {profile.count})"
+                )
+    batch_positions = batch_artifacts.positions if batch_artifacts is not None else None
+
+    def draws_for(index: int) -> np.ndarray:
+        if batch_draws is not None:
+            return batch_draws[index]
+        word_artifacts = artifacts[index] if artifacts is not None else None
+        if word_artifacts is not None and word_artifacts.draws is not None:
+            if word_artifacts.draws.shape != (num_rounds, profiles[index].count):
+                raise ValueError(
+                    f"precomputed draws shape {word_artifacts.draws.shape} != "
+                    f"({num_rounds}, {profiles[index].count})"
+                )
+            return word_artifacts.draws
+        return _failure_draws(profiles[index], num_rounds, word_seeds[index])
+
+    standard = [
+        type(profiler).pattern_for_round is Profiler.pattern_for_round
+        for profiler in profilers
+    ]
+    codewords_list, from_stack = _batched_codewords(
+        profilers, profiles, num_rounds, standard, artifacts, batch_artifacts
+    )
+
+    # ------------------------------------------------------------------
+    # Batched failure resolution: one 3-D mask comparison per uniform
+    # (at-risk count, codeword length) group, then one nonzero/split
+    # pass turning the whole group's failures into per-round tuples.
+    # ------------------------------------------------------------------
+    failed_by_word: list[list[tuple[int, ...]]] = [[()] * num_rounds for _ in range(count)]
+    first_rounds_per_word: list[dict[tuple[int, ...], int]] = [{} for _ in range(count)]
+    groups: dict[tuple[int, int], list[int]] = {}
+    for index, profile in enumerate(profiles):
+        if profile.count and num_rounds:
+            groups.setdefault((profile.count, profilers[index].code.n), []).append(index)
+    for (at_risk, _n), indices in groups.items():
+        whole_batch = len(indices) == count
+        if whole_batch and all(from_stack):
+            codewords3 = batch_artifacts.codewords
+        else:
+            codewords3 = np.stack([codewords_list[i] for i in indices])
+        if whole_batch and batch_draws is not None:
+            draws3 = batch_draws
+        else:
+            draws3 = np.stack([draws_for(i) for i in indices])
+        if (
+            whole_batch
+            and batch_positions is not None
+            and batch_positions.shape == (count, at_risk)
+        ):
+            positions2 = batch_positions
+        else:
+            positions2 = np.stack(
+                [np.asarray(profiles[i].positions, dtype=np.intp) for i in indices]
+            )
+        probabilities2 = np.stack(
+            [np.asarray(profiles[i].probabilities, dtype=float) for i in indices]
+        )
+        bits = codewords3 if orientation is None else orientation.charged_mask(codewords3)
+        charged = np.take_along_axis(
+            bits, positions2[:, None, :].astype(np.intp), axis=2
+        ).astype(bool)
+        failed = charged & (draws3 < probabilities2[:, None, :])
+        group_size = len(indices)
+        if at_risk + max(group_size - 1, 1).bit_length() <= 62:
+            # Pack each round's failure pattern into an int64 bitmask and
+            # the word's group-local index into the bits above it: one
+            # ``np.unique`` over the whole group finds every distinct
+            # (word, pattern) pair and its first flat index — which is
+            # word-major and round-ascending, exactly the event order the
+            # ``observe_many`` contract needs.  Tuples are then built per
+            # *distinct* pattern, not per nonzero round.
+            weights = np.int64(1) << np.arange(at_risk, dtype=np.int64)
+            masks2 = failed.astype(np.int64) @ weights
+            keys = masks2.ravel() | (
+                np.arange(group_size, dtype=np.int64).repeat(num_rounds) << at_risk
+            )
+            uniq_keys, first_idx = np.unique(keys, return_index=True)
+            order = np.argsort(first_idx)
+            low_bits = (np.int64(1) << at_risk) - 1
+            masks_sorted = (uniq_keys[order] & low_bits).tolist()
+            positions_lists = positions2.tolist()
+            mask_maps: list[dict[int, tuple[int, ...]] | None] = [None] * group_size
+            # The distinct pairs arrive word-major: hoist the per-word
+            # lookups out of the (much longer) per-pattern stream.
+            prev_local = -1
+            positions_key: tuple[int, ...] = ()
+            positions_row: list[int] = []
+            first_rounds: dict = {}
+            mapping = {}
+            intern_get = _PATTERN_TUPLES.get
+            for idx, mask in zip(first_idx[order].tolist(), masks_sorted):
+                if not mask:
+                    continue
+                local = idx // num_rounds
+                if local != prev_local:
+                    prev_local = local
+                    word_index = indices[local]
+                    positions_key = profiles[word_index].positions
+                    positions_row = positions_lists[local]
+                    first_rounds = first_rounds_per_word[word_index]
+                    mapping = mask_maps[local] = {0: ()}
+                # Patterns recur heavily across sweep cells (every
+                # probability level and profiler revisits the same word):
+                # intern (positions, mask) -> tuple so repeats share one
+                # object and skip the rebuild.
+                intern_key = (positions_key, mask)
+                failed_tuple = intern_get(intern_key)
+                if failed_tuple is None:
+                    failed_tuple = tuple(
+                        [pos for bit, pos in enumerate(positions_row) if (mask >> bit) & 1]
+                    )
+                    if len(_PATTERN_TUPLES) >= _PATTERN_TUPLES_MAX:
+                        _PATTERN_TUPLES.clear()
+                    _PATTERN_TUPLES[intern_key] = failed_tuple
+                mapping[mask] = failed_tuple
+                first_rounds[failed_tuple] = (idx % num_rounds, failed_tuple)
+            all_masks = masks2.tolist()
+            for local, word_index in enumerate(indices):
+                mapping = mask_maps[local]
+                if mapping is None:
+                    continue  # no failures: the all-empty default stands
+                failed_by_word[word_index] = [mapping[v] for v in all_masks[local]]
+            continue
+        flat = failed.reshape(len(indices) * num_rounds, at_risk)
+        counts = np.count_nonzero(flat, axis=1)
+        rows = np.flatnonzero(counts)
+        if not rows.size:
+            continue
+        row_counts = counts[rows]
+        words_of_rows = rows // num_rounds
+        mapped = positions2[
+            np.repeat(words_of_rows, row_counts), np.nonzero(flat)[1]
+        ].tolist()
+        bounds = np.cumsum(row_counts).tolist()
+        # nonzero is row-major: rows ascend word-major then round-major,
+        # so each word's first occurrence of a pattern is recorded at its
+        # earliest round and event insertion order is ascending by round.
+        # Slicing one tolist materialization beats np.split's per-piece
+        # view construction; interning repeated tuples through the
+        # first-rounds dict keeps dense (p=1.0) traces to one object.
+        start = 0
+        for row, word, stop in zip(rows.tolist(), words_of_rows.tolist(), bounds):
+            failed_tuple = tuple(mapped[start:stop])
+            start = stop
+            word_index = indices[word]
+            first_rounds = first_rounds_per_word[word_index]
+            interned = first_rounds.get(failed_tuple)
+            if interned is None:
+                first_rounds[failed_tuple] = (row % num_rounds, failed_tuple)
+            else:
+                failed_tuple = interned[1]
+            failed_by_word[word_index][row % num_rounds] = failed_tuple
+
+    # ------------------------------------------------------------------
+    # Batched decode consequences: the distinct (code, mode, pattern)
+    # triples of the whole batch resolve through the shared memo; misses
+    # group per (code, mode) into one multi-RHS syndrome product.
+    # ------------------------------------------------------------------
+    resolved: dict[tuple[int, str, tuple[int, ...]], frozenset[int]] = {}
+    probe_groups: dict[tuple[int, str], tuple] = {}
+    handles: list = [None] * count
+    modes: list[str] = [""] * count
+    for index, profiler in enumerate(profilers):
+        first_rounds = first_rounds_per_word[index]
+        handle = handles[index] = code_caches(profiler.code)
+        # ``batched`` profilers declare a round-independent read mode.
+        mode = modes[index] = profiler.read_mode_for(0)
+        if not first_rounds:
+            continue
+        cache_key = (id(handle), mode)
+        group = probe_groups.get(cache_key)
+        if group is None:
+            group = probe_groups[cache_key] = (handle, profiler.code, {})
+        patterns = group[2]
+        for failed_tuple in first_rounds:
+            patterns[failed_tuple] = None
+    for (handle_id, mode), (handle, code, pattern_set) in probe_groups.items():
+        patterns = list(pattern_set)
+        cached = handle.peek_decode_consequences_many(mode, patterns)
+        misses: list[tuple[int, ...]] = []
+        for failed_tuple, mismatches in zip(patterns, cached):
+            if mismatches is None:
+                misses.append(failed_tuple)
+            else:
+                resolved[(handle_id, mode, failed_tuple)] = mismatches
+        if not misses:
+            continue
+        if mode == ReadMode.BYPASS:
+            k = code.k
+            consequences = [frozenset(p for p in f if p < k) for f in misses]
+        else:
+            consequences = post_correction_data_errors_batch(code, misses)
+        for failed_tuple, mismatches in zip(misses, consequences):
+            handle.insert_decode_consequences(mode, failed_tuple, mismatches)
+            resolved[(handle_id, mode, failed_tuple)] = mismatches
+
+    # ------------------------------------------------------------------
+    # Compressed observation replay + segment-filled trace assembly.
+    # ------------------------------------------------------------------
+    results: list[WordRunResult] = []
+    for index, profiler in enumerate(profilers):
+        handle_id = id(handles[index])
+        mode = modes[index]
+        events = [
+            (round_index, resolved[(handle_id, mode, failed_tuple)])
+            for failed_tuple, (round_index, _) in first_rounds_per_word[index].items()
+        ]
+        changes = profiler.observe_many(events)
+        identified_trace: list[frozenset[int]] = []
+        observed_trace: list[frozenset[int]] = []
+        current_identified: frozenset[int] = frozenset()
+        current_observed: frozenset[int] = frozenset()
+        for round_index, identified, observed in changes:
+            gap = round_index - len(identified_trace)
+            if gap:
+                identified_trace.extend([current_identified] * gap)
+                observed_trace.extend([current_observed] * gap)
+            current_identified = identified
+            current_observed = observed
+            identified_trace.append(identified)
+            observed_trace.append(observed)
+        gap = num_rounds - len(identified_trace)
+        if gap:
+            identified_trace.extend([current_identified] * gap)
+            observed_trace.extend([current_observed] * gap)
+        results.append(
+            WordRunResult(
+                identified_per_round=identified_trace,
+                observed_per_round=observed_trace,
+                failures_per_round=failed_by_word[index],
+            )
+        )
+    return results

@@ -186,4 +186,13 @@ class TestSweepBitIdentity:
     def test_sweep_entries_match_engine_computations(self):
         entries = shared_memo.sweep_entries(self.CONFIG)
         kinds = {key[0] for key in entries}
-        assert kinds == {"swords", "sched", "enc", "draws", "pairs"}
+        assert kinds == {"swords", "sched", "enc", "draws", "pairs", "bstack"}
+        # The published batch stacks are exactly what the engine builds.
+        from repro.experiments.runner import _build_batch_stacks
+
+        for error_count in self.CONFIG.error_counts:
+            stacks = _build_batch_stacks(self.CONFIG, error_count)
+            for part in ("codewords", "draws", "positions"):
+                kind, value = entries[("bstack", self.CONFIG, error_count, part)]
+                assert kind == "array"
+                np.testing.assert_array_equal(value, getattr(stacks, part))
