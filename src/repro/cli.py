@@ -130,6 +130,7 @@ from repro.experiments import (
     fig8,
     fig9,
     fig10,
+    fleet,
     headline,
     table2,
 )
@@ -139,7 +140,15 @@ from repro.experiments.backends import (
     resolve_backend,
     run_worker,
 )
-from repro.experiments.config import BENCH, FULL, PAPER, UNIT, CaseStudyConfig, SweepConfig
+from repro.experiments.config import (
+    BENCH,
+    FULL,
+    PAPER,
+    UNIT,
+    CaseStudyConfig,
+    FleetConfig,
+    SweepConfig,
+)
 from repro.experiments.monitor import quarantine_report
 from repro.experiments.reporting import timing_table
 from repro.experiments.runner import run_sweep
@@ -174,8 +183,30 @@ CASE_SCALES: dict[str, CaseStudyConfig] = {
 }
 
 
+#: Fleet-simulation scales: population sizes chosen so unit stays in
+#: test-suite seconds while paper exercises a >= 10k-chip field study.
+FLEET_SCALES: dict[str, FleetConfig] = {
+    "unit": FleetConfig(
+        num_chips=48, k=16, num_codes=2, num_rounds=16, rows=8, words_per_row=2,
+        chips_per_shard=8, slice_words=4,
+    ),
+    "bench": FleetConfig(num_chips=400, num_rounds=32),
+    "full": FleetConfig(num_chips=4000),
+    "paper": FleetConfig(num_chips=20000),
+}
+
+
 def _sweep_config(args: argparse.Namespace) -> SweepConfig:
     return replace(SCALES[args.scale], seed=args.seed)
+
+
+def _fleet_config(args: argparse.Namespace) -> FleetConfig:
+    overrides: dict = {"seed": args.seed}
+    if args.chips is not None:
+        overrides["num_chips"] = args.chips
+    if args.slice_words is not None:
+        overrides["slice_words"] = args.slice_words
+    return replace(FLEET_SCALES[args.scale], **overrides)
 
 
 def _case_config(args: argparse.Namespace) -> CaseStudyConfig:
@@ -315,6 +346,29 @@ def _run_fig10(args: argparse.Namespace) -> str:
     return text
 
 
+def _run_fleet(args: argparse.Namespace) -> str:
+    result = fleet.run(
+        _fleet_config(args),
+        jobs=args.jobs,
+        backend=_execution_backend(args),
+        resume=args.resume,
+        progress=args.progress,
+        shared_cache=args.shared_cache,
+    )
+    text = fleet.render(result)
+    if result.quarantined:
+        # Fleet-level rates render from the chips that did complete;
+        # show them, but exit incomplete so scripts don't publish a
+        # partial population study as the full one.
+        raise IncompleteGridError(
+            text
+            + "\n\n"
+            + quarantine_report(result.quarantined, unit="fleet shard")
+            + "\n(the report above excludes the incomplete chips)"
+        )
+    return text
+
+
 def _run_headline(args: argparse.Namespace) -> str:
     backend = _execution_backend(args)
     sweep = run_sweep(
@@ -389,6 +443,7 @@ COMMANDS: dict[str, tuple[str, Callable[[argparse.Namespace], str]]] = {
     "fig8": ("Fig 8: missed indirect-risk bits", _sweep_exhibit(fig8)),
     "fig9": ("Fig 9: secondary-ECC capability", _sweep_exhibit(fig9)),
     "fig10": ("Fig 10: data-retention case study", _run_fig10),
+    "fleet": ("Fleet-scale field simulation and repair economics", _run_fleet),
     "headline": ("Headline speedup numbers", _run_headline),
     "ext-patterns": ("Ablation: data patterns", _run_ext_patterns),
     "ext-dec": ("Extension: DEC BCH on-die ECC", _run_ext_dec),
@@ -432,6 +487,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=2021, help="experiment seed")
     parser.add_argument(
+        "--chips",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet only: override the scale preset's population size "
+        "(chips drawn from the fault-mix model; ignored elsewhere)",
+    )
+    parser.add_argument(
+        "--slice-words",
+        type=int,
+        default=None,
+        metavar="W",
+        help="fleet only: sub-cell shard granularity — a chip profiling "
+        "more than W words is split into W-word cell slices that many "
+        "workers share (0 disables sub-cell sharding; ignored elsewhere)",
+    )
+    parser.add_argument(
         "--jobs",
         type=_jobs_type,
         default=None,
@@ -449,8 +521,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print a periodic grid-coverage/ETA line to stderr as cells "
-        "complete (fig6/7/8/9, fig10, headline; every backend; ignored "
-        "elsewhere)",
+        "complete (fig6/7/8/9, fig10, fleet, headline; every backend; "
+        "ignored elsewhere)",
     )
     parser.add_argument(
         "--backend",
@@ -464,18 +536,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="precompute the sweep's cache artifacts once and publish "
         "them in a shared-memory block that pool workers map zero-copy "
-        "instead of re-deriving (fig6/7/8/9 and headline; bit-identical "
-        "either way; local process pools only — the socket backend's "
-        "workers warm their own caches as before)",
+        "instead of re-deriving (fig6/7/8/9, fleet, and headline; "
+        "bit-identical either way; local process pools only — the socket "
+        "backend's workers warm their own caches as before)",
     )
     parser.add_argument(
         "--resume",
         default=None,
         metavar="PATH",
         help="stream completed work units to a JSONL shard store and "
-        "skip everything already persisted there (fig6/7/8/9, fig10, and "
-        "headline — whose case-study shards land at PATH.fig10; ignored "
-        "elsewhere)",
+        "skip everything already persisted there (fig6/7/8/9, fig10, "
+        "fleet, and headline — whose case-study shards land at "
+        "PATH.fig10; ignored elsewhere)",
     )
     parser.add_argument(
         "--auth-token",
@@ -669,14 +741,15 @@ def _args_for_all(name: str, args: argparse.Namespace) -> argparse.Namespace:
     """Per-exhibit argument view for an ``all`` run sharing one ``--resume``.
 
     The sweep exhibits all run the same config, so sharing one sweep
-    store is exactly right — but fig10's store is a different record
-    family, and handing it the sweep path would refuse to load.  Give it
-    the same ``PATH.fig10`` sibling headline already uses (the two then
+    store is exactly right — but fig10's and fleet's stores are
+    different record families, and handing them the sweep path would
+    refuse to load.  Give each the suffixed sibling its own runs use
+    (``PATH.fig10`` matches what headline already writes, so the two
     share the case-study shards, which also run the same config).
     """
-    if name != "fig10" or not args.resume:
+    if name not in ("fig10", "fleet") or not args.resume:
         return args
-    return argparse.Namespace(**{**vars(args), "resume": f"{args.resume}.fig10"})
+    return argparse.Namespace(**{**vars(args), "resume": f"{args.resume}.{name}"})
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

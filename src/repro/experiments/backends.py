@@ -859,6 +859,9 @@ class SocketBackend(ExecutionBackend):
         self.quarantined_shards: tuple[int, ...] = ()
         #: Shard indices the auto-retry pass healed (continue mode only).
         self.healed_shards: tuple[int, ...] = ()
+        #: Optional driver-supplied workload fields (e.g. the fleet
+        #: runner's chip/shard counts) echoed into status snapshots.
+        self.campaign_info: dict | None = None
 
     def _heartbeat_interval(self) -> float:
         """Cadence workers are told to beat at (quarter of the deadline)."""
@@ -1290,7 +1293,13 @@ class SocketBackend(ExecutionBackend):
             """Assemble the repro-status-v1 JSON snapshot (status port)."""
             with condition:
                 now = time.monotonic()
+                extra = (
+                    {"campaign": dict(self.campaign_info)}
+                    if self.campaign_info
+                    else {}
+                )
                 return {
+                    **extra,
                     "format": "repro-status-v1",
                     "elapsed": round(now - started_at, 3),
                     "wire": self.wire,

@@ -19,7 +19,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["SweepConfig", "CaseStudyConfig", "UNIT", "BENCH", "FULL", "PAPER", "scaled"]
+__all__ = [
+    "SweepConfig",
+    "CaseStudyConfig",
+    "FleetConfig",
+    "UNIT",
+    "BENCH",
+    "FULL",
+    "PAPER",
+    "scaled",
+]
 
 #: Profilers evaluated in the paper's coverage figures (Figs 6-9).
 DEFAULT_PROFILERS = ("Naive", "BEEP", "HARP-U", "HARP-A", "HARP-A+BEEP")
@@ -80,6 +89,72 @@ class CaseStudyConfig:
                 raise ValueError("RBER must be in (0, 1)")
         if self.max_at_risk < 2:
             raise ValueError("max_at_risk must be >= 2")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Configuration of the fleet-scale field simulation (``repro fleet``).
+
+    A population of ``num_chips`` chips is drawn from the field-fault
+    mix model (:class:`~repro.memory.faults.FaultMixModel`): per-mode
+    Poisson rates for single-cell/row/column/bank faults, a lognormal
+    per-chip rate multiplier, and per-mode at-risk densities.  Each
+    chip's topology lowers onto per-word
+    :class:`~repro.memory.error_model.WordErrorProfile` objects; words
+    holding ≥ 2 at-risk bits are profiled for ``num_rounds`` rounds
+    (single at-risk bits are SEC-correctable and handled analytically),
+    and a row-sparing repair stage
+    (:func:`~repro.repair.policy.plan_row_sparing`) spends the per-chip
+    ``spare_rows`` / ``spare_bits`` budget on what profiling identified.
+
+    Sharding: light chips batch ``chips_per_shard`` per shard; a chip
+    whose profiled-word count exceeds ``slice_words`` becomes a *heavy*
+    chip whose cell is split into sub-cell slices of ~``slice_words``
+    words each, shared across workers (``slice_words=0`` disables
+    sub-cell sharding — whole-cell mode, used for benchmarks).
+    """
+
+    num_chips: int = 1000
+    k: int = 32
+    #: Distinct on-die SEC codes across the fleet (chips cycle through
+    #: them, so per-code caches amortize across the population).
+    num_codes: int = 4
+    num_rounds: int = 64
+    probability: float = 0.75
+    profiler: str = "HARP-U"
+    pattern: str = "random"
+    rows: int = 32
+    words_per_row: int = 4
+    single_rate: float = 0.30
+    row_rate: float = 0.09
+    column_rate: float = 0.06
+    bank_rate: float = 0.03
+    variability_sigma: float = 1.2
+    row_density: float = 0.25
+    column_density: float = 0.25
+    bank_density: float = 0.01
+    max_at_risk_per_word: int = 8
+    spare_rows: int = 2
+    spare_bits: int = 16
+    chips_per_shard: int = 64
+    slice_words: int = 8
+    seed: int = 2021
+
+    def __post_init__(self) -> None:
+        if self.num_chips < 1 or self.num_codes < 1 or self.num_rounds < 1:
+            raise ValueError("scale parameters must be positive")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("per-bit probability must be in (0, 1]")
+        if self.rows < 1 or self.words_per_row < 1:
+            raise ValueError("geometry dimensions must be positive")
+        if self.max_at_risk_per_word < 2:
+            raise ValueError("max_at_risk_per_word must be >= 2")
+        if self.chips_per_shard < 1:
+            raise ValueError("chips_per_shard must be >= 1")
+        if self.slice_words < 0:
+            raise ValueError("slice_words must be >= 0 (0 = whole-cell shards)")
+        if self.spare_rows < 0 or self.spare_bits < 0:
+            raise ValueError("repair budgets must be >= 0")
 
 
 #: Tiny scale for tests.

@@ -1,0 +1,706 @@
+"""Fleet-scale field simulation: profile + repair a population of chips.
+
+HARP evaluates one chip's profiler coverage under uniform-random fault
+injection; this workload asks the *population* question a memory-fleet
+operator faces: given N chips drawn from a field-calibrated fault-mix
+model (:mod:`repro.memory.faults` — per-mode rates for single-cell /
+row / column / bank faults with lognormal per-chip variation), how many
+uncorrectable errors does active profiling plus a bounded repair budget
+leave behind, and what does the repair storage cost?
+
+Pipeline per chip:
+
+1. **Sample** the chip's fault topology — chip-indexed seeding
+   (``derive_seed(seed, "fleet-chip", chip_index, ...)``), so the
+   population decomposes into independent chips and any subset can be
+   recomputed bit-identically.
+2. **Lower** the topology onto per-word
+   :class:`~repro.memory.error_model.WordErrorProfile` objects.  Words
+   with a single at-risk bit are SEC-correctable and tallied
+   analytically; words with ≥ 2 at-risk bits are *profiled*.
+3. **Profile** each such word for ``num_rounds`` rounds with the
+   configured profiler (the cell-batched kernel when eligible, exactly
+   like the sweep engine; ``REPRO_SIM_KERNEL=scalar`` forces the
+   reference path — both are bit-identical).
+4. **Repair**: greedy row sparing plus bit spares over what profiling
+   identified (:func:`repro.repair.policy.plan_row_sparing`), under the
+   per-chip ``spare_rows`` / ``spare_bits`` budget.
+5. **Report** the chip's uncorrectable-error probability — analytic
+   P[≥ 2 simultaneous failures] over the bits left exposed (missed by
+   profiling or unrepairable within budget) — plus repair-storage
+   economics and per-mode fault counts.
+
+Sub-cell sharding
+=================
+
+Execution rides the shard engine.  Light chips batch into contiguous
+``[start, stop)`` range shards (``chips_per_shard`` per shard), but a
+fleet's runtime is dominated by its tail: a chip that caught a bank
+fault holds orders of magnitude more profiled words than the median
+chip, and a whole-cell shard holding it pins one worker for the whole
+map.  When a chip's profiled-word count exceeds ``slice_words``, its
+cell is split into :data:`CellSlice` shards — slice ``s`` of ``S``
+simulates the profiled words whose index ``≡ s (mod S)`` — that many
+workers share.  Per-word results are keyed by word coordinates, so the
+merge is associative and order-independent, and the repair stage runs
+only after a chip's slices are all in (row sparing needs the whole
+chip).  ``slice_words=0`` disables splitting (whole-cell mode, the
+benchmark baseline).
+
+Resume, quarantine, and monitoring mirror the sweep engine:
+``run(config, resume=PATH)`` streams slices to a
+:class:`~repro.experiments.store.FleetStore`, a backend in
+continue-past-quarantine mode reports poisoned slices (the affected
+chips are excluded from fleet aggregates until healed), and a socket
+backend's ``--status-port`` snapshot carries the fleet campaign fields.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.ecc.hamming import random_sec_code
+from repro.experiments import runner as sweep_runner
+from repro.experiments.backends import resolve_backend
+from repro.experiments.config import FleetConfig
+from repro.memory.error_model import WordErrorProfile
+from repro.memory.faults import (
+    FAULT_MODES,
+    ChipFaults,
+    ChipGeometry,
+    FaultMixModel,
+    sample_chip_faults,
+)
+from repro.memory.patterns import pattern_is_seeded
+from repro.profiling import PROFILER_REGISTRY
+from repro.profiling.runner import (
+    WordArtifacts,
+    batched_kernel_enabled,
+    simulate_word,
+    simulate_words_batched,
+)
+from repro.repair.policy import plan_row_sparing
+from repro.utils.rng import derive_rng, derive_seed
+
+__all__ = [
+    "FleetShard",
+    "CellSlice",
+    "ChipSummary",
+    "FleetResult",
+    "chip_faults",
+    "profiled_words",
+    "shard_fleet",
+    "run_fleet_shard",
+    "merge_slice_payloads",
+    "finalize_chip",
+    "run",
+    "render",
+]
+
+
+def geometry_of(config: FleetConfig) -> ChipGeometry:
+    return ChipGeometry(rows=config.rows, words_per_row=config.words_per_row)
+
+
+def mix_model_of(config: FleetConfig) -> FaultMixModel:
+    return FaultMixModel(
+        single_rate=config.single_rate,
+        row_rate=config.row_rate,
+        column_rate=config.column_rate,
+        bank_rate=config.bank_rate,
+        variability_sigma=config.variability_sigma,
+        row_density=config.row_density,
+        column_density=config.column_density,
+        bank_density=config.bank_density,
+    )
+
+
+@lru_cache(maxsize=256)
+def _fleet_code(seed: int, k: int, code_index: int):
+    """The fleet's ``code_index``-th on-die SEC code (cached per process)."""
+    return random_sec_code(k, derive_rng(seed, "fleet-code", code_index))
+
+
+def chip_code(config: FleetConfig, chip_index: int):
+    """Chip ``chip_index``'s on-die code: chips cycle through ``num_codes``."""
+    return _fleet_code(config.seed, config.k, chip_index % config.num_codes)
+
+
+@lru_cache(maxsize=8192)
+def _chip_faults_cached(config: FleetConfig, chip_index: int) -> ChipFaults:
+    return sample_chip_faults(
+        config.seed,
+        chip_index,
+        mix_model_of(config),
+        geometry_of(config),
+        chip_code(config, chip_index).n,
+        config.max_at_risk_per_word,
+    )
+
+
+def chip_faults(config: FleetConfig, chip_index: int) -> ChipFaults:
+    """Chip ``chip_index``'s fault topology (chip-indexed, memoized)."""
+    return _chip_faults_cached(config, chip_index)
+
+
+def profiled_words(faults: ChipFaults) -> list[tuple[int, tuple[int, ...]]]:
+    """The chip's words holding ≥ 2 at-risk bits — the ones profiling runs on.
+
+    A single at-risk bit cannot produce an uncorrectable error under
+    SEC (the fig10 stratification argument), so those words are tallied
+    analytically instead of simulated.
+    """
+    return [(word, positions) for word, positions in faults.word_positions if len(positions) >= 2]
+
+
+def clear_fleet_caches() -> None:
+    """Empty the fleet-layer caches (tests and benchmarks only)."""
+    _fleet_code.cache_clear()
+    _chip_faults_cached.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# Shards: chip ranges and sub-cell slices
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetShard:
+    """One picklable unit of fleet work: a chip range, or a cell slice.
+
+    ``num_slices == 1`` covers chips ``[start, stop)`` whole.  A heavy
+    chip instead ships as ``num_slices`` single-chip slices
+    (``stop == start + 1``): slice ``s`` simulates the chip's profiled
+    words whose position in the profiled-word list ``≡ s (mod
+    num_slices)``.  Slices carry disjoint word sets keyed by word
+    coordinates, so merging their payloads is associative and
+    order-independent — any subset of workers can compute any subset of
+    slices in any order.
+    """
+
+    config: FleetConfig
+    start: int
+    stop: int
+    slice_index: int = 0
+    num_slices: int = 1
+
+    @property
+    def key(self) -> tuple[int, int, int, int]:
+        return (self.start, self.stop, self.slice_index, self.num_slices)
+
+
+#: A sub-cell shard — a :class:`FleetShard` with ``num_slices > 1`` —
+#: is a *cell slice*: many workers share one chip's cell and their
+#: results merge associatively.
+CellSlice = FleetShard
+
+
+def shard_fleet(config: FleetConfig) -> list[FleetShard]:
+    """Decompose a fleet into shards, chip order preserved.
+
+    Light chips batch ``chips_per_shard`` per range shard; a chip whose
+    profiled-word count exceeds ``slice_words`` becomes
+    ``ceil(words / slice_words)`` cell slices.  With ``slice_words=0``
+    every chip is light (whole-cell mode).
+    """
+    shards: list[FleetShard] = []
+    batch_start: int | None = None
+
+    def flush(stop: int) -> None:
+        nonlocal batch_start
+        if batch_start is not None:
+            shards.append(FleetShard(config=config, start=batch_start, stop=stop))
+            batch_start = None
+
+    for chip in range(config.num_chips):
+        words = len(profiled_words(chip_faults(config, chip)))
+        if config.slice_words and words > config.slice_words:
+            flush(chip)
+            num_slices = -(-words // config.slice_words)  # ceil division
+            for slice_index in range(num_slices):
+                shards.append(
+                    FleetShard(
+                        config=config,
+                        start=chip,
+                        stop=chip + 1,
+                        slice_index=slice_index,
+                        num_slices=num_slices,
+                    )
+                )
+            continue
+        if batch_start is None:
+            batch_start = chip
+        if chip - batch_start + 1 >= config.chips_per_shard:
+            flush(chip + 1)
+    flush(config.num_chips)
+    return shards
+
+
+def _word_artifacts(
+    config: FleetConfig, code, word_seed: int, count: int
+) -> WordArtifacts:
+    """Per-word precomputed inputs, via the sweep engine's shared caches.
+
+    Routing through :func:`~repro.experiments.runner._schedule_for` /
+    ``_encoded_schedule_for`` / ``_draws_for`` gives fleet words the
+    same process-local memoization and shared-memory overlay
+    (``--shared-cache``) the sweep engine has.
+    """
+    schedule_seed = word_seed if pattern_is_seeded(config.pattern) else 0
+    return WordArtifacts(
+        schedule=sweep_runner._schedule_for(
+            config.pattern, schedule_seed, code.k, config.num_rounds
+        ),
+        codewords=sweep_runner._encoded_schedule_for(
+            code, config.pattern, schedule_seed, config.num_rounds
+        ),
+        draws=sweep_runner._draws_for(word_seed, config.num_rounds, count),
+    )
+
+
+def run_fleet_shard(shard: FleetShard) -> dict:
+    """Execute one shard: per-word identified sets for its chips/slice.
+
+    Returns a JSON-safe payload — ``{"chips": [{"chip": i, "words":
+    [[word, [positions...], [identified...]], ...]}, ...]}`` — where
+    ``identified`` is the profiler's final identified set restricted to
+    the word's at-risk positions (what the repair stage can act on).
+    Pure function of the shard: any backend, order, or slicing produces
+    bit-identical payloads.
+    """
+    config = shard.config
+    chips = []
+    for chip in range(shard.start, shard.stop):
+        code = chip_code(config, chip)
+        words = profiled_words(chip_faults(config, chip))
+        mine = [
+            (word, positions)
+            for index, (word, positions) in enumerate(words)
+            if index % shard.num_slices == shard.slice_index
+        ]
+        profiler_cls = PROFILER_REGISTRY[config.profiler]
+        use_batched = (
+            not profiler_cls.adaptive and profiler_cls.batched and batched_kernel_enabled()
+        )
+        profiles = [
+            WordErrorProfile(positions, tuple(config.probability for _ in positions))
+            for _, positions in mine
+        ]
+        seeds = [derive_seed(config.seed, "fleet-draws", chip, word) for word, _ in mine]
+        if use_batched and mine:
+            runs = simulate_words_batched(
+                [
+                    profiler_cls(code, seed=seed, pattern=config.pattern)
+                    for seed in seeds
+                ],
+                profiles,
+                config.num_rounds,
+                seeds,
+                artifacts=[
+                    _word_artifacts(config, code, seed, len(positions))
+                    for seed, (_, positions) in zip(seeds, mine)
+                ],
+            )
+        else:
+            runs = [
+                simulate_word(
+                    profiler_cls(code, seed=seed, pattern=config.pattern),
+                    profile,
+                    config.num_rounds,
+                    seed,
+                    artifacts=_word_artifacts(config, code, seed, len(profile.positions)),
+                )
+                for seed, profile in zip(seeds, profiles)
+            ]
+        chips.append(
+            {
+                "chip": chip,
+                "words": [
+                    [
+                        word,
+                        list(positions),
+                        sorted(run.final_identified() & set(positions)),
+                    ]
+                    for (word, positions), run in zip(mine, runs)
+                ],
+            }
+        )
+    return {"chips": chips}
+
+
+def _timed_fleet_shard(shard: FleetShard) -> tuple[dict, float]:
+    """Pool worker: :func:`run_fleet_shard` plus its wall-clock seconds.
+
+    As in the other drivers, the timing rides only into the resume
+    store's ETA accounting — results stay bit-identical to the untimed
+    worker.
+    """
+    started = time.perf_counter()
+    payload = run_fleet_shard(shard)
+    return payload, time.perf_counter() - started
+
+
+def merge_slice_payloads(payloads: list[dict]) -> dict[int, dict[int, list[int]]]:
+    """Fold shard payloads into ``{chip: {word: identified positions}}``.
+
+    Associative and order-independent: slices carry disjoint word sets
+    per chip, so dict union over word coordinates is the whole merge.
+    """
+    merged: dict[int, dict[int, list[int]]] = {}
+    for payload in payloads:
+        for entry in payload["chips"]:
+            words = merged.setdefault(int(entry["chip"]), {})
+            for word, _, identified in entry["words"]:
+                words[int(word)] = [int(bit) for bit in identified]
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Per-chip finalization: repair policy + UE probability
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChipSummary:
+    """One chip's fleet-level outcome: faults, coverage, repair, UE."""
+
+    chip: int
+    rate_scale: float
+    #: Fault count per mode, aligned with :data:`~repro.memory.faults.FAULT_MODES`.
+    mode_counts: tuple[int, ...]
+    #: Total at-risk bits across the chip.
+    at_risk_bits: int
+    #: Words profiled (≥ 2 at-risk bits) / words with exactly one.
+    profiled_words: int
+    single_words: int
+    #: At-risk bits the profiler identified / missed (profiled words).
+    identified_bits: int
+    missed_bits: int
+    repaired_rows: int
+    bit_repairs: int
+    storage_bits: int
+    wasted_bits: int
+    #: P[some word suffers ≥ 2 simultaneous at-risk failures] with the
+    #: repair plan applied / with no profiling or repair at all.
+    ue_repaired: float
+    ue_unrepaired: float
+
+
+def _ue_word(exposed: int, probability: float) -> float:
+    """P[≥ 2 of ``exposed`` independent at-risk bits fail at once].
+
+    Under SEC a single error corrects; two or more simultaneous
+    pre-correction errors in one word are (potentially) uncorrectable.
+    """
+    if exposed < 2:
+        return 0.0
+    p, m = probability, exposed
+    return 1.0 - (1.0 - p) ** m - m * p * (1.0 - p) ** (m - 1)
+
+
+def finalize_chip(
+    config: FleetConfig, faults: ChipFaults, identified_by_word: dict[int, list[int]]
+) -> ChipSummary:
+    """Run the repair stage over a chip's merged slices and score it.
+
+    A repaired row removes the physical row entirely, so *all* of its
+    at-risk bits — identified or missed — stop being exposed; bit spares
+    cover exactly the identified bits they were assigned to.  The UE
+    probability is the complement-product over profiled words of
+    :func:`_ue_word` on each word's exposed count.
+    """
+    geometry = geometry_of(config)
+    n = chip_code(config, faults.chip_index).n
+    words = profiled_words(faults)
+    identified = {
+        word: tuple(identified_by_word.get(word, ())) for word, _ in words
+    }
+    plan = plan_row_sparing(
+        identified,
+        geometry,
+        row_bits=n * config.words_per_row,
+        spare_rows=config.spare_rows,
+        spare_bits=config.spare_bits,
+    )
+    covered_rows = set(plan.repaired_rows)
+    spared_bits = set(plan.bit_repairs)
+    ue_repaired = 1.0
+    ue_unrepaired = 1.0
+    for word, positions in words:
+        ue_unrepaired *= 1.0 - _ue_word(len(positions), config.probability)
+        if geometry.row_of(word) in covered_rows:
+            continue
+        exposed = sum(
+            1
+            for position in positions
+            if (word, position) not in spared_bits
+        )
+        ue_repaired *= 1.0 - _ue_word(exposed, config.probability)
+    identified_bits = sum(len(bits) for bits in identified.values())
+    profiled_at_risk = sum(len(positions) for _, positions in words)
+    return ChipSummary(
+        chip=faults.chip_index,
+        rate_scale=faults.rate_scale,
+        mode_counts=faults.mode_counts,
+        at_risk_bits=faults.total_at_risk,
+        profiled_words=len(words),
+        single_words=sum(
+            1 for _, positions in faults.word_positions if len(positions) == 1
+        ),
+        identified_bits=identified_bits,
+        missed_bits=profiled_at_risk - identified_bits,
+        repaired_rows=len(plan.repaired_rows),
+        bit_repairs=len(plan.bit_repairs),
+        storage_bits=plan.storage_bits,
+        wasted_bits=plan.wasted_bits,
+        ue_repaired=1.0 - ue_repaired,
+        ue_unrepaired=1.0 - ue_unrepaired,
+    )
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Per-chip summaries plus the campaign's quarantine ledger."""
+
+    config: FleetConfig
+    #: Completed chips in chip order (chips with a quarantined slice are
+    #: excluded until a targeted re-run heals them).
+    chips: tuple[ChipSummary, ...]
+    #: Shard keys a continue-past-quarantine run set aside.
+    quarantined: tuple[tuple[int, int, int, int], ...] = ()
+    #: Chip indices excluded because one of their slices quarantined.
+    incomplete_chips: tuple[int, ...] = ()
+
+
+def run(
+    config: FleetConfig = FleetConfig(),
+    jobs: int | None = None,
+    backend=None,
+    resume: str | None = None,
+    progress: bool | float = False,
+    shared_cache: bool = False,
+) -> FleetResult:
+    """Simulate the fleet over any backend, with resume and sub-cell shards.
+
+    Mirrors :func:`~repro.experiments.runner.run_sweep`'s contract:
+    every ``jobs`` / ``backend`` / ``resume`` / slicing choice is
+    bit-identical.  ``resume=PATH`` streams completed shards to a
+    :class:`~repro.experiments.store.FleetStore`; ``shared_cache=True``
+    publishes the fleet's shareable artifacts (codes' schedules,
+    failure draws, aliasing tables) for local pool workers.  A backend
+    in continue-past-quarantine mode reports poisoned shard keys on
+    ``FleetResult.quarantined``; the affected chips are excluded from
+    ``chips`` (listed on ``incomplete_chips``) until a targeted re-run
+    completes them.
+    """
+    from repro.analysis import shared_memo
+    from repro.experiments.backends import ProcessPoolBackend
+    from repro.experiments.store import FleetStore
+
+    shards = shard_fleet(config)
+    # Resolve (and validate) the backend before any store side effects:
+    # a bad spec must not leave a header-only store file behind.
+    executor = resolve_backend(backend, jobs)
+    if hasattr(executor, "campaign_info"):
+        executor.campaign_info = {
+            "workload": "fleet",
+            "chips": config.num_chips,
+            "shards": len(shards),
+            "cell_slices": sum(1 for shard in shards if shard.num_slices > 1),
+        }
+    shared_block = None
+    if shared_cache:
+        shared_block = shared_memo.publish_entries(fleet_entries(config))
+        if isinstance(executor, ProcessPoolBackend) and executor.jobs > 1:
+            executor = ProcessPoolBackend(
+                executor.jobs,
+                initializer=shared_memo.attach_worker,
+                initargs=(shared_block.name,),
+            )
+    store: FleetStore | None = None
+    persisted: dict[tuple[int, int, int, int], dict] = {}
+    if resume is not None:
+        store = FleetStore(resume)
+        stored_config, persisted = store.load()
+        if persisted and stored_config is None:
+            raise ValueError(
+                f"{resume} holds shards but does not record the fleet config "
+                "that produced them; refusing to reuse shards that cannot be "
+                "verified (use a fresh --resume path)"
+            )
+        if stored_config is not None and stored_config != config:
+            raise ValueError(
+                f"{resume} was written by a different fleet config; "
+                "refusing to mix results (use a fresh --resume path)"
+            )
+        store.open(config)
+    from repro.experiments.monitor import progress_reporter, quarantined_keys
+
+    pending = [shard for shard in shards if shard.key not in persisted]
+    reporter = progress_reporter(progress, len(shards), "shards")
+    if reporter is not None:
+        reporter.start(done=len(persisted))
+    payloads: dict[tuple[int, int, int, int], dict] = dict(persisted)
+    quarantined: tuple[tuple[int, int, int, int], ...] = ()
+    try:
+        for index, (payload, elapsed) in executor.imap_unordered(
+            _timed_fleet_shard, pending, chunksize=1
+        ):
+            key = pending[index].key
+            payloads[key] = payload
+            if store is not None:
+                store.append(key, payload, seconds=elapsed)
+            if reporter is not None:
+                reporter.completed(elapsed)
+        quarantined = quarantined_keys(
+            executor, pending, lambda shard: shard.key, store=store
+        )
+        if reporter is not None:
+            reporter.finish(quarantined=len(quarantined))
+    finally:
+        if store is not None:
+            store.close()
+        if shared_block is not None:
+            shared_block.destroy()
+
+    # A chip is complete only when every slice of its shard group landed;
+    # a quarantined slice poisons exactly its own chips.
+    incomplete = {
+        chip
+        for key in quarantined
+        for chip in range(key[0], key[1])
+    }
+    merged = merge_slice_payloads(
+        [payloads[shard.key] for shard in shards if shard.key in payloads]
+    )
+    summaries = tuple(
+        finalize_chip(config, chip_faults(config, chip), merged.get(chip, {}))
+        for chip in range(config.num_chips)
+        if chip not in incomplete
+    )
+    return FleetResult(
+        config=config,
+        chips=summaries,
+        quarantined=quarantined,
+        incomplete_chips=tuple(sorted(incomplete)),
+    )
+
+
+def fleet_entries(config: FleetConfig) -> dict:
+    """Shareable artifacts of a fleet run, keyed for the engine caches.
+
+    The fleet analogue of :func:`repro.analysis.shared_memo.sweep_entries`:
+    per-word schedules / encodings / failure draws (exactly the keys
+    :func:`_word_artifacts` resolves) plus each fleet code's BEEP
+    aliasing tables.  Published by ``run(..., shared_cache=True)``.
+    """
+    from repro.analysis.memo import _code_key, cached_aliasing_pairs
+
+    entries: dict = {}
+    codes = {}
+    for chip in range(config.num_chips):
+        code = chip_code(config, chip)
+        codes[_code_key(code)] = code
+        for word, positions in profiled_words(chip_faults(config, chip)):
+            word_seed = derive_seed(config.seed, "fleet-draws", chip, word)
+            schedule_seed = word_seed if pattern_is_seeded(config.pattern) else 0
+            entries[("sched", config.pattern, schedule_seed, code.k, config.num_rounds)] = (
+                "array",
+                sweep_runner._schedule_for(
+                    config.pattern, schedule_seed, code.k, config.num_rounds
+                ),
+            )
+            entries[
+                ("enc", _code_key(code), config.pattern, schedule_seed, config.num_rounds)
+            ] = (
+                "array",
+                sweep_runner._encoded_schedule_for(
+                    code, config.pattern, schedule_seed, config.num_rounds
+                ),
+            )
+            entries[("draws", word_seed, config.num_rounds, len(positions))] = (
+                "array",
+                sweep_runner._draws_for(word_seed, config.num_rounds, len(positions)),
+            )
+    for code_key, code in codes.items():
+        for target in range(code.n):
+            entries[("pairs", code_key, target)] = (
+                "pickle",
+                cached_aliasing_pairs(code, target),
+            )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Rendition
+# ----------------------------------------------------------------------
+
+
+def render(result: FleetResult) -> str:
+    """Operator-facing fleet report: faults, coverage, repair, UE."""
+    config = result.config
+    chips = result.chips
+    lines = [
+        f"fleet    {len(chips)}/{config.num_chips} chips · code k={config.k} · "
+        f"profiler {config.profiler} · p={config.probability:.0%} · "
+        f"{config.num_rounds} rounds"
+    ]
+    faulty = [chip for chip in chips if chip.at_risk_bits]
+    mode_parts = []
+    for index, mode in enumerate(FAULT_MODES):
+        total = sum(chip.mode_counts[index] for chip in chips)
+        affected = sum(1 for chip in chips if chip.mode_counts[index])
+        mode_parts.append(f"{mode} {total} on {affected} chip(s)")
+    lines.append(f"faults   {' · '.join(mode_parts)}")
+    at_risk = sum(chip.at_risk_bits for chip in chips)
+    lines.append(
+        f"exposure {len(faulty)} faulty chip(s), {at_risk} at-risk bits, "
+        f"{sum(chip.profiled_words for chip in chips)} profiled word(s), "
+        f"{sum(chip.single_words for chip in chips)} single-bit word(s) "
+        "(SEC-covered)"
+    )
+    identified = sum(chip.identified_bits for chip in chips)
+    missed = sum(chip.missed_bits for chip in chips)
+    profiled_bits = identified + missed
+    if profiled_bits:
+        share = 100.0 * identified / profiled_bits
+        lines.append(
+            f"coverage {identified}/{profiled_bits} profiled at-risk bits "
+            f"identified ({share:.1f}%), {missed} missed"
+        )
+    rows = sum(chip.repaired_rows for chip in chips)
+    bit_spares = sum(chip.bit_repairs for chip in chips)
+    storage = sum(chip.storage_bits for chip in chips)
+    wasted = sum(chip.wasted_bits for chip in chips)
+    mean_storage = storage / len(chips) if chips else 0.0
+    waste_share = (100.0 * wasted / storage) if storage else 0.0
+    lines.append(
+        f"repair   {rows} spare row(s) + {bit_spares} bit spare(s) = "
+        f"{storage} storage bits ({mean_storage:.1f} bits/chip, "
+        f"{waste_share:.1f}% row-capacity waste)"
+    )
+    if chips:
+        mean_rep = sum(chip.ue_repaired for chip in chips) / len(chips)
+        mean_unrep = sum(chip.ue_unrepaired for chip in chips) / len(chips)
+        exposed = sum(1 for chip in chips if chip.ue_repaired > 0.0)
+        factor = (mean_unrep / mean_rep) if mean_rep > 0 else float("inf")
+        factor_text = "inf" if factor == float("inf") else f"{factor:.1f}x"
+        lines.append(
+            f"UE       mean P[UE] {mean_rep:.3e} repaired vs "
+            f"{mean_unrep:.3e} unrepaired ({factor_text} reduction) · "
+            f"{exposed} chip(s) still exposed"
+        )
+    if result.incomplete_chips:
+        listed = ", ".join(str(chip) for chip in result.incomplete_chips)
+        lines.append(
+            f"partial  chip(s) {listed} excluded (quarantined slices await "
+            "a targeted re-run)"
+        )
+    return "\n".join(lines)

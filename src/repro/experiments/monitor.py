@@ -72,6 +72,9 @@ field                     meaning
 ``retries``               requeues charged against retry budgets so far
 ``quarantined``           chunk indices set aside past their budget
 ``healed``                shards recovered by the auto-retry pass
+``campaign``              optional driver-supplied workload fields
+                          (e.g. the fleet runner's ``workload`` /
+                          ``chips`` / ``shards`` / ``cell_slices``)
 ========================  ==============================================
 
 Fields added by later protocol revisions are additive: clients must
@@ -149,6 +152,11 @@ def grid_shape(config) -> tuple[list[tuple[str, int]], int] | None:
             ("codes", int(get("num_codes") or 0)),
             ("strata", max(0, int(get("max_at_risk")) - 1)),
         ]
+    elif get("num_chips") is not None:
+        # Fleet campaigns: the grid is the population itself — shard
+        # records subdivide it (ranges, cell slices), but coverage is
+        # counted in whole chips.
+        dims = [("chips", int(get("num_chips")))]
     else:
         return None
     total = 1
@@ -477,6 +485,12 @@ def render_status(snapshot: dict) -> str:
     ]
     if snapshot.get("wire"):
         lines[0] += f" · wire {snapshot['wire']}"
+    campaign = snapshot.get("campaign") or {}
+    if campaign:
+        # Driver-supplied workload fields (e.g. the fleet runner's chip
+        # and cell-slice counts); render whatever the driver reported.
+        detail = " · ".join(f"{key} {value}" for key, value in campaign.items())
+        lines.append(f"campaign {detail}")
     fleet = snapshot.get("fleet", {})
     expected = fleet.get("expected") or 0
     barrier = f", {expected} expected" if expected else ""

@@ -33,8 +33,10 @@ kind        contents
 header      file format tag + the config that produced the records
 cell        one completed sweep cell (``ShardStore``)
 fig10       one completed case-study shard (``Fig10Store``)
+fleet       one completed fleet shard — a chip range or a heavy
+            chip's cell slice (``FleetStore``)
 quarantine  key of a shard a ``--continue-past-quarantine`` run set
-            aside (both stores); loading ignores it, so a rerun
+            aside (all stores); loading ignores it, so a rerun
             recomputes exactly those shards, and ``store summary``
             reports the ones not yet resolved by a completed record
 ==========  =======================================================
@@ -52,8 +54,12 @@ Record field reference (beyond ``kind``):
 * ``fig10`` — the shard key (``probability`` float, ``code_index``
   int, ``count`` int = at-risk stratum), the per-profiler ``before`` /
   ``after`` / ``to_zero`` trajectory dicts, and optional ``seconds``.
-* ``quarantine`` — exactly the key fields of the ``cell`` or ``fig10``
-  record it stands in for, nothing else.
+* ``fleet`` — the shard key (``start`` / ``stop`` chip range plus
+  ``slice_index`` / ``num_slices`` for sub-cell slices), the per-chip
+  ``chips`` payload (word coordinates, at-risk positions, identified
+  positions), and optional ``seconds``.
+* ``quarantine`` — exactly the key fields of the ``cell`` / ``fig10`` /
+  ``fleet`` record it stands in for, nothing else.
 
 Duplicate keys always resolve **last-wins** on load; the
 ``python -m repro store`` toolbox compacts superseded records away and
@@ -68,7 +74,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
-from repro.experiments.config import CaseStudyConfig, SweepConfig
+from repro.experiments.config import CaseStudyConfig, FleetConfig, SweepConfig
 from repro.experiments.runner import SweepCell, SweepResult, WordMetrics
 
 __all__ = [
@@ -79,9 +85,12 @@ __all__ = [
     "config_from_dict",
     "case_config_to_dict",
     "case_config_from_dict",
+    "fleet_config_to_dict",
+    "fleet_config_from_dict",
     "JsonlStore",
     "ShardStore",
     "Fig10Store",
+    "FleetStore",
 ]
 
 #: Current on-disk format tag (header of both documents and JSONL stores).
@@ -90,6 +99,8 @@ FORMAT_V2 = "repro-sweep-v2"
 FORMAT_V1 = "repro-sweep-v1"
 #: Fig 10 case-study store format tag.
 FORMAT_FIG10 = "repro-fig10-v1"
+#: Fleet field-simulation store format tag.
+FORMAT_FLEET = "repro-fleet-v1"
 
 
 def _metrics_to_dict(metrics: WordMetrics) -> dict:
@@ -168,6 +179,32 @@ def case_config_from_dict(payload: dict | None) -> CaseStudyConfig | None:
         if isinstance(value, list):
             kwargs[key] = tuple(value)
     return CaseStudyConfig(**kwargs)
+
+
+def fleet_config_to_dict(config) -> dict | None:
+    """JSON-safe dict of a :class:`FleetConfig` (``None`` if not one).
+
+    The fleet twin of :func:`config_to_dict`: only the library's own
+    frozen dataclass gets a guaranteed round-trip.
+    """
+    if not isinstance(config, FleetConfig):
+        return None
+    payload = asdict(config)
+    for key, value in payload.items():
+        if isinstance(value, tuple):
+            payload[key] = list(value)
+    return payload
+
+
+def fleet_config_from_dict(payload: dict | None) -> FleetConfig | None:
+    """Inverse of :func:`fleet_config_to_dict` (``None`` passes through)."""
+    if payload is None:
+        return None
+    kwargs = dict(payload)
+    for key, value in kwargs.items():
+        if isinstance(value, list):
+            kwargs[key] = tuple(value)
+    return FleetConfig(**kwargs)
 
 
 def _cell_to_dict(cell: SweepCell, seconds: float | None = None) -> dict:
@@ -482,9 +519,15 @@ class ShardStore(JsonlStore):
             if record.get("kind") == "header":
                 if record.get("format") == FORMAT_FIG10:
                     raise ValueError(
-                        f"{self.path} is a Fig 10 case-study store; load it "
-                        "with Fig10Store (and give each exhibit its own "
-                        "--resume path)"
+                        f"{self.path} is a Fig 10 case-study store, not a "
+                        "sweep shard store; load it with Fig10Store (and "
+                        "give each exhibit its own --resume path)"
+                    )
+                if record.get("format") == FORMAT_FLEET:
+                    raise ValueError(
+                        f"{self.path} is a fleet store, not a sweep shard "
+                        "store; load it with FleetStore (and give each "
+                        "exhibit its own --resume path)"
                     )
                 if record.get("format") == FORMAT_V2:
                     config = config_from_dict(record.get("config"))
@@ -633,5 +676,95 @@ class Fig10Store(JsonlStore):
                 "probability": float(probability),
                 "code_index": int(code_index),
                 "count": int(count),
+            }
+        )
+
+
+#: Key of one fleet shard: (start chip, stop chip, slice index, slices).
+FleetKey = tuple[int, int, int, int]
+
+
+class FleetStore(JsonlStore):
+    """Append-only JSONL stream of completed fleet shards.
+
+    The fleet twin of :class:`Fig10Store`: the first line is a
+    ``repro-fleet-v1`` header carrying the
+    :class:`~repro.experiments.config.FleetConfig`, and every following
+    line is one completed :class:`~repro.experiments.fleet.FleetShard`
+    payload — the per-word identified sets of a chip range or of one
+    heavy chip's cell slice, self-describing via the shard's ``(start,
+    stop, slice_index, num_slices)`` coordinates.  ``fleet.run(...,
+    resume=PATH)`` streams each shard here as backends deliver it and
+    skips persisted keys on restart; slice payloads merge associatively
+    regardless of arrival order, so a killed campaign resumes
+    bit-identically.
+    """
+
+    format = FORMAT_FLEET
+
+    def _header_record(self, config) -> dict:
+        return {
+            "format": self.format,
+            "kind": "header",
+            "config": fleet_config_to_dict(config),
+        }
+
+    def load(self) -> tuple[FleetConfig | None, dict[FleetKey, dict]]:
+        """Read ``(config, {shard key: payload})``; tolerate a torn tail."""
+        config = None
+        shards: dict[FleetKey, dict] = {}
+        for number, record in self.iter_records():
+            if record.get("kind") == "header":
+                if record.get("format") != self.format:
+                    raise ValueError(
+                        f"{self.path} is not a fleet store (header format "
+                        f"{record.get('format')!r}); give each exhibit its "
+                        "own --resume path"
+                    )
+                config = fleet_config_from_dict(record.get("config"))
+            elif record.get("kind") == "fleet":
+                key = (
+                    int(record["start"]),
+                    int(record["stop"]),
+                    int(record["slice_index"]),
+                    int(record["num_slices"]),
+                )
+                # Duplicate keys: last append wins, same as ShardStore.
+                shards[key] = {"chips": record["chips"]}
+            elif record.get("kind") == "quarantine":
+                continue  # set-aside marker; the shard recomputes on resume
+            else:
+                raise ValueError(f"{self.path}: unknown shard record on line {number + 1}")
+        return config, shards
+
+    def append(self, key: FleetKey, payload: dict, seconds: float | None = None) -> None:
+        """Durably append one completed fleet shard (opens if needed)."""
+        if self._handle is None:
+            self.open()
+        start, stop, slice_index, num_slices = key
+        record = {
+            "kind": "fleet",
+            "start": int(start),
+            "stop": int(stop),
+            "slice_index": int(slice_index),
+            "num_slices": int(num_slices),
+            "chips": payload["chips"],
+        }
+        if seconds is not None:
+            record["seconds"] = seconds
+        self._write_record(record)
+
+    def append_quarantine(self, key: FleetKey) -> None:
+        """Durably record that a run set this fleet shard aside."""
+        if self._handle is None:
+            self.open()
+        start, stop, slice_index, num_slices = key
+        self._write_record(
+            {
+                "kind": "quarantine",
+                "start": int(start),
+                "stop": int(stop),
+                "slice_index": int(slice_index),
+                "num_slices": int(num_slices),
             }
         )

@@ -54,6 +54,7 @@ from pathlib import Path
 from repro.experiments.monitor import estimate_eta, format_eta, format_grid, grid_shape
 from repro.experiments.store import (
     FORMAT_FIG10,
+    FORMAT_FLEET,
     FORMAT_V1,
     FORMAT_V2,
     JsonlStore,
@@ -70,7 +71,7 @@ __all__ = [
 ]
 
 #: Record key kinds understood by the toolbox.
-_STORE_FORMATS = (FORMAT_V2, FORMAT_FIG10)
+_STORE_FORMATS = (FORMAT_V2, FORMAT_FIG10, FORMAT_FLEET)
 
 
 def _record_key(path: Path, number: int, record: dict) -> tuple:
@@ -92,6 +93,14 @@ def _record_key(path: Path, number: int, record: dict) -> tuple:
             int(record["code_index"]),
             int(record["count"]),
         )
+    if kind == "fleet":
+        return (
+            "fleet",
+            int(record["start"]),
+            int(record["stop"]),
+            int(record["slice_index"]),
+            int(record["num_slices"]),
+        )
     if kind == "quarantine":
         # The marker carries exactly the key fields of the record it
         # stands in for; prefixing the resolved key keeps it distinct
@@ -103,6 +112,15 @@ def _record_key(path: Path, number: int, record: dict) -> tuple:
                 int(record["error_count"]),
                 float(record["probability"]),
                 str(record["profiler"]),
+            )
+        if "start" in record:
+            return (
+                "quarantine",
+                "fleet",
+                int(record["start"]),
+                int(record["stop"]),
+                int(record["slice_index"]),
+                int(record["num_slices"]),
             )
         return (
             "quarantine",
@@ -163,11 +181,17 @@ class StoreSummary:
     #: completed record (the end-of-map auto-retry pass, or a targeted
     #: re-run): reported as healed, never counted against coverage.
     healed: list = field(default_factory=list)
+    #: Completed *work units* when records and units differ — fleet
+    #: stores count a chip done only once every slice of its shard
+    #: group is present (``None`` elsewhere: records are the units).
+    units_done: int | None = None
 
     @property
     def cells_done(self) -> int:
         """Distinct completed work units, regardless of record kind."""
-        return sum(self.distinct.get(kind, 0) for kind in ("cell", "fig10"))
+        if self.units_done is not None:
+            return self.units_done
+        return sum(self.distinct.get(kind, 0) for kind in ("cell", "fig10", "fleet"))
 
 
 def summarize(path: str | os.PathLike) -> StoreSummary:
@@ -222,6 +246,19 @@ def summarize(path: str | os.PathLike) -> StoreSummary:
     # record already counts the cell done exactly once).
     summary.quarantined = sorted(key[2:] for key in markers if key[1:] not in winning)
     summary.healed = sorted(key[2:] for key in markers if key[1:] in winning)
+    if any(key[0] == "fleet" for key in winning):
+        # A fleet record is a shard, not a chip: a range shard completes
+        # its whole chip span, but a heavy chip is done only when every
+        # slice of its (start, stop, num_slices) group has landed.
+        groups: dict[tuple, set] = {}
+        for key in winning:
+            if key[0] == "fleet":
+                groups.setdefault((key[1], key[2], key[4]), set()).add(key[3])
+        summary.units_done = sum(
+            stop - start
+            for (start, stop, num_slices), slices in groups.items()
+            if len(slices) == num_slices
+        )
     shape = grid_shape(summary.config)
     if shape is not None:
         dims, summary.cells_total = shape
@@ -241,10 +278,10 @@ def render_summary(summary: StoreSummary) -> str:
         lines.append(f"config   {knobs}")
     else:
         lines.append("config   (none recorded)")
-    for kind in ("cell", "fig10"):
+    labels = {"cell": "sweep cells", "fig10": "fig10 shards", "fleet": "fleet shards"}
+    for kind in ("cell", "fig10", "fleet"):
         if kind in summary.distinct:
-            label = "sweep cells" if kind == "cell" else "fig10 shards"
-            lines.append(f"records  {summary.distinct[kind]} {label}")
+            lines.append(f"records  {summary.distinct[kind]} {labels[kind]}")
     if not summary.distinct:
         lines.append("records  0 (header only)")
     if summary.grid:

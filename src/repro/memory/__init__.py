@@ -5,6 +5,15 @@ from repro.memory.array import MemoryArray
 from repro.memory.batch_engine import BatchInjectionEngine, BatchObservation
 from repro.memory.cells import CellOrientation, all_true_cells, alternating_cells
 from repro.memory.chip import OnDieEccChip, ReadOutcome
+from repro.memory.faults import (
+    FAULT_MODES,
+    FIELD_DDR4,
+    ChipFaults,
+    ChipGeometry,
+    FaultMixModel,
+    sample_chip_faults,
+    word_profiles,
+)
 from repro.memory.error_model import (
     RetentionErrorModel,
     WordErrorProfile,
@@ -35,6 +44,13 @@ __all__ = [
     "alternating_cells",
     "OnDieEccChip",
     "ReadOutcome",
+    "FAULT_MODES",
+    "FIELD_DDR4",
+    "ChipFaults",
+    "ChipGeometry",
+    "FaultMixModel",
+    "sample_chip_faults",
+    "word_profiles",
     "RetentionErrorModel",
     "WordErrorProfile",
     "normal_probability_profile",

@@ -7,6 +7,7 @@ from repro.repair.mechanisms import (
     RepairMechanism,
     RepairStats,
 )
+from repro.repair.policy import RepairPlan, plan_row_sparing
 from repro.repair.profile_store import ErrorProfile
 from repro.repair.wasted_storage import (
     PAPER_GRANULARITIES,
@@ -21,6 +22,8 @@ __all__ = [
     "IdealBitRepair",
     "BlockGranularityRepair",
     "RepairStats",
+    "RepairPlan",
+    "plan_row_sparing",
     "REPAIR_GRANULARITY_SURVEY",
     "expected_wasted_ratio",
     "monte_carlo_wasted_ratio",

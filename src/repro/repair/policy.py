@@ -1,0 +1,92 @@
+"""Repair planning over profiled chips: row sparing plus bit spares.
+
+The repair *mechanisms* (:mod:`repro.repair.mechanisms`) model what a
+given granularity costs per profiled bit; this module is the *policy*
+layer the fleet workload needs on top: given the at-risk bits a
+profiling campaign identified on one chip, decide which rows to map to
+spare rows and which leftover bits to cover with single-bit spare
+resources, under a fixed per-chip budget — and account for the storage
+economics of that decision.
+
+The policy is deliberately simple and deterministic (greedy by
+identified-bit count, ties broken by row index), because fleet results
+must be bit-identical across backends and resume orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.faults import ChipGeometry
+
+__all__ = ["RepairPlan", "plan_row_sparing"]
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """What one chip's repair stage decided, and what it cost.
+
+    ``unrepaired`` holds the identified-but-unrepairable positions —
+    bits the budget could not cover; they stay exposed exactly like
+    bits the profiler missed.
+    """
+
+    #: Row indices remapped to spare rows, in repair order.
+    repaired_rows: tuple[int, ...]
+    #: Individual (word_index, position) bit spares assigned.
+    bit_repairs: tuple[tuple[int, int], ...]
+    #: Identified positions the budget left uncovered, per word.
+    unrepaired: tuple[tuple[int, tuple[int, ...]], ...]
+    #: Total spare storage consumed (row capacity plus one bit per
+    #: bit spare), in bits.
+    storage_bits: int
+    #: Spare-row capacity not occupied by identified bits — the wasted
+    #: share of coarse-granularity repair (the paper's Fig 2 theme).
+    wasted_bits: int
+
+
+def plan_row_sparing(
+    identified_by_word: dict[int, tuple[int, ...]],
+    geometry: ChipGeometry,
+    row_bits: int,
+    spare_rows: int,
+    spare_bits: int,
+) -> RepairPlan:
+    """Greedy row sparing within a budget, bit spares for the remainder.
+
+    Rows are ranked by how many identified at-risk bits they hold
+    (descending, ties by row index ascending) and the top ``spare_rows``
+    rows with any identified bits are remapped whole — ``row_bits`` is
+    one spare row's storage capacity (codeword bits × words per row).
+    Identified bits outside repaired rows get single-bit spares in
+    (word, position) order until ``spare_bits`` runs out; whatever is
+    left stays unrepaired.
+    """
+    if spare_rows < 0 or spare_bits < 0:
+        raise ValueError("repair budgets must be >= 0")
+    by_row: dict[int, int] = {}
+    for word, positions in identified_by_word.items():
+        row = geometry.row_of(word)
+        by_row[row] = by_row.get(row, 0) + len(positions)
+    ranked = sorted((row for row, count in by_row.items() if count), key=lambda row: (-by_row[row], row))
+    repaired_rows = tuple(ranked[:spare_rows])
+    covered_rows = set(repaired_rows)
+    covered_bits = sum(by_row[row] for row in repaired_rows)
+    remaining: list[tuple[int, int]] = [
+        (word, position)
+        for word in sorted(identified_by_word)
+        if geometry.row_of(word) not in covered_rows
+        for position in identified_by_word[word]
+    ]
+    bit_repairs = tuple(remaining[:spare_bits])
+    leftover: dict[int, list[int]] = {}
+    for word, position in remaining[spare_bits:]:
+        leftover.setdefault(word, []).append(position)
+    storage = len(repaired_rows) * row_bits + len(bit_repairs)
+    return RepairPlan(
+        repaired_rows=repaired_rows,
+        bit_repairs=bit_repairs,
+        unrepaired=tuple((word, tuple(bits)) for word, bits in sorted(leftover.items())),
+        storage_bits=storage,
+        wasted_bits=len(repaired_rows) * row_bits - covered_bits,
+    )

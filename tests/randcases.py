@@ -1,0 +1,132 @@
+"""Seeded random-case streams shared by the property-style suites.
+
+The batched-kernel and charge-system suites both grew ad-hoc
+``_random_cell`` / ``_random_case`` helpers: draw a randomized fixture
+from a ``numpy`` generator, unpack it, assert a property.  This module
+is their shared home.  Every generator takes an explicit integer seed
+(or an already-seeded ``Generator``) and returns a small frozen case
+object whose ``label`` names the generating parameters — so a failing
+parametrized test identifies its exact case from the pytest id alone,
+and re-running it needs nothing but the same seed.  The case also
+carries the advanced ``rng``, letting a test keep drawing follow-on
+values (shuffles, extra constraint positions) deterministically from
+where the case generator left off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.ecc.hamming import canonical_sec_code, random_sec_code
+from repro.memory.error_model import WordErrorProfile
+
+__all__ = [
+    "CellCase",
+    "ChargeCase",
+    "charge_case",
+    "charge_cases",
+    "random_cell",
+]
+
+
+def _as_rng(seed) -> tuple[np.random.Generator, str]:
+    """Accept an int seed or a live ``Generator``; label the source."""
+    if isinstance(seed, np.random.Generator):
+        return seed, "rng"
+    return np.random.default_rng(seed), str(seed)
+
+
+@dataclass(frozen=True)
+class CellCase:
+    """A rectangular profiling cell: parallel codes/profiles/seeds.
+
+    Unpacks like the old ad-hoc 3-tuple (``codes, profiles, seeds``),
+    so ported call sites keep their shape.
+    """
+
+    label: str
+    codes: tuple
+    profiles: tuple[WordErrorProfile, ...]
+    seeds: tuple[int, ...]
+    rng: np.random.Generator = field(repr=False, compare=False)
+
+    def __iter__(self) -> Iterator:
+        return iter((list(self.codes), list(self.profiles), list(self.seeds)))
+
+    def __str__(self) -> str:  # pytest id for parametrized streams
+        return self.label
+
+
+def random_cell(seed, num_words: int, max_count: int = 6) -> CellCase:
+    """A cell of ``num_words`` words over two codes, some words empty.
+
+    Each word gets 0 to ``max_count - 1`` at-risk positions on its code
+    with per-bit probabilities in [0.05, 1.0), plus a word seed — the
+    exact distribution the batched-kernel suite always pinned its
+    scalar-equivalence property over.
+    """
+    rng, source = _as_rng(seed)
+    codes = [canonical_sec_code(16), random_sec_code(32, np.random.default_rng(5))]
+    profiles, cell_codes = [], []
+    for index in range(num_words):
+        code = codes[index % len(codes)]
+        count = int(rng.integers(0, max_count))
+        positions = tuple(
+            sorted(rng.choice(code.n, size=count, replace=False).tolist())
+        )
+        probabilities = tuple(float(p) for p in rng.uniform(0.05, 1.0, size=count))
+        profiles.append(WordErrorProfile(positions, probabilities))
+        cell_codes.append(code)
+    seeds = [int(s) for s in rng.integers(0, 2**31, size=num_words)]
+    return CellCase(
+        label=f"cell-seed{source}-w{num_words}-c{max_count}",
+        codes=tuple(cell_codes),
+        profiles=tuple(profiles),
+        seeds=tuple(seeds),
+        rng=rng,
+    )
+
+
+@dataclass(frozen=True)
+class ChargeCase:
+    """A random SEC code with anchor constraints and a candidate pair.
+
+    Unpacks like the old ad-hoc 3-tuple (``code, anchors, pair``).
+    """
+
+    label: str
+    code: object
+    anchors: frozenset
+    pair: tuple
+    rng: np.random.Generator = field(repr=False, compare=False)
+
+    def __iter__(self) -> Iterator:
+        return iter((self.code, self.anchors, self.pair))
+
+    def __str__(self) -> str:  # pytest id for parametrized streams
+        return self.label
+
+
+def charge_case(seed) -> ChargeCase:
+    """A random (8-63 data bits) SEC code, 0-5 anchors, one test pair."""
+    rng, source = _as_rng(seed)
+    code = random_sec_code(int(rng.integers(8, 64)), rng)
+    anchors = frozenset(
+        int(x) for x in rng.choice(code.k, size=int(rng.integers(0, 6)), replace=False)
+    )
+    pair = tuple(int(x) for x in rng.choice(code.n, size=2, replace=False))
+    return ChargeCase(
+        label=f"charge-seed{source}-k{code.k}-a{len(anchors)}",
+        code=code,
+        anchors=anchors,
+        pair=pair,
+        rng=rng,
+    )
+
+
+def charge_cases(seeds) -> list[ChargeCase]:
+    """One labeled :func:`charge_case` per seed, for ``parametrize``."""
+    return [charge_case(seed) for seed in seeds]

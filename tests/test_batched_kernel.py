@@ -14,10 +14,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from randcases import random_cell
 
 from repro.analysis.atrisk import compute_ground_truth
 from repro.analysis.memo import Memo, clear_analysis_caches, code_caches
-from repro.ecc.hamming import canonical_sec_code, random_sec_code
+from repro.ecc.hamming import canonical_sec_code
 from repro.experiments.config import SweepConfig
 from repro.experiments.runner import clear_engine_caches, run_sweep
 from repro.memory.cells import all_true_cells, alternating_cells, random_cells
@@ -44,23 +45,6 @@ def _fresh_caches():
     clear_analysis_caches()
 
 
-def _random_cell(rng, num_words, max_count=6):
-    """A rectangular cell: codes, profiles (some empty), and seeds."""
-    codes = [canonical_sec_code(16), random_sec_code(32, np.random.default_rng(5))]
-    profiles, cell_codes = [], []
-    for index in range(num_words):
-        code = codes[index % len(codes)]
-        count = int(rng.integers(0, max_count))
-        positions = tuple(
-            sorted(rng.choice(code.n, size=count, replace=False).tolist())
-        )
-        probabilities = tuple(float(p) for p in rng.uniform(0.05, 1.0, size=count))
-        profiles.append(WordErrorProfile(positions, probabilities))
-        cell_codes.append(code)
-    seeds = [int(s) for s in rng.integers(0, 2**31, size=num_words)]
-    return cell_codes, profiles, seeds
-
-
 def _assert_runs_equal(scalar, batched):
     assert len(scalar) == len(batched)
     for reference, candidate in zip(scalar, batched):
@@ -81,7 +65,7 @@ class TestBitIdentity:
         self, cls, master_seed, num_words, num_rounds
     ):
         rng = np.random.default_rng(master_seed)
-        codes, profiles, seeds = _random_cell(rng, num_words)
+        codes, profiles, seeds = random_cell(rng, num_words)
         clear_analysis_caches()
         scalar = [
             simulate_word(
@@ -98,7 +82,7 @@ class TestBitIdentity:
     def test_matches_scalar_on_both_gf2_tiers(self, tier, monkeypatch):
         monkeypatch.setenv("REPRO_GF2_TIER", tier)
         rng = np.random.default_rng(11)
-        codes, profiles, seeds = _random_cell(rng, 10)
+        codes, profiles, seeds = random_cell(rng, 10)
         for cls in BATCHED_CLASSES:
             clear_analysis_caches()
             scalar = [
@@ -120,7 +104,7 @@ class TestBitIdentity:
         code = canonical_sec_code(16)
         orientation = make_orientation(code.n)
         rng = np.random.default_rng(23)
-        _, profiles, seeds = _random_cell(rng, 6)
+        _, profiles, seeds = random_cell(rng, 6)
         profiles = [
             WordErrorProfile(
                 tuple(p for p in profile.positions if p < code.n),

@@ -10,6 +10,7 @@ is what makes the memo layer's shared eliminated bases safe.
 
 import numpy as np
 import pytest
+from randcases import charge_case, charge_cases
 
 from repro.analysis.atrisk import (
     ChargeSystem,
@@ -22,52 +23,40 @@ from repro.ecc import gf2w
 from repro.ecc.hamming import random_sec_code
 
 
-def _random_case(rng):
-    code = random_sec_code(int(rng.integers(8, 64)), rng)
-    anchors = frozenset(
-        int(x) for x in rng.choice(code.k, size=int(rng.integers(0, 6)), replace=False)
-    )
-    pair = tuple(int(x) for x in rng.choice(code.n, size=2, replace=False))
-    return code, anchors, pair
-
-
 class TestIncrementalEquivalence:
     """ChargeSystem(A).with_charged(B) == straight _solve_charge_ints(A | B)."""
 
-    @pytest.mark.parametrize("trial", range(40))
-    def test_incremental_matches_batch(self, trial):
-        rng = np.random.default_rng(1000 + trial)
-        code, anchors, pair = _random_case(rng)
+    @pytest.mark.parametrize("case", charge_cases(range(1000, 1040)), ids=str)
+    def test_incremental_matches_batch(self, case):
+        code, anchors, pair = case
         batch = _solve_charge_ints(code, anchors | set(pair), frozenset())
         incremental = ChargeSystem(code, tuple(sorted(anchors))).with_charged(pair)
         assert incremental.solution_int() == batch
         assert incremental.feasible == (batch is not None)
 
-    @pytest.mark.parametrize("trial", range(20))
-    def test_insertion_order_is_irrelevant(self, trial):
-        rng = np.random.default_rng(2000 + trial)
-        code, anchors, pair = _random_case(rng)
+    @pytest.mark.parametrize("case", charge_cases(range(2000, 2020)), ids=str)
+    def test_insertion_order_is_irrelevant(self, case):
+        code, anchors, pair = case
         positions = list(anchors | set(pair))
         reference = ChargeSystem(code, tuple(sorted(positions))).solution_int()
-        rng.shuffle(positions)
+        case.rng.shuffle(positions)
         assert ChargeSystem(code, tuple(positions)).solution_int() == reference
 
-    @pytest.mark.parametrize("trial", range(20))
-    def test_forced_zeros_match_batch(self, trial):
-        rng = np.random.default_rng(3000 + trial)
-        code, anchors, pair = _random_case(rng)
+    @pytest.mark.parametrize("case", charge_cases(range(3000, 3020)), ids=str)
+    def test_forced_zeros_match_batch(self, case):
+        code, anchors, pair = case
         ones = anchors | set(pair)
         zeros = (
-            frozenset(int(x) for x in rng.choice(code.n, size=2, replace=False)) - ones
+            frozenset(int(x) for x in case.rng.choice(code.n, size=2, replace=False))
+            - ones
         )
         batch = _solve_charge_ints(code, ones, zeros)
         system = ChargeSystem(code, tuple(ones), tuple(zeros))
         assert system.solution_int() == batch
 
-    @pytest.mark.parametrize("trial", range(20))
-    def test_solution_array_matches_solver(self, trial):
-        rng = np.random.default_rng(4000 + trial)
-        code, anchors, pair = _random_case(rng)
+    @pytest.mark.parametrize("case", charge_cases(range(4000, 4020)), ids=str)
+    def test_solution_array_matches_solver(self, case):
+        code, anchors, pair = case
         charged = anchors | set(pair)
         array = ChargeSystem(code, tuple(charged)).solution()
         reference = solve_charge_assignment(code, charged)
@@ -137,12 +126,11 @@ class TestPackedTierIdentity:
     promise tier-independent exhibits.
     """
 
-    @pytest.mark.parametrize("trial", range(25))
-    def test_packed_matches_integer_basis(self, trial, monkeypatch):
-        rng = np.random.default_rng(5000 + trial)
-        code, anchors, pair = _random_case(rng)
+    @pytest.mark.parametrize("case", charge_cases(range(5000, 5025)), ids=str)
+    def test_packed_matches_integer_basis(self, case, monkeypatch):
+        code, anchors, pair = case
         zeros = (
-            frozenset(int(x) for x in rng.choice(code.n, size=2, replace=False))
+            frozenset(int(x) for x in case.rng.choice(code.n, size=2, replace=False))
             - anchors
             - set(pair)
         )
@@ -161,8 +149,7 @@ class TestPackedTierIdentity:
         assert packed._pivots == reference._pivots
 
     def test_solver_dispatch_under_packed_tier(self, monkeypatch):
-        rng = np.random.default_rng(99)
-        code, anchors, pair = _random_case(rng)
+        code, anchors, pair = charge_case(99)
         charged = anchors | set(pair)
         monkeypatch.setenv("REPRO_GF2_TIER", "unpacked")
         reference = _solve_charge_ints(code, charged, frozenset())

@@ -19,6 +19,7 @@ DOCS = [
     ROOT / "README.md",
     ROOT / "docs" / "architecture.md",
     ROOT / "docs" / "distributed.md",
+    ROOT / "docs" / "fleet.md",
     ROOT / "docs" / "operations.md",
 ]
 
@@ -127,3 +128,31 @@ def test_operations_covers_the_control_plane_surfaces():
         "repro-status-v1",
     ):
         assert surface in operations, f"operations.md must document {surface}"
+
+
+def test_fleet_doc_is_cross_linked():
+    """The fleet doc must be reachable from the entry docs and link back."""
+    readme = (ROOT / "README.md").read_text()
+    architecture = (ROOT / "docs" / "architecture.md").read_text()
+    fleet_doc = (ROOT / "docs" / "fleet.md").read_text()
+    assert "docs/fleet.md" in readme
+    assert "fleet.md" in architecture
+    assert "distributed.md" in fleet_doc
+    assert "operations.md" in fleet_doc
+
+
+def test_fleet_doc_covers_the_model_and_sharding():
+    """fleet.md must document the model, the report, and the slicing."""
+    fleet_doc = (ROOT / "docs" / "fleet.md").read_text()
+    for surface in (
+        "FaultMixModel",
+        "FIELD_DDR4",
+        "variability_sigma",
+        "chip-indexed",
+        "slice_words",
+        "repro-fleet-v1",
+        "--resume",
+        "--status-port",
+        "python -m repro fleet",
+    ):
+        assert surface in fleet_doc, f"fleet.md must document {surface}"
