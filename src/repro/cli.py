@@ -472,12 +472,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=list(COMMANDS) + ["all", "worker", "store", "status"],
+        choices=list(COMMANDS) + ["all", "worker", "store", "status", "serve", "jobs"],
         help="exhibit to regenerate ('all' runs every one; 'worker' joins "
         "a socket-backend server instead of rendering an exhibit; 'store' "
         "is the shard-store toolbox — see python -m repro store --help; "
         "'status' reads a live --status-port snapshot — see "
-        "python -m repro status --help)",
+        "python -m repro status --help; 'serve' runs the campaign daemon "
+        "and 'jobs' is its HTTP client — see python -m repro serve --help "
+        "and docs/service.md)",
     )
     parser.add_argument(
         "--scale",
@@ -661,6 +663,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.monitor import status_main
 
         return status_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The campaign daemon has its own flag set (ports, state dir,
+        # fleet knobs); dispatch before the exhibit parser sees it.
+        from repro.experiments.service import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "jobs":
+        # The daemon's HTTP client: URL ACTION [TARGET] grammar.
+        from repro.experiments.service import jobs_main
+
+        return jobs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "status":
         # Reachable only when options precede the subcommand, mirroring
@@ -678,6 +691,14 @@ def main(argv: list[str] | None = None) -> int:
             "the store toolbox takes no exhibit options; invoke it as "
             "`python -m repro store PATH {summary,compact,merge}` with "
             "'store' first"
+        )
+    if args.command in ("serve", "jobs"):
+        # Reachable only when options precede the subcommand, mirroring
+        # the store/status guards above.
+        raise SystemExit(
+            f"the campaign daemon takes no exhibit options; invoke it as "
+            f"`python -m repro {args.command} ...` with {args.command!r} first "
+            "(see python -m repro serve --help)"
         )
     if args.command == "worker":
         if not args.connect:

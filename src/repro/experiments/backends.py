@@ -171,6 +171,7 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterator, Sequence
 
+from repro.experiments.monitor import STATUS_FORMAT, ThroughputHistory
 from repro.experiments.wire import (
     MAX_FRAME,
     WIRE_CHOICES,
@@ -184,6 +185,9 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "SocketBackend",
+    "WorkServer",
+    "SharedFleetBackend",
+    "MapCancelled",
     "WorkerRejectedError",
     "resolve_backend",
     "resolve_jobs",
@@ -1000,6 +1004,9 @@ class SocketBackend(ExecutionBackend):
         }
         condition = threading.Condition()
         done = threading.Event()
+        #: Throughput ring buffer for status-v2 trend rendering; sampled
+        #: on every chunk completion under ``condition``.
+        history = ThroughputHistory()
 
         def dispatchable() -> bool:
             """Under ``condition``: is there a chunk ready to hand out?
@@ -1200,6 +1207,9 @@ class SocketBackend(ExecutionBackend):
                             else:
                                 completed[index] = payload
                                 state["done"] += 1
+                                history.record(
+                                    time.monotonic() - started_at, state["done"]
+                                )
                             state["in_flight"] -= 1
                             current = None
                             me["chunk"] = None
@@ -1290,7 +1300,7 @@ class SocketBackend(ExecutionBackend):
         started_at = time.monotonic()
 
         def snapshot() -> dict:
-            """Assemble the repro-status-v1 JSON snapshot (status port)."""
+            """Assemble the repro-status-v2 JSON snapshot (status port)."""
             with condition:
                 now = time.monotonic()
                 extra = (
@@ -1300,7 +1310,7 @@ class SocketBackend(ExecutionBackend):
                 )
                 return {
                     **extra,
-                    "format": "repro-status-v1",
+                    "format": STATUS_FORMAT,
                     "elapsed": round(now - started_at, 3),
                     "wire": self.wire,
                     "fleet": {
@@ -1327,6 +1337,7 @@ class SocketBackend(ExecutionBackend):
                     "retries": state["retries"],
                     "quarantined": sorted(quarantined),
                     "healed": len(healed),
+                    "history": history.sample(),
                 }
 
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
@@ -1475,6 +1486,701 @@ class SocketBackend(ExecutionBackend):
                 f"{state['expected'] - state['done']} chunk(s) outstanding "
                 f"(exit codes: {[process.returncode for process in workers]})"
             )
+
+
+class MapCancelled(RuntimeError):
+    """Raised to a map's consumer when the map was cancelled mid-flight.
+
+    Only the multi-map :class:`WorkServer` raises this: single-map
+    backends have no cancel surface (the consumer just closes the
+    iterator).  The service layer turns it into the ``cancelled`` job
+    state instead of ``failed``.
+    """
+
+
+class WorkServer:
+    """Persistent multi-campaign work server over one shared worker fleet.
+
+    :class:`SocketBackend` serves exactly one map per listener: the
+    listener binds when the map starts and closes when it drains, and a
+    worker session lives inside that one map.  The campaign service
+    needs the opposite shape — a fleet that outlives any single
+    campaign, with *several* maps in flight at once — so this server
+    binds once, keeps worker sessions alive across maps, and hands out
+    chunks **round-robin across all open maps**: with two campaigns
+    sharing two workers, each campaign advances at half speed instead of
+    the second starving behind the first (the cross-campaign fairness
+    headroom noted when one server hosts several maps).
+
+    The wire protocol is unchanged ``repro-wire-v1``: the same
+    ``python -m repro worker --connect`` processes serve either server
+    kind.  Two mappings make multiplexing invisible to workers:
+
+    * The campaign id in the ``welcome`` frame scopes the whole server
+      lifetime (one fleet epoch), so every job submitted to one daemon
+      rides the same HMAC-authenticated session scope — a frame replayed
+      from another daemon (or a previous incarnation of this one) is
+      rejected per-frame exactly as a cross-map replay is on
+      :class:`SocketBackend`.
+    * Task frames carry a server-global *ticket* where the single-map
+      server put the chunk index.  Workers echo it back untouched, and
+      the server routes the reply to the owning ``(map, chunk)`` — so
+      interleaved chunks from concurrent campaigns never collide even
+      when their chunk indices do.
+
+    Per-map semantics match the single-map server where they apply:
+    heartbeat deadlines requeue a dead worker's chunk, each requeue
+    spends the chunk's retry budget, and budget exhaustion fails *that
+    map only* (the service reports the job ``failed``; other jobs keep
+    running).  The quarantine/auto-retry machinery stays single-map —
+    a service job heals by resubmission over its resume store instead.
+
+    Use :meth:`submit` to open a map and iterate the returned
+    :class:`MapHandle`; or wrap the server in a
+    :class:`SharedFleetBackend` facade per job so the ordinary drivers
+    (``run_sweep``, ``fig10.run``, ``fleet.run``) consume it like any
+    other backend.
+    """
+
+    def __init__(
+        self,
+        bind: str = "127.0.0.1:0",
+        *,
+        spawn_workers: int = 0,
+        auth_token: str | None = None,
+        workers_expected: int = 0,
+        heartbeat_timeout: float | None = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_chunk_retries: int = DEFAULT_CHUNK_RETRIES,
+        wire: str = "v1",
+        status_port: int | None = None,
+        worker_linger: float = 5.0,
+    ) -> None:
+        self.bind_host, self.bind_port = parse_address(bind)
+        if spawn_workers < 0:
+            raise ValueError("spawn_workers must be >= 0")
+        if workers_expected < 0:
+            raise ValueError("workers_expected must be >= 0")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive (or None)")
+        if max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
+        if wire not in WIRE_CHOICES:
+            raise ValueError(f"wire must be one of {WIRE_CHOICES}, got {wire!r}")
+        if status_port is not None and not 0 <= status_port <= 65535:
+            raise ValueError("status_port must be a TCP port (or None)")
+        self.spawn_workers = spawn_workers
+        self.auth_token = auth_token
+        self.workers_expected = workers_expected
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_chunk_retries = max_chunk_retries
+        self.wire = wire
+        self.status_port = status_port
+        self.worker_linger = worker_linger
+        #: Resolved ``(host, port)`` of the live work listener.
+        self.address: tuple[str, int] | None = None
+        #: Resolved ``(host, port)`` of the live status server (if any).
+        self.status_address: tuple[str, int] | None = None
+        #: One fleet epoch: every worker session and every frame of
+        #: every job submitted to this server is scoped to this id.
+        self._campaign = secrets.token_hex(8)
+        self._condition = threading.Condition()
+        self._closed = threading.Event()
+        self._maps: dict[int, dict] = {}
+        self._rotation: deque[int] = deque()
+        self._tasks: dict[int, tuple[int, int]] = {}
+        self._next_map = 0
+        self._next_ticket = 0
+        self._fleet: dict[int, dict] = {}
+        self._state = {
+            "handlers": 0,
+            "joined": 0,
+            "left": 0,
+            "retries": 0,
+            "done": 0,
+            "expected_total": 0,
+            "opened": 0,
+        }
+        self._history = ThroughputHistory()
+        self._started = time.monotonic()
+        self._listener: socket.socket | None = None
+        self._acceptor: threading.Thread | None = None
+        self._status_server = None
+        self._procs: list[subprocess.Popen] = []
+
+    def _heartbeat_interval(self) -> float:
+        if self.heartbeat_timeout is None:
+            return DEFAULT_HEARTBEAT_TIMEOUT / 4
+        return max(0.05, self.heartbeat_timeout / 4)
+
+    def worker_hint(self) -> int:
+        """Fleet-size estimate for chunk sizing (see SocketBackend)."""
+        if self.spawn_workers and self.bind_host in ("127.0.0.1", "localhost", "::1"):
+            return self.spawn_workers
+        return max(self.spawn_workers, 16)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "WorkServer":
+        """Bind the work port, start accepting, spawn the local fleet."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self.bind_host, self.bind_port))
+            listener.listen()
+        except OSError:
+            listener.close()
+            raise
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        if self.status_port is not None:
+            from repro.experiments.monitor import StatusServer
+
+            self._status_server = StatusServer(
+                (self.bind_host, self.status_port), self.snapshot
+            ).start()
+            self.status_address = self._status_server.address
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-workserver-accept", daemon=True
+        )
+        self._acceptor.start()
+        self._procs = self._spawn_local_workers(self.address[1])
+        return self
+
+    def _spawn_local_workers(self, port: int) -> list[subprocess.Popen]:
+        """Launch the server's own workers (same contract as SocketBackend).
+
+        Unlike per-map spawns these get a nonzero ``--linger``: the
+        fleet is meant to outlive individual maps, so a worker that
+        loses its connection (handler died, transient network wobble)
+        retries the work port for a few seconds instead of exiting and
+        shrinking the fleet permanently.
+        """
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(entry for entry in sys.path if entry)
+        if self.auth_token is not None:
+            env[AUTH_TOKEN_ENV] = self.auth_token
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--linger",
+            str(self.worker_linger),
+            "--spawned",
+            "--wire",
+            self.wire,
+        ]
+        return [
+            subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+            for _ in range(self.spawn_workers)
+        ]
+
+    def close(self) -> None:
+        """Stop accepting, end worker sessions, reap spawned workers."""
+        self._closed.set()
+        with self._condition:
+            self._condition.notify_all()
+        if self._listener is not None:
+            self._listener.close()
+        if self._status_server is not None:
+            self._status_server.close()
+            self._status_server = None
+        if self._acceptor is not None and self._acceptor.ident is not None:
+            self._acceptor.join(timeout=5)
+        for process in self._procs:
+            # A lingering worker retries the (now closed) port for up to
+            # worker_linger seconds before exiting cleanly; escalate
+            # only past that.
+            try:
+                process.wait(timeout=self.worker_linger + 5)
+            except subprocess.TimeoutExpired:  # pragma: no cover - cleanup
+                process.kill()
+        self._procs = []
+        self.address = None
+        self.status_address = None
+
+    # -- map registry ---------------------------------------------------
+
+    def submit(
+        self, worker: Callable, shards: Sequence, chunksize: int = 1
+    ) -> "MapHandle":
+        """Open a map over the shared fleet; iterate the handle's results."""
+        if self._closed.is_set():
+            raise RuntimeError("work server is closed")
+        chunksize = max(1, int(chunksize))
+        chunk_shards = [
+            list(range(i, min(i + chunksize, len(shards))))
+            for i in range(0, len(shards), chunksize)
+        ]
+        with self._condition:
+            map_id = self._next_map
+            self._next_map += 1
+            self._maps[map_id] = {
+                "worker": worker,
+                "shards": shards,
+                "chunk_shards": chunk_shards,
+                "pending": deque(range(len(chunk_shards))),
+                "completed": {},
+                "attempts": {},
+                "done": 0,
+                "served": 0,
+                "expected": len(chunk_shards),
+                "in_flight": 0,
+                "error": None,
+                "cancelled": False,
+            }
+            self._rotation.append(map_id)
+            self._state["opened"] += 1
+            self._state["expected_total"] += len(chunk_shards)
+            self._condition.notify_all()
+        return MapHandle(self, map_id)
+
+    def _close_map(self, map_id: int) -> None:
+        """Deregister a consumed/abandoned map; drop its late replies."""
+        with self._condition:
+            if self._maps.pop(map_id, None) is None:
+                return
+            try:
+                self._rotation.remove(map_id)
+            except ValueError:  # pragma: no cover - already rotated out
+                pass
+            for ticket, (owner, _) in list(self._tasks.items()):
+                if owner == map_id:
+                    del self._tasks[ticket]
+            self._condition.notify_all()
+
+    def _pick_locked(self) -> tuple[int, int] | None:
+        """Under the condition: next ``(map_id, chunk_index)`` to dispatch.
+
+        One full turn of the rotation per call, advancing the rotation
+        past the map it serves — this *is* the cross-campaign fairness:
+        each dispatch opportunity goes to the next open map that has
+        work, so concurrent campaigns interleave chunk-by-chunk instead
+        of draining in submission order.
+        """
+        for _ in range(len(self._rotation)):
+            map_id = self._rotation[0]
+            self._rotation.rotate(-1)
+            entry = self._maps.get(map_id)
+            if (
+                entry is None
+                or entry["cancelled"]
+                or entry["error"] is not None
+                or not entry["pending"]
+            ):
+                continue
+            return map_id, entry["pending"].popleft()
+        return None
+
+    def _check_liveness_locked(self, entry: dict) -> None:
+        """Fail open maps fast when the whole spawned fleet is dead."""
+        if not self._procs or self._state["handlers"] > 0:
+            return
+        if entry["served"] >= entry["expected"]:
+            return
+        if all(process.poll() is not None for process in self._procs):
+            codes = [process.returncode for process in self._procs]
+            for open_map in self._maps.values():
+                if open_map["error"] is None:
+                    open_map["error"] = RuntimeError(
+                        "all spawned fleet workers exited with maps "
+                        f"outstanding (exit codes: {codes})"
+                    )
+
+    # -- status ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Assemble the repro-status-v2 fleet snapshot (status/HTTP)."""
+        with self._condition:
+            now = time.monotonic()
+            return {
+                "format": STATUS_FORMAT,
+                "elapsed": round(now - self._started, 3),
+                "wire": self.wire,
+                "fleet": {
+                    "size": len(self._fleet),
+                    "joined_total": self._state["joined"],
+                    "left_total": self._state["left"],
+                    "expected": self.workers_expected,
+                },
+                "workers": [
+                    {
+                        "pid": info["pid"],
+                        "heartbeat_age": round(now - info["last_seen"], 3),
+                        "chunk": info["chunk"],
+                    }
+                    for info in self._fleet.values()
+                ],
+                "chunks": {
+                    "total": self._state["expected_total"],
+                    "done": self._state["done"],
+                    "pending": sum(
+                        len(entry["pending"]) for entry in self._maps.values()
+                    ),
+                    "deferred": 0,
+                    "in_flight": sum(
+                        entry["in_flight"] for entry in self._maps.values()
+                    ),
+                },
+                "retries": self._state["retries"],
+                "quarantined": [],
+                "healed": 0,
+                "maps": {
+                    "active": len(self._maps),
+                    "opened": self._state["opened"],
+                },
+                "history": self._history.sample(),
+            }
+
+    # -- worker sessions ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        listener.settimeout(0.1)
+        while not self._closed.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._condition:
+                self._state["handlers"] += 1
+            threading.Thread(target=self._handle, args=(conn,), daemon=True).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        """Serve one worker session across every map this server hosts.
+
+        The body mirrors :meth:`SocketBackend._execute`'s handler — the
+        same handshake, heartbeat deadline, badframe/nack recovery, and
+        requeue-on-death bookkeeping — with two differences: an idle
+        session *waits for the next map* instead of ending when one map
+        drains, and dispatched tickets are resolved through
+        ``self._tasks`` back to their owning map.
+        """
+        me: dict | None = None
+        ticket: int | None = None
+        session = make_session(self.wire, self.auth_token)
+
+        def poll_goodbye() -> str | None:
+            while select.select([conn], [], [], 0)[0]:
+                conn.settimeout(5)
+                try:
+                    early = session.recv(conn)
+                except FrameRejected:
+                    continue
+                finally:
+                    conn.settimeout(self.heartbeat_timeout)
+                if early is None:
+                    return "eof"
+                if early[0] == "leave":
+                    return "leave"
+            return None
+
+        try:
+            with conn:
+                conn.settimeout(5)
+                hello = session.recv(conn)
+                if not hello or hello[0] != "hello":
+                    return
+                token = hello[2] if len(hello) > 2 else None
+                if self.auth_token is not None and not _tokens_match(
+                    token, self.auth_token
+                ):
+                    try:
+                        session.send(conn, ("reject", "bad or missing auth token"))
+                    except OSError:
+                        pass
+                    return
+                session.send(
+                    conn,
+                    (
+                        "welcome",
+                        self._heartbeat_interval(),
+                        self._campaign,
+                        session.mac_mode,
+                    ),
+                )
+                session.campaign = self._campaign
+                session.secure()
+                conn.settimeout(self.heartbeat_timeout)
+                me = {
+                    "pid": hello[1],
+                    "last_seen": time.monotonic(),
+                    "chunk": None,
+                    "leaving": False,
+                }
+                with self._condition:
+                    self._state["joined"] += 1
+                    self._fleet[id(me)] = me
+                    self._condition.notify_all()
+                goodbye: str | None = None
+                while True:
+                    # -- wait for a chunk from any open map --------------
+                    ticket = None
+                    task = None
+                    while task is None:
+                        goodbye = poll_goodbye()
+                        if goodbye:
+                            break
+                        with self._condition:
+                            if self._closed.is_set():
+                                break
+                            if self._state["joined"] >= self.workers_expected:
+                                picked = self._pick_locked()
+                                if picked is not None:
+                                    map_id, chunk_index = picked
+                                    entry = self._maps[map_id]
+                                    ticket = self._next_ticket
+                                    self._next_ticket += 1
+                                    self._tasks[ticket] = (map_id, chunk_index)
+                                    entry["in_flight"] += 1
+                                    me["chunk"] = ticket
+                                    me["last_seen"] = time.monotonic()
+                                    task = (
+                                        "task",
+                                        ticket,
+                                        entry["worker"],
+                                        [
+                                            entry["shards"][i]
+                                            for i in entry["chunk_shards"][chunk_index]
+                                        ],
+                                    )
+                                    continue
+                            self._condition.wait(0.1)
+                    if task is None:
+                        break  # server closing, or the worker said goodbye
+                    # -- dispatch, then pump frames until the reply ------
+                    session.send(conn, task)
+                    resends = nacks = 0
+                    while True:
+                        try:
+                            reply = session.recv(conn)
+                        except FrameRejected:
+                            nacks += 1
+                            if nacks > _TRANSPORT_RETRIES:
+                                raise ConnectionError(
+                                    "worker kept sending unusable frames; "
+                                    "dropping the connection"
+                                )
+                            session.send(conn, ("nack",))
+                            continue
+                        if reply is None:
+                            raise ConnectionError("worker hung up mid-task")
+                        with self._condition:
+                            me["last_seen"] = time.monotonic()
+                        if reply[0] == "heartbeat":
+                            continue
+                        if reply[0] == "leave":
+                            goodbye = "leave"
+                            continue
+                        if reply[0] == "badframe":
+                            resends += 1
+                            if resends > _TRANSPORT_RETRIES:
+                                detail = reply[1] if len(reply) > 1 else "unknown"
+                                raise ConnectionError(
+                                    "worker could not use the task frame "
+                                    f"after {resends} sends: {detail}"
+                                )
+                            session.send(conn, task)
+                            continue
+                        if reply[0] in ("result", "error") and reply[1] != ticket:
+                            continue  # stale resend from nack crossfire
+                        break
+                    kind, _, payload = reply
+                    with self._condition:
+                        owner = self._tasks.pop(ticket, None)
+                        entry = self._maps.get(owner[0]) if owner else None
+                        if entry is not None:
+                            entry["in_flight"] -= 1
+                            if kind == "error":
+                                entry["error"] = _RemoteTaskError(
+                                    f"shard chunk {owner[1]} failed on a fleet "
+                                    f"worker:\n{payload}"
+                                )
+                            elif not entry["cancelled"]:
+                                entry["completed"][owner[1]] = payload
+                                entry["done"] += 1
+                                self._state["done"] += 1
+                                self._history.record(
+                                    time.monotonic() - self._started,
+                                    self._state["done"],
+                                )
+                        ticket = None
+                        me["chunk"] = None
+                        self._condition.notify_all()
+                    if goodbye:
+                        break
+                if goodbye == "leave":
+                    with self._condition:
+                        me["leaving"] = True
+                        self._state["left"] += 1
+                        self._condition.notify_all()
+                try:
+                    session.send(conn, ("shutdown",))
+                except OSError:
+                    pass
+        except Exception:
+            # Session died with a chunk in flight: hand the chunk back
+            # to its owning map (spending its retry budget) so the
+            # surviving fleet can finish the campaign — exactly the
+            # single-map server's contract, routed through the ticket.
+            with self._condition:
+                owner = self._tasks.pop(ticket, None) if ticket is not None else None
+                entry = self._maps.get(owner[0]) if owner else None
+                if entry is not None:
+                    chunk_index = owner[1]
+                    entry["in_flight"] -= 1
+                    entry["attempts"][chunk_index] = (
+                        entry["attempts"].get(chunk_index, 0) + 1
+                    )
+                    self._state["retries"] += 1
+                    if entry["attempts"][chunk_index] > self.max_chunk_retries:
+                        entry["error"] = RuntimeError(
+                            f"shard chunk {chunk_index} was lost by "
+                            f"{entry['attempts'][chunk_index]} worker(s) in a "
+                            f"row; retry budget ({self.max_chunk_retries}) "
+                            "exhausted — failing this campaign (cells already "
+                            "streamed to its resume store are safe; other "
+                            "campaigns on this fleet are unaffected)"
+                        )
+                    else:
+                        entry["pending"].appendleft(chunk_index)
+                self._condition.notify_all()
+        finally:
+            with self._condition:
+                self._state["handlers"] -= 1
+                if me is not None:
+                    self._fleet.pop(id(me), None)
+                self._condition.notify_all()
+
+
+class MapHandle:
+    """Consumer handle for one map opened on a :class:`WorkServer`."""
+
+    def __init__(self, server: WorkServer, map_id: int) -> None:
+        self._server = server
+        self.map_id = map_id
+
+    def cancel(self) -> None:
+        """Stop dispatching this map; discard in-flight results.
+
+        Idempotent and safe from any thread; the consumer iterating
+        :meth:`results` wakes promptly with :class:`MapCancelled`.
+        """
+        server = self._server
+        with server._condition:
+            entry = server._maps.get(self.map_id)
+            if entry is not None:
+                entry["cancelled"] = True
+                entry["pending"].clear()
+                server._condition.notify_all()
+
+    def results(self) -> Iterator[tuple[int, object]]:
+        """Yield ``(shard_index, result)`` in completion order.
+
+        Raises :class:`MapCancelled` after :meth:`cancel`, or the map's
+        failure (poison chunk, remote error, dead fleet).  Closing the
+        generator early deregisters the map and stops its dispatch.
+        """
+        server = self._server
+        condition = server._condition
+        try:
+            while True:
+                with condition:
+                    entry = server._maps.get(self.map_id)
+                    if entry is None:
+                        return
+                    while True:
+                        if entry["cancelled"]:
+                            raise MapCancelled(
+                                f"map {self.map_id} was cancelled"
+                            )
+                        if entry["error"] is not None:
+                            raise entry["error"]
+                        if entry["completed"]:
+                            break
+                        if entry["served"] >= entry["expected"]:
+                            return
+                        if server._closed.is_set():
+                            raise RuntimeError(
+                                "work server closed with the map incomplete"
+                            )
+                        server._check_liveness_locked(entry)
+                        condition.wait(0.1)
+                    index, payload = entry["completed"].popitem()
+                    entry["served"] += 1
+                    shard_indices = entry["chunk_shards"][index]
+                    condition.notify_all()
+                for pair in zip(shard_indices, payload):
+                    yield pair
+        finally:
+            server._close_map(self.map_id)
+
+
+class SharedFleetBackend(ExecutionBackend):
+    """Per-campaign :class:`ExecutionBackend` facade over a shared fleet.
+
+    Each service job gets its own facade over the daemon's one
+    :class:`WorkServer`, so the ordinary drivers (``run_sweep``,
+    ``fig10.run``, ``fleet.run``) run unchanged — resume stores,
+    progress, and bit-identity all come for free — while their chunks
+    interleave with every other job's on the shared fleet.
+
+    :meth:`cancel` (any thread) aborts the facade's in-flight map with
+    :class:`MapCancelled`; :attr:`shards_done` / :attr:`shards_total`
+    are the live coverage counters the service's job endpoint reports.
+    """
+
+    name = "shared-fleet"
+
+    def __init__(self, server: WorkServer) -> None:
+        self._server = server
+        self._handle: MapHandle | None = None
+        self._cancelled = threading.Event()
+        #: Shards submitted to the fleet by this facade (resumed cells
+        #: were never submitted, so this is the remaining work).
+        self.shards_total = 0
+        #: Shards whose results have been yielded back to the driver.
+        self.shards_done = 0
+
+    def cancel(self) -> None:
+        self._cancelled.set()
+        handle = self._handle
+        if handle is not None:
+            handle.cancel()
+
+    def worker_hint(self) -> int:
+        return self._server.worker_hint()
+
+    def imap_unordered(
+        self, worker: Callable, shards: Sequence, chunksize: int = 1
+    ) -> Iterator[tuple[int, object]]:
+        if self._cancelled.is_set():
+            raise MapCancelled("campaign cancelled before dispatch")
+        handle = self._server.submit(worker, shards, chunksize)
+        self._handle = handle
+        self.shards_total += len(shards)
+        if self._cancelled.is_set():
+            # cancel() raced the submit: make sure the map dies too.
+            handle.cancel()
+        try:
+            for pair in handle.results():
+                self.shards_done += 1
+                yield pair
+        finally:
+            self._handle = None
+
+    def imap(self, worker: Callable, shards: Sequence, chunksize: int = 1) -> Iterator:
+        buffered: dict[int, object] = {}
+        next_index = 0
+        for index, result in self.imap_unordered(worker, shards, chunksize):
+            buffered[index] = result
+            while next_index in buffered:
+                yield buffered.pop(next_index)
+                next_index += 1
 
 
 def resolve_backend(

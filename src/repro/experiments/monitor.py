@@ -23,7 +23,7 @@ Three instruments, one per operational question:
   the shard keys a ``--continue-past-quarantine`` run set aside, with
   the targeted re-run recipe.
 
-Status wire format (``repro-status-v1``)
+Status wire format (``repro-status-v2``)
 ========================================
 
 The status port speaks line-delimited JSON, not the pickle protocol of
@@ -33,7 +33,7 @@ a single JSON object:
 
 .. code-block:: json
 
-    {"format": "repro-status-v1",
+    {"format": "repro-status-v2",
      "elapsed": 12.3,
      "wire": "v1",
      "fleet": {"size": 2, "joined_total": 3, "left_total": 1, "expected": 2},
@@ -43,7 +43,8 @@ a single JSON object:
                 "in_flight": 2},
      "retries": 1,
      "quarantined": [3],
-     "healed": 0}
+     "healed": 0,
+     "history": [{"t": 2.0, "done": 1}, {"t": 7.1, "done": 5}]}
 
 Field semantics:
 
@@ -75,11 +76,24 @@ field                     meaning
 ``campaign``              optional driver-supplied workload fields
                           (e.g. the fleet runner's ``workload`` /
                           ``chips`` / ``shards`` / ``cell_slices``)
+``history``               ring buffer of ``{"t", "done"}`` throughput
+                          samples (``t`` seconds since serving started,
+                          ``done`` chunks completed by then) — at most
+                          one sample per second, oldest evicted past
+                          :data:`HISTORY_SAMPLES`; lets clients compute
+                          *trends*, not just the instantaneous state
+                          (new in ``repro-status-v2``)
+``maps``                  ``{"active", "opened"}`` concurrent-map
+                          counters from multi-campaign servers (new in
+                          ``repro-status-v2``; absent from single-map
+                          backends)
 ========================  ==============================================
 
 Fields added by later protocol revisions are additive: clients must
 tolerate their absence (``repro status`` renders pre-elastic snapshots
-without churn/healed lines rather than failing).
+without churn/healed lines rather than failing).  ``repro-status-v1``
+is the same schema without ``history``/``maps``; :func:`read_status`
+still accepts it so one operator CLI can watch old and new servers.
 
 See ``docs/operations.md`` for the monitoring runbook.
 """
@@ -92,11 +106,16 @@ import socket
 import sys
 import threading
 import time
+from collections import deque
 from collections.abc import Mapping
 from typing import Callable, Iterable, Sequence
 
 __all__ = [
     "STATUS_FORMAT",
+    "STATUS_FORMAT_V1",
+    "STATUS_FORMATS",
+    "HISTORY_SAMPLES",
+    "ThroughputHistory",
     "StatusServer",
     "read_status",
     "render_status",
@@ -113,7 +132,58 @@ __all__ = [
 ]
 
 #: Format tag of the one-line JSON status snapshot.
-STATUS_FORMAT = "repro-status-v1"
+STATUS_FORMAT = "repro-status-v2"
+
+#: The pre-history schema; still accepted by :func:`read_status` so the
+#: operator CLI keeps working against servers from before the bump.
+STATUS_FORMAT_V1 = "repro-status-v1"
+
+#: Every snapshot format this client renders.
+STATUS_FORMATS = (STATUS_FORMAT_V1, STATUS_FORMAT)
+
+#: Ring-buffer depth of the throughput history (one sample per second
+#: at most, so this is roughly the last minute of the campaign).
+HISTORY_SAMPLES = 60
+
+
+class ThroughputHistory:
+    """Ring buffer of ``(t, done)`` throughput samples for status v2.
+
+    Snapshot producers (:class:`~repro.experiments.backends.SocketBackend`,
+    the service's shared :class:`~repro.experiments.backends.WorkServer`)
+    call :meth:`record` on every chunk completion; the buffer keeps at
+    most one sample per ``min_interval`` seconds (coalescing bursts into
+    the newest sample) and evicts past ``maxlen``, so a week-long
+    campaign costs the same memory as a minute-long one.  :meth:`sample`
+    returns the JSON-safe list the ``history`` snapshot field carries.
+
+    Thread safety is the caller's: producers already hold their own
+    condition lock around completion bookkeeping and snapshot assembly.
+    """
+
+    def __init__(self, maxlen: int = HISTORY_SAMPLES, min_interval: float = 1.0) -> None:
+        if maxlen <= 0:
+            raise ValueError("maxlen must be >= 1")
+        self._samples: deque[tuple[float, int]] = deque(maxlen=maxlen)
+        self._min_interval = max(0.0, float(min_interval))
+
+    def record(self, elapsed: float, done: int) -> None:
+        """Record ``done`` chunks completed ``elapsed`` seconds in."""
+        elapsed = float(elapsed)
+        done = int(done)
+        if self._samples and elapsed - self._samples[-1][0] < self._min_interval:
+            # Burst within the sampling interval: fold into the newest
+            # sample so the buffer spans wall-clock, not completions.
+            self._samples[-1] = (self._samples[-1][0], done)
+            return
+        self._samples.append((elapsed, done))
+
+    def sample(self) -> list[dict]:
+        """JSON-safe rendition for the snapshot's ``history`` field."""
+        return [{"t": round(t, 3), "done": done} for t, done in self._samples]
+
+    def __len__(self) -> int:
+        return len(self._samples)
 
 
 # ----------------------------------------------------------------------
@@ -468,11 +538,11 @@ def read_status(address: str | tuple[str, int], timeout: float = 5.0) -> dict:
             f"{host}:{port} did not answer with a JSON status line (is that "
             "really a --status-port, not the work port?)"
         ) from None
-    if not isinstance(snapshot, dict) or snapshot.get("format") != STATUS_FORMAT:
+    if not isinstance(snapshot, dict) or snapshot.get("format") not in STATUS_FORMATS:
         raise ValueError(
             f"{host}:{port} answered with an unknown status format "
             f"{snapshot.get('format') if isinstance(snapshot, dict) else snapshot!r} "
-            f"(expected {STATUS_FORMAT})"
+            f"(expected one of {', '.join(STATUS_FORMATS)})"
         )
     return snapshot
 
@@ -516,6 +586,23 @@ def render_status(snapshot: dict) -> str:
     if chunks.get("deferred"):
         chunk_line += f" · {chunks['deferred']} deferred for auto-retry"
     lines.append(chunk_line)
+    maps = snapshot.get("maps") or {}
+    if maps.get("opened"):
+        lines.append(
+            f"maps     {maps.get('active', 0)} campaign(s) active · "
+            f"{maps['opened']} opened since start"
+        )
+    history = snapshot.get("history") or []
+    if len(history) >= 2:
+        # Trend over the ring buffer's window: how fast is the fleet
+        # actually moving *lately*, as opposed to the lifetime average
+        # the chunks line implies.
+        span = float(history[-1].get("t", 0.0)) - float(history[0].get("t", 0.0))
+        delta = int(history[-1].get("done", 0)) - int(history[0].get("done", 0))
+        trend = f"history  +{delta} chunk(s) in the last {format_eta(span)}"
+        if span > 0:
+            trend += f" (~{60.0 * delta / span:.1f}/min)"
+        lines.append(trend + f" · {len(history)} sample(s)")
     if snapshot.get("healed"):
         lines.append(
             f"healed   {snapshot['healed']} shard(s) recovered by the "

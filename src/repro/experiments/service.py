@@ -1,0 +1,555 @@
+"""Profiling-as-a-service: the ``repro serve`` campaign daemon.
+
+Every campaign used to be one foreground CLI process.  This module is
+the persistent alternative: a daemon that owns one shared worker fleet
+(a multi-map :class:`~repro.experiments.backends.WorkServer`), accepts
+campaign jobs over an HTTP/JSON API, and multiplexes the running jobs
+over that fleet with round-robin chunk fairness.  The job state
+machine, durability, and crash healing live in
+:mod:`repro.experiments.scheduler`; this module is only the wire.
+
+HTTP API (all JSON)
+===================
+
+=======================  =============================================
+``POST /jobs``           submit a job spec (see
+                         :func:`~repro.experiments.scheduler.parse_job_spec`);
+                         201 with the job record, 400 with a reason on
+                         a bad spec — never a traceback
+``GET /jobs``            every known job, oldest first
+``GET /jobs/ID``         one job, with live ``coverage`` and
+                         ``eta_seconds`` while it runs
+``POST /jobs/ID/cancel`` cancel: queued jobs instantly, running jobs
+                         by aborting their fleet map; 409 once terminal
+``GET /jobs/ID/result``  the persisted result payload; 409 with the
+                         job state until it is ``done``
+``GET /status``          the fleet's ``repro-status-v2`` snapshot
+                         (throughput-history ring buffer included)
+                         plus per-state job counts
+=======================  =============================================
+
+When the daemon holds an auth token (``--auth-token`` or
+``REPRO_AUTH_TOKEN``), the same secret scopes both planes: worker
+sessions authenticate their ``repro-wire-v1`` HMAC frames with it, and
+the mutating HTTP endpoints (``POST``) require it in an
+``X-Auth-Token`` header.  Reads stay open, like the status port.
+
+See ``docs/service.md`` for the runbook (curl walkthrough, fairness
+and restart-recovery drills).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hmac
+import json
+import os
+import signal
+import sys
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.experiments.backends import AUTH_TOKEN_ENV, WIRE_CHOICES, WorkServer
+from repro.experiments.scheduler import JobScheduler, JobSpecError
+
+__all__ = [
+    "CampaignService",
+    "build_serve_parser",
+    "serve_main",
+    "build_jobs_parser",
+    "jobs_main",
+]
+
+#: Default HTTP port of ``repro serve`` (work port stays ephemeral).
+DEFAULT_HTTP_PORT = 7180
+
+#: Header carrying the shared secret on mutating requests.
+AUTH_HEADER = "X-Auth-Token"
+
+
+class CampaignService:
+    """One daemon: shared fleet + job scheduler + HTTP API."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        host: str = "127.0.0.1",
+        http_port: int = 0,
+        work_port: int = 0,
+        workers: int = 2,
+        auth_token: str | None = None,
+        workers_expected: int = 0,
+        heartbeat_timeout: float | None = None,
+        wire: str = "v1",
+        status_port: int | None = None,
+        max_concurrent: int = 4,
+        worker_linger: float = 5.0,
+    ) -> None:
+        from repro.experiments.backends import DEFAULT_HEARTBEAT_TIMEOUT
+
+        self.host = host
+        self.auth_token = auth_token
+        self.fleet = WorkServer(
+            bind=f"{host}:{work_port}",
+            spawn_workers=workers,
+            auth_token=auth_token,
+            workers_expected=workers_expected,
+            heartbeat_timeout=(
+                DEFAULT_HEARTBEAT_TIMEOUT
+                if heartbeat_timeout is None
+                else heartbeat_timeout
+            ),
+            wire=wire,
+            status_port=status_port,
+            worker_linger=worker_linger,
+        )
+        self.scheduler = JobScheduler(self.fleet, state_dir, max_concurrent)
+        self._http_port = http_port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+        #: Jobs crash recovery re-enqueued on this start (logged once).
+        self.healed_jobs: list[str] = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def http_address(self) -> tuple[str, int] | None:
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[:2]
+
+    def start(self) -> "CampaignService":
+        self.fleet.start()
+        self.healed_jobs = [job.id for job in self.scheduler.recover()]
+        self.scheduler.start()
+        service = self
+
+        class Handler(_ServiceHandler):
+            pass
+
+        Handler.service = service
+        self._httpd = ThreadingHTTPServer((self.host, self._http_port), Handler)
+        self._httpd.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None and self._http_thread.ident is not None:
+            self._http_thread.join(timeout=5)
+        self.scheduler.close()
+        self.fleet.close()
+
+    # -- snapshot -------------------------------------------------------
+
+    def status(self) -> dict:
+        """The fleet's v2 snapshot extended with job-state counts."""
+        snapshot = self.fleet.snapshot()
+        snapshot["jobs"] = self.scheduler.counts()
+        return snapshot
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning :class:`CampaignService`."""
+
+    service: CampaignService  # injected per daemon by start()
+    protocol_version = "HTTP/1.1"
+    #: Service identity in responses; fixed so tests can pin the API.
+    server_version = "repro-serve/1"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # One concise access line on stderr; the default BaseHTTPServer
+        # format includes client address which is noise on loopback.
+        print(f"repro serve: {format % args}", file=sys.stderr)
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _authorized(self) -> bool:
+        token = self.service.auth_token
+        if token is None:
+            return True
+        presented = self.headers.get(AUTH_HEADER, "")
+        return hmac.compare_digest(presented.encode(), token.encode())
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise JobSpecError("request body must be a JSON object")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise JobSpecError(f"request body is not valid JSON: {error}") from None
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            path = self.path.rstrip("/")
+            if path in ("", "/status"):
+                self._reply(200, self.service.status())
+                return
+            if path == "/jobs":
+                self._reply(
+                    200,
+                    {"jobs": [job.describe() for job in self.service.scheduler.list()]},
+                )
+                return
+            parts = path.strip("/").split("/")
+            if len(parts) == 2 and parts[0] == "jobs":
+                job = self.service.scheduler.get(parts[1])
+                if job is None:
+                    self._reply(404, {"error": f"no such job {parts[1]!r}"})
+                    return
+                self._reply(200, job.describe())
+                return
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                job = self.service.scheduler.get(parts[1])
+                if job is None:
+                    self._reply(404, {"error": f"no such job {parts[1]!r}"})
+                    return
+                if job.state != "done":
+                    detail = {"error": f"job {job.id} is {job.state}, not done",
+                              "state": job.state}
+                    if job.error:
+                        detail["reason"] = job.error
+                    self._reply(409, detail)
+                    return
+                result = self.service.scheduler.result(job.id)
+                if result is None:  # pragma: no cover - done implies persisted
+                    self._reply(500, {"error": "result file missing"})
+                    return
+                self._reply(200, result)
+                return
+            self._reply(404, {"error": f"unknown endpoint {self.path!r}"})
+        except Exception as error:  # noqa: BLE001 - HTTP boundary
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            if not self._authorized():
+                self._reply(
+                    401,
+                    {"error": f"missing or wrong {AUTH_HEADER} header "
+                              "(this daemon runs with an auth token)"},
+                )
+                return
+            path = self.path.rstrip("/")
+            if path == "/jobs":
+                try:
+                    spec = self._read_json()
+                    job = self.service.scheduler.submit(spec)
+                except JobSpecError as error:
+                    self._reply(400, {"error": str(error)})
+                    return
+                self._reply(201, job.describe())
+                return
+            parts = path.strip("/").split("/")
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                job = self.service.scheduler.get(parts[1])
+                if job is None:
+                    self._reply(404, {"error": f"no such job {parts[1]!r}"})
+                    return
+                if job.state in ("done", "failed", "cancelled"):
+                    self._reply(
+                        409,
+                        {"error": f"job {job.id} is already {job.state}",
+                         "state": job.state},
+                    )
+                    return
+                self.service.scheduler.cancel(job.id)
+                self._reply(200, job.describe())
+                return
+            self._reply(404, {"error": f"unknown endpoint {self.path!r}"})
+        except Exception as error:  # noqa: BLE001 - HTTP boundary
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro serve / python -m repro jobs
+# ----------------------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the persistent campaign daemon: one shared worker "
+        "fleet, an HTTP/JSON job API, and durable per-job resume stores "
+        "(runbook: docs/service.md).",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_HTTP_PORT,
+        help=f"HTTP API port (default: {DEFAULT_HTTP_PORT}; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind host for the HTTP API and the fleet work port "
+        "(default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default="repro-service",
+        metavar="DIR",
+        help="durable state: job records, per-job resume stores, results "
+        "(default: ./repro-service); restarting with the same DIR "
+        "re-attaches and heals interrupted jobs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="local fleet workers to spawn (default: 2); external workers "
+        "may additionally join the work port with python -m repro worker",
+    )
+    parser.add_argument(
+        "--work-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="fixed fleet work port for external workers (default: ephemeral)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared fleet secret; also required as the X-Auth-Token header "
+        f"on mutating API calls (defaults to ${AUTH_TOKEN_ENV} when set)",
+    )
+    parser.add_argument(
+        "--workers-expected",
+        type=int,
+        default=0,
+        metavar="N",
+        help="hold all job dispatch until N workers joined the fleet",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="silence deadline before a worker's chunk is requeued",
+    )
+    parser.add_argument(
+        "--wire",
+        choices=sorted(WIRE_CHOICES),
+        default="v1",
+        help="fleet frame codec (default: v1)",
+    )
+    parser.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="additionally serve the classic one-line status snapshot "
+        "(python -m repro status HOST:PORT)",
+    )
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        metavar="N",
+        help="jobs allowed to run at once; the rest queue (default: 4)",
+    )
+    return parser
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro serve``."""
+    args = build_serve_parser().parse_args(argv)
+    token = args.auth_token
+    if token is None:
+        token = os.environ.get(AUTH_TOKEN_ENV) or None
+    elif not token:
+        print(
+            "repro serve: the auth token is empty; unset it or provide a "
+            "real secret",
+            file=sys.stderr,
+        )
+        return 2
+    service = CampaignService(
+        state_dir=args.state_dir,
+        host=args.host,
+        http_port=args.port,
+        work_port=args.work_port,
+        workers=args.workers,
+        auth_token=token,
+        workers_expected=args.workers_expected,
+        heartbeat_timeout=args.heartbeat_timeout,
+        wire=args.wire,
+        status_port=args.status_port,
+        max_concurrent=args.max_concurrent,
+    )
+    try:
+        service.start()
+    except OSError as error:
+        print(f"repro serve: cannot start: {error}", file=sys.stderr)
+        return 1
+    stop = threading.Event()
+
+    def _stop(signum, frame) -> None:  # noqa: ARG001 - signal API
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    host, port = service.http_address
+    work_host, work_port = service.fleet.address
+    # The readiness line is machine-parsed (tests, tmux drills): keep
+    # the `http://HOST:PORT` and `work HOST:PORT` shapes stable.
+    line = (
+        f"repro serve: listening on http://{host}:{port} · "
+        f"work {work_host}:{work_port} · state {args.state_dir}"
+    )
+    if service.fleet.status_address is not None:
+        line += f" · status {service.fleet.status_address[0]}:{service.fleet.status_address[1]}"
+    print(line, flush=True)
+    if service.healed_jobs:
+        print(
+            f"repro serve: healed {len(service.healed_jobs)} interrupted "
+            f"job(s): {', '.join(service.healed_jobs)}",
+            flush=True,
+        )
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        service.close()
+    print("repro serve: stopped", flush=True)
+    return 0
+
+
+def build_jobs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro jobs",
+        description="Thin HTTP client for a repro serve daemon "
+        "(anything HTTP works too — see docs/service.md for the curl "
+        "equivalents).",
+    )
+    parser.add_argument("url", help="daemon base URL, e.g. http://127.0.0.1:7180")
+    parser.add_argument(
+        "action",
+        choices=["list", "submit", "show", "cancel", "result", "status"],
+        help="list jobs · submit a spec · show/cancel/fetch one job · "
+        "fleet status",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="job id (show/cancel/result) or spec JSON / @file / '-' for "
+        "stdin (submit)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        help="X-Auth-Token for mutating calls "
+        f"(defaults to ${AUTH_TOKEN_ENV} when set)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="HTTP timeout (default: 10)",
+    )
+    return parser
+
+
+def _http_json(
+    method: str,
+    url: str,
+    payload: dict | None = None,
+    token: str | None = None,
+    timeout: float = 10.0,
+) -> tuple[int, dict]:
+    body = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(url, data=body, method=method)
+    request.add_header("Content-Type", "application/json")
+    if token:
+        request.add_header(AUTH_HEADER, token)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode("utf-8", errors="replace")
+        try:
+            return error.code, json.loads(detail)
+        except json.JSONDecodeError:
+            return error.code, {"error": detail.strip() or str(error)}
+
+
+def jobs_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro jobs URL ACTION [TARGET]``."""
+    args = build_jobs_parser().parse_args(argv)
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = f"http://{base}"
+    token = args.auth_token
+    if token is None:
+        token = os.environ.get(AUTH_TOKEN_ENV) or None
+    try:
+        if args.action == "list":
+            code, payload = _http_json("GET", f"{base}/jobs", timeout=args.timeout)
+        elif args.action == "status":
+            code, payload = _http_json("GET", f"{base}/status", timeout=args.timeout)
+        elif args.action == "submit":
+            if args.target is None:
+                print("repro jobs: submit needs a spec (JSON, @file, or -)",
+                      file=sys.stderr)
+                return 2
+            raw = args.target
+            if raw == "-":
+                raw = sys.stdin.read()
+            elif raw.startswith("@"):
+                with open(raw[1:], "r", encoding="utf-8") as handle:
+                    raw = handle.read()
+            try:
+                spec = json.loads(raw)
+            except json.JSONDecodeError as error:
+                print(f"repro jobs: spec is not valid JSON: {error}", file=sys.stderr)
+                return 2
+            code, payload = _http_json(
+                "POST", f"{base}/jobs", spec, token, args.timeout
+            )
+        else:
+            if args.target is None:
+                print(f"repro jobs: {args.action} needs a job id", file=sys.stderr)
+                return 2
+            if args.action == "show":
+                code, payload = _http_json(
+                    "GET", f"{base}/jobs/{args.target}", timeout=args.timeout
+                )
+            elif args.action == "cancel":
+                code, payload = _http_json(
+                    "POST", f"{base}/jobs/{args.target}/cancel", None, token,
+                    args.timeout,
+                )
+            else:  # result
+                code, payload = _http_json(
+                    "GET", f"{base}/jobs/{args.target}/result", timeout=args.timeout
+                )
+    except (OSError, urllib.error.URLError) as error:
+        print(f"repro jobs: cannot reach {base}: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2))
+    return 0 if 200 <= code < 300 else 1

@@ -32,6 +32,14 @@ proxy, with a kill schedule (``SIGKILL`` after a frame count) and
 late-join support, so chaos tests cover process death, not just wire
 noise.
 
+The proxy speaks plain frames, so it fronts any ``repro-wire-v1``
+listener — the per-map :class:`SocketBackend` *or* the campaign
+daemon's persistent ``WorkServer``.  For daemon crash drills,
+:meth:`ChaosProxy.retarget` repoints new connections at a restarted
+daemon's fresh ephemeral work port while the proxy's own front address
+stays fixed, so lingering workers reconnect straight through the
+restart.
+
 Usable standalone for the CI smoke leg::
 
     python tests/chaos.py --self-test
@@ -49,6 +57,8 @@ import sys
 import threading
 import time
 from dataclasses import dataclass, field
+
+import serviceharness
 
 _PREAMBLE = struct.Struct(">4sIQ")
 _MAGIC = b"RPW1"
@@ -101,6 +111,7 @@ class ChaosProxy:
 
     def __init__(self, upstream: tuple[str, int], plan: FaultPlan | None = None):
         self.upstream = upstream
+        self._upstream_lock = threading.Lock()
         self.plan = plan or FaultPlan()
         self.stats = ChaosStats()
         #: One entry per connection that carried non-``RPW1`` bytes —
@@ -134,6 +145,19 @@ class ChaosProxy:
             except OSError:
                 pass
 
+    def retarget(self, upstream: tuple[str, int]) -> None:
+        """Point *new* connections at a different upstream server.
+
+        The proxy's own front address never changes, so a fleet that
+        connected through it survives its server being replaced — the
+        shape of a campaign daemon dying and restarting on a fresh
+        ephemeral work port while lingering workers reconnect through
+        the stable proxy front.  Existing pumps drain against the old
+        upstream (their sockets are already torn when it died).
+        """
+        with self._upstream_lock:
+            self.upstream = tuple(upstream)
+
     def __enter__(self) -> "ChaosProxy":
         self.start()
         return self
@@ -149,8 +173,10 @@ class ChaosProxy:
                 client, _ = self._listener.accept()
             except OSError:
                 return
+            with self._upstream_lock:
+                upstream = self.upstream
             try:
-                server = socket.create_connection(self.upstream, timeout=30)
+                server = socket.create_connection(upstream, timeout=30)
             except OSError:
                 client.close()
                 continue
@@ -317,31 +343,15 @@ class WorkerFleet:
         self.procs: list[subprocess.Popen] = []
 
     def spawn(self, count: int = 1) -> list[subprocess.Popen]:
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.pathsep.join(entry for entry in sys.path if entry)
-        if self.auth_token is not None:
-            env["REPRO_AUTH_TOKEN"] = self.auth_token
-        started = []
-        for _ in range(count):
-            proc = subprocess.Popen(
-                [
-                    sys.executable,
-                    "-m",
-                    "repro",
-                    "worker",
-                    "--connect",
-                    self.address,
-                    "--linger",
-                    str(self.linger),
-                    "--spawned",
-                    "--wire",
-                    self.wire,
-                ],
-                env=env,
-                stdout=subprocess.DEVNULL,
-                stderr=subprocess.DEVNULL,
+        started = [
+            serviceharness.spawn_worker(
+                self.address,
+                linger=self.linger,
+                wire=self.wire,
+                auth_token=self.auth_token,
             )
-            started.append(proc)
+            for _ in range(count)
+        ]
         self.procs.extend(started)
         return started
 
@@ -373,14 +383,7 @@ class WorkerFleet:
         return thread
 
     def shutdown(self) -> None:
-        for proc in self.procs:
-            if proc.poll() is None:
-                proc.kill()
-        for proc in self.procs:
-            try:
-                proc.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                pass
+        serviceharness.terminate_procs(self.procs)
 
     def __enter__(self) -> "WorkerFleet":
         return self

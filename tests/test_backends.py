@@ -34,6 +34,7 @@ from repro.experiments.backends import (
 from repro.experiments.wire import MAX_FRAME, StreamDesync, make_session
 from repro.experiments.config import CaseStudyConfig, SweepConfig
 from repro.experiments.runner import run_sweep
+from serviceharness import wait_for_address as _wait_for_address
 
 CONFIG = SweepConfig(
     num_codes=2,
@@ -222,16 +223,6 @@ class TestBackendContract:
 def _sleepy(value):
     time.sleep(0.2)
     return value * 2
-
-
-def _wait_for_address(backend, deadline=30.0):
-    """Spin until the backend's listener is live; return (host, port)."""
-    end = time.monotonic() + deadline
-    while backend.address is None:
-        if time.monotonic() > end:  # pragma: no cover - debugging aid
-            raise AssertionError("backend never bound its listener")
-        time.sleep(0.005)
-    return backend.address
 
 
 class TestAuthToken:
@@ -479,9 +470,7 @@ class TestExternalWorker:
         executed = {}
 
         def join_when_listening():
-            while backend.address is None:
-                pass
-            host, port = backend.address
+            host, port = _wait_for_address(backend)
             executed["chunks"] = run_worker(f"{host}:{port}")
 
         worker = threading.Thread(target=join_when_listening, daemon=True)
@@ -503,9 +492,7 @@ class TestExternalWorker:
         probes = []
 
         def probe_when_listening():
-            while backend.address is None:
-                pass
-            probe = socket.create_connection(backend.address)
+            probe = socket.create_connection(_wait_for_address(backend))
             probes.append(probe)  # connect, send nothing, hold open
 
         threading.Thread(target=probe_when_listening, daemon=True).start()

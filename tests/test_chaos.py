@@ -11,13 +11,13 @@ the proxy simultaneously auditing that no pickle frame ever appears on
 the wire under ``--wire v1``.
 """
 
-import threading
 import time
 
 from chaos import ChaosProxy, FaultPlan, WorkerFleet
 from repro.experiments.backends import SocketBackend
 from repro.experiments.config import SweepConfig
 from repro.experiments.runner import run_sweep
+from serviceharness import BackgroundCampaign, wait_for_address
 
 SOCKET_TIMEOUT = 180.0
 
@@ -59,16 +59,11 @@ def _run_map_through_proxy(
         timeout=SOCKET_TIMEOUT,
         wire=wire,
     )
-    outcome = {}
-
-    def campaign():
-        outcome["results"] = backend.map(worker, items, chunksize=chunksize)
-
-    runner = threading.Thread(target=campaign, daemon=True)
-    runner.start()
-    while backend.address is None:
-        time.sleep(0.01)
-    with ChaosProxy(backend.address, plan) as proxy:
+    runner = BackgroundCampaign(
+        lambda: backend.map(worker, items, chunksize=chunksize),
+        name="campaign under injected faults",
+    ).start()
+    with ChaosProxy(wait_for_address(backend), plan) as proxy:
         host, port = proxy.address
         fleet = WorkerFleet(
             f"{host}:{port}", linger=SOCKET_TIMEOUT / 2, wire=wire
@@ -79,9 +74,8 @@ def _run_map_through_proxy(
                 fleet.kill_one_after(kill_after)
             if join_late is not None:
                 fleet.join_late(join_late)
-            runner.join(timeout=SOCKET_TIMEOUT)
-    assert not runner.is_alive(), "campaign hung under injected faults"
-    return outcome["results"], proxy
+            results = runner.finish(timeout=SOCKET_TIMEOUT)
+    return results, proxy
 
 
 class TestFaultClasses:
@@ -177,26 +171,18 @@ class TestChaosSweepBitIdentity:
         backend = SocketBackend(
             spawn_workers=0, heartbeat_timeout=2.0, timeout=SOCKET_TIMEOUT
         )
-        outcome = {}
-
-        def campaign():
-            outcome["sweep"] = run_sweep(CONFIG, backend=backend)
-
-        runner = threading.Thread(target=campaign, daemon=True)
-        runner.start()
-        while backend.address is None:
-            time.sleep(0.01)
+        runner = BackgroundCampaign(
+            lambda: run_sweep(CONFIG, backend=backend), name="chaos sweep"
+        ).start()
         plan = FaultPlan(corrupt=0.05, seed=1234)
-        with ChaosProxy(backend.address, plan) as proxy:
+        with ChaosProxy(wait_for_address(backend), plan) as proxy:
             host, port = proxy.address
             with WorkerFleet(f"{host}:{port}", linger=SOCKET_TIMEOUT / 2) as fleet:
                 fleet.spawn(2)
                 fleet.kill_one_after(1.0)
                 fleet.join_late(1.5)
-                runner.join(timeout=SOCKET_TIMEOUT)
-        assert not runner.is_alive(), "chaos sweep hung"
+                chaos_sweep = runner.finish(timeout=SOCKET_TIMEOUT)
         assert proxy.violations == []
-        chaos_sweep = outcome["sweep"]
         assert chaos_sweep.cells.keys() == serial.cells.keys()
         for key in serial.cells:
             assert chaos_sweep.cells[key].words == serial.cells[key].words, key

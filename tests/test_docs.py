@@ -12,6 +12,7 @@ import pytest
 
 from repro.cli import build_parser
 from repro.experiments.monitor import build_status_parser
+from repro.experiments.service import build_jobs_parser, build_serve_parser
 from repro.experiments.storetools import build_store_parser
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -21,6 +22,7 @@ DOCS = [
     ROOT / "docs" / "distributed.md",
     ROOT / "docs" / "fleet.md",
     ROOT / "docs" / "operations.md",
+    ROOT / "docs" / "service.md",
 ]
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -29,7 +31,13 @@ FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
 
 def _real_flags() -> set[str]:
     flags = set()
-    for parser in (build_parser(), build_store_parser(), build_status_parser()):
+    for parser in (
+        build_parser(),
+        build_store_parser(),
+        build_status_parser(),
+        build_serve_parser(),
+        build_jobs_parser(),
+    ):
         for action in parser._actions:
             flags.update(s for s in action.option_strings if s.startswith("--"))
     return flags
@@ -88,7 +96,7 @@ def test_readme_exhibit_commands_are_real():
     from repro.cli import COMMANDS
 
     readme = (ROOT / "README.md").read_text()
-    known = set(COMMANDS) | {"all", "worker", "store", "status"}
+    known = set(COMMANDS) | {"all", "worker", "store", "status", "serve", "jobs"}
     for command in re.findall(r"python -m repro ([a-z0-9-]+)", readme):
         assert command in known, f"README mentions unknown command {command!r}"
 
@@ -98,7 +106,7 @@ def test_doc_commands_are_real(doc):
     """Every `python -m repro <command>` in every doc must parse."""
     from repro.cli import COMMANDS
 
-    known = set(COMMANDS) | {"all", "worker", "store", "status"}
+    known = set(COMMANDS) | {"all", "worker", "store", "status", "serve", "jobs"}
     for command in re.findall(r"python -m repro ([a-z0-9-]+)", doc.read_text()):
         assert command in known, f"{doc.name} mentions unknown command {command!r}"
 
@@ -128,6 +136,36 @@ def test_operations_covers_the_control_plane_surfaces():
         "repro-status-v1",
     ):
         assert surface in operations, f"operations.md must document {surface}"
+
+
+def test_service_runbook_is_cross_linked():
+    """The daemon runbook must be reachable from the entry docs, and
+    link back to the runbooks it builds on."""
+    readme = (ROOT / "README.md").read_text()
+    operations = (ROOT / "docs" / "operations.md").read_text()
+    service = (ROOT / "docs" / "service.md").read_text()
+    assert "docs/service.md" in readme
+    assert "service.md" in operations
+    assert "distributed.md" in service
+    assert "operations.md" in service
+
+
+def test_service_runbook_covers_the_api_surfaces():
+    """service.md must document every API surface and drill by name."""
+    service = (ROOT / "docs" / "service.md").read_text()
+    for surface in (
+        "python -m repro serve",
+        "python -m repro jobs",
+        "--state-dir",
+        "--max-concurrent",
+        "POST /jobs",
+        "X-Auth-Token",
+        "repro-status-v2",
+        "healed",
+        "kill -9",
+        "round-robin",
+    ):
+        assert surface in service, f"service.md must document {surface}"
 
 
 def test_fleet_doc_is_cross_linked():

@@ -19,11 +19,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import subprocess
 import sys
 from dataclasses import replace
-from pathlib import Path
 
 import pytest
 
@@ -37,6 +35,7 @@ from repro.memory.faults import (
     FaultMixModel,
     sample_chip_faults,
 )
+from serviceharness import repro_env
 
 #: Seconds-fast fleet: 24 chips over 2 codes, heavy chips sliced at 4
 #: profiled words.
@@ -212,17 +211,12 @@ class TestBackendIdentity:
             " repr(c.ue_unrepaired)] for c in result.chips]\n"
             "print(hashlib.sha256(json.dumps(payload).encode()).hexdigest())\n"
         )
-        src = Path(__file__).resolve().parent.parent / "src"
-        env = dict(os.environ)
-        env["PYTHONPATH"] = f"{src}{os.pathsep}{env['PYTHONPATH']}" if env.get(
-            "PYTHONPATH"
-        ) else str(src)
         digest = subprocess.run(
             [sys.executable, "-c", script],
             capture_output=True,
             text=True,
             check=True,
-            env=env,
+            env=repro_env(),
         ).stdout.strip()
         assert digest == reference
 

@@ -27,6 +27,8 @@ from repro.experiments.backends import (
 from repro.experiments.config import CaseStudyConfig, SweepConfig
 from repro.experiments.monitor import (
     STATUS_FORMAT,
+    STATUS_FORMAT_V1,
+    ThroughputHistory,
     ProgressReporter,
     StatusServer,
     estimate_eta,
@@ -41,6 +43,7 @@ from repro.experiments.monitor import (
 from repro.experiments.runner import run_sweep, shard_grid
 from repro.experiments.store import Fig10Store, ShardStore
 from repro.experiments.storetools import compact, summarize
+from serviceharness import wait_for_address
 
 CONFIG = SweepConfig(
     num_codes=2,
@@ -295,6 +298,52 @@ class TestStatusProtocol:
         assert "repro status:" in capsys.readouterr().err
 
 
+class TestStatusV2:
+    """The repro-status-v2 bump: additive fields, v1 stays readable."""
+
+    def test_v1_snapshot_still_reads_and_renders(self, capsys):
+        """Compat promise of the format bump: ``python -m repro status``
+        pointed at a pre-history server keeps working unchanged."""
+        v1 = {**TestStatusProtocol.SNAPSHOT, "format": STATUS_FORMAT_V1}
+        server = _serve_snapshot(v1)
+        try:
+            assert read_status(server.address) == v1
+            host, port = server.address
+            assert status_main([f"{host}:{port}"]) == 0
+            out = capsys.readouterr().out
+            assert "fleet    2 worker(s)" in out
+            assert "5/9 done" in out
+        finally:
+            server.close()
+
+    def test_v2_maps_and_history_render(self):
+        snapshot = {
+            **TestStatusProtocol.SNAPSHOT,
+            "maps": {"active": 2, "opened": 5},
+            "history": [{"t": 1.0, "done": 2}, {"t": 31.0, "done": 8}],
+        }
+        text = render_status(snapshot)
+        assert "maps     2 campaign(s) active · 5 opened since start" in text
+        assert "history  +6 chunk(s)" in text
+        assert "(~12.0/min)" in text
+        assert "2 sample(s)" in text
+        # v1 snapshots simply lack the new lines — nothing breaks.
+        legacy = render_status(TestStatusProtocol.SNAPSHOT)
+        assert "maps" not in legacy
+        assert "history" not in legacy
+
+    def test_throughput_history_coalesces_and_caps(self):
+        history = ThroughputHistory(maxlen=3, min_interval=1.0)
+        history.record(0.0, 1)
+        history.record(0.4, 2)  # within min_interval: folded into the last
+        assert history.sample() == [{"t": 0.0, "done": 2}]
+        for tick in (2.0, 4.0, 6.0, 8.0):
+            history.record(tick, int(tick))
+        assert len(history) == 3  # ring buffer, oldest samples dropped
+        assert history.sample()[-1] == {"t": 8.0, "done": 8}
+        assert history.sample()[0] == {"t": 4.0, "done": 4}
+
+
 def _sleepy_item(value):
     time.sleep(0.25)
     return value * 2
@@ -307,9 +356,7 @@ class TestLiveStatus:
         backend = SocketBackend(spawn_workers=0, status_port=0, timeout=SOCKET_TIMEOUT)
 
         def worker():
-            while backend.address is None:
-                time.sleep(0.005)
-            host, port = backend.address
+            host, port = wait_for_address(backend)
             run_worker(f"{host}:{port}")
 
         threading.Thread(target=worker, daemon=True).start()
